@@ -1,0 +1,442 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// figure (the paper has no tables), plus ablation benches for the design
+// choices called out in DESIGN.md §5 and micro-benchmarks of the hot
+// substrate paths.
+//
+// Each figure benchmark runs the complete experiment — dial-up, 120 s of
+// traffic in virtual time, decoding — once per iteration and reports the
+// figure's headline quantities via b.ReportMetric, so
+//
+//	go test -bench 'Figure' -benchmem
+//
+// prints the reproduced numbers next to the timing.
+package umtslab_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/ppp"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/tcp"
+	"github.com/onelab/umtslab/internal/testbed"
+	"github.com/onelab/umtslab/internal/umts"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+const paperDuration = 120 * time.Second
+
+// runCell executes one (path, workload) experiment per benchmark
+// iteration and returns the last result for metric reporting.
+func runCell(b *testing.B, path testbed.Path, wl testbed.Workload) *testbed.ExperimentResult {
+	b.Helper()
+	var res *testbed.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = testbed.RunPaperExperiment(int64(i+1), path, wl, paperDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// --- Figures 1-3: VoIP-like flow ---
+
+func BenchmarkFigure1VoIPBitrate(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadVoIP)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadVoIP)
+	b.ReportMetric(u.Decoded.AvgBitrateKbps, "umts_kbps")
+	b.ReportMetric(e.Decoded.AvgBitrateKbps, "eth_kbps")
+	b.ReportMetric(float64(u.Decoded.Lost), "umts_lost")
+}
+
+func BenchmarkFigure2VoIPJitter(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadVoIP)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadVoIP)
+	b.ReportMetric(u.Decoded.AvgJitter.Seconds()*1000, "umts_avg_ms")
+	b.ReportMetric(u.Decoded.MaxJitter.Seconds()*1000, "umts_max_ms")
+	b.ReportMetric(e.Decoded.AvgJitter.Seconds()*1000, "eth_avg_ms")
+}
+
+func BenchmarkFigure3VoIPRTT(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadVoIP)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadVoIP)
+	b.ReportMetric(u.Decoded.AvgRTT.Seconds()*1000, "umts_avg_ms")
+	b.ReportMetric(u.Decoded.MaxRTT.Seconds()*1000, "umts_max_ms")
+	b.ReportMetric(e.Decoded.AvgRTT.Seconds()*1000, "eth_avg_ms")
+}
+
+// --- Figures 4-7: 1 Mbps CBR flow ---
+
+func BenchmarkFigure4SatBitrate(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadCBR1M)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadCBR1M)
+	br := u.Decoded.BitrateSeries()
+	b.ReportMetric(br.Before(45*time.Second).Mean(), "umts_early_kbps")
+	b.ReportMetric(br.After(55*time.Second).Mean(), "umts_late_kbps")
+	b.ReportMetric(e.Decoded.AvgBitrateKbps, "eth_kbps")
+}
+
+func BenchmarkFigure5SatJitter(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadCBR1M)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadCBR1M)
+	b.ReportMetric(u.Decoded.MaxJitter.Seconds()*1000, "umts_max_ms")
+	b.ReportMetric(e.Decoded.MaxJitter.Seconds()*1000, "eth_max_ms")
+}
+
+func BenchmarkFigure6SatLoss(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadCBR1M)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadCBR1M)
+	loss := u.Decoded.LossSeries()
+	b.ReportMetric(loss.Before(45*time.Second).Mean(), "umts_early_pkt_per_win")
+	b.ReportMetric(loss.After(55*time.Second).Mean(), "umts_late_pkt_per_win")
+	b.ReportMetric(float64(e.Decoded.Lost), "eth_lost_total")
+}
+
+func BenchmarkFigure7SatRTT(b *testing.B) {
+	u := runCell(b, testbed.PathUMTS, testbed.WorkloadCBR1M)
+	e := runCell(b, testbed.PathEthernet, testbed.WorkloadCBR1M)
+	b.ReportMetric(u.Decoded.AvgRTT.Seconds(), "umts_avg_s")
+	b.ReportMetric(u.Decoded.MaxRTT.Seconds(), "umts_max_s")
+	b.ReportMetric(e.Decoded.AvgRTT.Seconds()*1000, "eth_avg_ms")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationAdaptationOff disables the operator's on-demand rate
+// upgrades: the Figure 4 knee disappears and the late-phase bitrate
+// stays at the initial bearer rate.
+func BenchmarkAblationAdaptationOff(b *testing.B) {
+	var late float64
+	for i := 0; i < b.N; i++ {
+		opCfg := umts.Commercial()
+		opCfg.Adaptation.Enabled = false
+		tb, err := testbed.New(testbed.Options{Seed: int64(i + 1), Operator: &opCfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tb.RunExperiment(testbed.ExperimentSpec{
+			Path: testbed.PathUMTS, Workload: testbed.WorkloadCBR1M, Duration: paperDuration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		late = res.Decoded.BitrateSeries().After(55 * time.Second).Mean()
+	}
+	b.ReportMetric(late, "late_kbps_no_adapt")
+}
+
+// BenchmarkAblationQueueSizing sweeps the radio buffer size and reports
+// the RTT-versus-loss trade-off under saturation.
+func BenchmarkAblationQueueSizing(b *testing.B) {
+	for _, q := range []int{12500, 50000, 200000} {
+		q := q
+		b.Run(byteLabel(q), func(b *testing.B) {
+			var maxRTT, lossPct float64
+			for i := 0; i < b.N; i++ {
+				opCfg := umts.Commercial()
+				opCfg.Uplink.QueueBytes = q
+				opCfg.Fades.MeanInterval = 0
+				tb, err := testbed.New(testbed.Options{Seed: int64(i + 1), Operator: &opCfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tb.RunExperiment(testbed.ExperimentSpec{
+					Path: testbed.PathUMTS, Workload: testbed.WorkloadCBR1M, Duration: 60 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxRTT = res.Decoded.MaxRTT.Seconds()
+				lossPct = 100 * float64(res.Decoded.Lost) / float64(res.Decoded.Sent)
+			}
+			b.ReportMetric(maxRTT, "max_rtt_s")
+			b.ReportMetric(lossPct, "loss_pct")
+		})
+	}
+}
+
+// BenchmarkAblationIsolationOff removes the POSTROUTING DROP rule after
+// start and measures the leakage the paper's rule prevents: packets from
+// a foreign slice that escape through ppp0.
+func BenchmarkAblationIsolationOff(b *testing.B) {
+	for _, withDrop := range []bool{true, false} {
+		withDrop := withDrop
+		name := "with_drop_rule"
+		if !withDrop {
+			name = "without_drop_rule"
+		}
+		b.Run(name, func(b *testing.B) {
+			var leaked float64
+			for i := 0; i < b.N; i++ {
+				leaked = runIsolationProbe(b, int64(i+1), withDrop)
+			}
+			b.ReportMetric(leaked, "leaked_pkts")
+		})
+	}
+}
+
+func runIsolationProbe(b *testing.B, seed int64, withDrop bool) float64 {
+	b.Helper()
+	tb, err := testbed.New(testbed.Options{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, fe, err := tb.NewUMTSSlice("holder")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		b.Fatal(err)
+	}
+	if !withDrop {
+		// The ablation: strip the filter rules the backend installed.
+		tb.NapoliFilter.DeleteByComment("umts:holder")
+	}
+	intruder, err := tb.NapoliHost.CreateSlice("intruder")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppp0 := tb.Napoli.Iface("ppp0")
+	before := ppp0.TxPackets
+	for i := 0; i < 100; i++ {
+		intruder.Send(&netsim.Packet{
+			Dst: ppp0.Peer, Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 9,
+			Payload: []byte("leak?"),
+		})
+	}
+	tb.Loop.RunUntil(tb.Loop.Now() + 2*time.Second)
+	return float64(ppp0.TxPackets - before)
+}
+
+// BenchmarkAblationSharedAccess contrasts the paper's exclusive usage
+// model with hypothetical shared access: two concurrent VoIP flows on
+// the low-bandwidth link interfere (the §2.2 motivation).
+func BenchmarkAblationSharedAccess(b *testing.B) {
+	var soloJitter, sharedJitter float64
+	for i := 0; i < b.N; i++ {
+		soloJitter = sharedVoIPJitter(b, int64(i+1), 1)
+		sharedJitter = sharedVoIPJitter(b, int64(i+1), 4)
+	}
+	b.ReportMetric(soloJitter*1000, "solo_jitter_ms")
+	b.ReportMetric(sharedJitter*1000, "shared4_jitter_ms")
+}
+
+// sharedVoIPJitter runs n concurrent VoIP flows from the same slice over
+// the UMTS path and returns the first flow's average jitter in seconds.
+func sharedVoIPJitter(b *testing.B, seed int64, n int) float64 {
+	b.Helper()
+	tb, err := testbed.New(testbed.Options{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice, fe, err := tb.NewUMTSSlice("sharer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.Invoke(func(cb func(vsys.Result)) error {
+		return fe.AddDest(testbed.InriaEthAddr.String(), cb)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	recvSlice, err := tb.InriaHost.CreateSlice("probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dur = 30 * time.Second
+	senders := make([]*itg.Sender, n)
+	receivers := make([]*itg.Receiver, n)
+	for i := 0; i < n; i++ {
+		rcv := itg.NewReceiver(tb.Loop, func(p *netsim.Packet) error { return recvSlice.Send(p) })
+		receivers[i] = rcv
+		dport := uint16(9000 + i)
+		sport := uint16(5000 + i)
+		if err := recvSlice.Bind(netsim.ProtoUDP, dport, rcv.Handle); err != nil {
+			b.Fatal(err)
+		}
+		spec := itg.VoIPG711(uint32(i+1), testbed.InriaEthAddr, sport, dport, dur)
+		snd := itg.NewSender(tb.Loop, itoa(i), spec, func(p *netsim.Packet) error { return slice.Send(p) })
+		if err := slice.Bind(netsim.ProtoUDP, sport, snd.HandleEcho); err != nil {
+			b.Fatal(err)
+		}
+		senders[i] = snd
+	}
+	start := tb.Loop.Now()
+	for _, s := range senders {
+		s.Start()
+	}
+	tb.Loop.RunUntil(start + dur + 5*time.Second)
+	res := itg.Decode(&senders[0].SentLog, &receivers[0].RecvLog, &senders[0].EchoLog, 200*time.Millisecond)
+	return res.AvgJitter.Seconds()
+}
+
+func byteLabel(n int) string {
+	switch {
+	case n >= 1000:
+		return itoa(n/1000) + "KB"
+	default:
+		return itoa(n) + "B"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkHDLCEncode(b *testing.B) {
+	payload := ppp.EncapsulatePPP(ppp.ProtoIPv4, make([]byte, 1052))
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		ppp.EncodeFrame(payload)
+	}
+}
+
+func BenchmarkHDLCRoundtrip(b *testing.B) {
+	payload := ppp.EncapsulatePPP(ppp.ProtoIPv4, make([]byte, 1052))
+	wire := ppp.EncodeFrame(payload)
+	b.SetBytes(int64(len(wire)))
+	d := ppp.Deframer{OnFrame: func([]byte) {}}
+	for i := 0; i < b.N; i++ {
+		d.Feed(wire)
+	}
+}
+
+func BenchmarkIPv4Marshal(b *testing.B) {
+	pkt := &netsim.Packet{
+		Src: netsim.MustAddr("10.0.0.1"), Dst: netsim.MustAddr("10.0.0.2"),
+		Proto: netsim.ProtoUDP, TTL: 64, SrcPort: 5000, DstPort: 9000,
+		Payload: make([]byte, 1024),
+	}
+	b.SetBytes(int64(pkt.Length()))
+	for i := 0; i < b.N; i++ {
+		wire := pkt.Marshal()
+		if _, err := netsim.Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	loop := sim.NewLoop(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loop.After(time.Microsecond, func() {})
+		if i%1024 == 0 {
+			loop.Run()
+		}
+	}
+	loop.Run()
+}
+
+func BenchmarkITGDecode(b *testing.B) {
+	// Decode a 120 s, 122 pps flow (the Figure 4-7 workload size).
+	sent := &itg.Log{}
+	recv := &itg.Log{}
+	for i := 0; i < 14640; i++ {
+		tx := time.Duration(i) * 8196721 * time.Nanosecond
+		sent.Add(itg.Record{Seq: uint32(i), Size: 1024, TxTime: tx})
+		if i%3 != 0 {
+			recv.Add(itg.Record{Seq: uint32(i), Size: 1024, TxTime: tx, RxTime: tx + 500*time.Millisecond})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		itg.Decode(sent, recv, nil, 200*time.Millisecond)
+	}
+}
+
+func BenchmarkDialUp(b *testing.B) {
+	// Full bring-up: registration, AT chat, PPP negotiation, rules.
+	for i := 0; i < b.N; i++ {
+		tb, err := testbed.New(testbed.Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, fe, err := tb.NewUMTSSlice("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tb.StartUMTS(fe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTCPUpload measures a real TCP bulk upload over the
+// UMTS path (extension beyond the paper's UDP evaluation): goodput is
+// bounded by the radio uplink and the SRTT shows the radio buffer's
+// bufferbloat.
+func BenchmarkExtensionTCPUpload(b *testing.B) {
+	var goodput, srttMs float64
+	for i := 0; i < b.N; i++ {
+		goodput, srttMs = tcpUploadRun(b, int64(i+1))
+	}
+	b.ReportMetric(goodput, "goodput_kbps")
+	b.ReportMetric(srttMs, "srtt_ms")
+}
+
+func tcpUploadRun(b *testing.B, seed int64) (goodputKbps, srttMs float64) {
+	b.Helper()
+	tb, err := testbed.New(testbed.Options{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice, fe, err := tb.NewUMTSSlice("uploader")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.Invoke(func(cb func(vsys.Result)) error {
+		return fe.AddDest(testbed.InriaEthAddr.String(), cb)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	napoliTCP, err := tcp.NewStack(tb.Loop, tb.Napoli, slice.Send)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inriaTCP, err := tcp.NewStack(tb.Loop, tb.Inria, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := false
+	var doneAt time.Duration
+	inriaTCP.Listen(8080, func(c *tcp.Conn) {
+		c.OnData = func([]byte) {}
+		c.OnClose = func(error) { done = true; doneAt = tb.Loop.Now() }
+	})
+	payload := make([]byte, 512<<10)
+	ppp0 := tb.Napoli.Iface("ppp0")
+	client, err := napoliTCP.Dial(ppp0.Addr, testbed.InriaEthAddr, 8080)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := tb.Loop.Now()
+	client.OnConnect = func() { client.Write(payload); client.Close() }
+	tb.Loop.RunUntil(start + 5*time.Minute)
+	if !done {
+		b.Fatal("upload incomplete")
+	}
+	el := (doneAt - start).Seconds()
+	return float64(len(payload)) * 8 / el / 1000, client.SRTT().Seconds() * 1000
+}

@@ -1,0 +1,286 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (§3): Figures 1-3 (72 kbps VoIP-like flow: bitrate, jitter, RTT) and
+// Figures 4-7 (1 Mbps CBR flow: bitrate, jitter, loss, RTT), each over
+// both the UMTS-to-Ethernet and Ethernet-to-Ethernet paths, plus the
+// §3.2 narrative checks (average bitrate met, zero VoIP loss, two-phase
+// uplink profile, who-wins relations).
+//
+// Usage:
+//
+//	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
+//	            [-every 5] [-series] [-v]
+//
+// With -reps N each experiment is repeated on N independently seeded
+// testbeds (the paper ran each experiment 20 times) and the summary
+// reports mean ± std across repetitions; series are printed for the
+// first repetition.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/stats"
+	"github.com/onelab/umtslab/internal/testbed"
+)
+
+type figure struct {
+	id       int
+	title    string
+	workload testbed.Workload
+	series   string // bitrate, jitter, loss, rtt
+	unit     string
+}
+
+var figures = []figure{
+	{1, "Bitrate of the VoIP-like flow", testbed.WorkloadVoIP, "bitrate", "kbps"},
+	{2, "Jitter of the VoIP-like flow", testbed.WorkloadVoIP, "jitter", "s"},
+	{3, "RTT of the VoIP-like flow", testbed.WorkloadVoIP, "rtt", "s"},
+	{4, "Bitrate of the 1-Mbps flow", testbed.WorkloadCBR1M, "bitrate", "kbps"},
+	{5, "Jitter of the 1-Mbps flow", testbed.WorkloadCBR1M, "jitter", "s"},
+	{6, "Loss of the 1-Mbps flow", testbed.WorkloadCBR1M, "loss", "pkt/window"},
+	{7, "RTT of the 1-Mbps flow", testbed.WorkloadCBR1M, "rtt", "s"},
+}
+
+// cell caches one (workload, path, rep) run.
+type cellKey struct {
+	wl   testbed.Workload
+	path testbed.Path
+	rep  int
+}
+
+var (
+	cache = map[cellKey]*testbed.ExperimentResult{}
+	dur   time.Duration
+)
+
+func run(seed int64, wl testbed.Workload, path testbed.Path, rep int) (*testbed.ExperimentResult, error) {
+	k := cellKey{wl, path, rep}
+	if r, ok := cache[k]; ok {
+		return r, nil
+	}
+	r, err := testbed.RunPaperExperiment(seed+int64(rep)*1000, path, wl, dur)
+	if err != nil {
+		return nil, err
+	}
+	cache[k] = r
+	return r, nil
+}
+
+func seriesOf(r *testbed.ExperimentResult, name string) stats.Series {
+	switch name {
+	case "bitrate":
+		return r.Decoded.BitrateSeries()
+	case "jitter":
+		return r.Decoded.JitterSeries()
+	case "loss":
+		return r.Decoded.LossSeries()
+	case "rtt":
+		return r.Decoded.RTTSeries()
+	default:
+		return nil
+	}
+}
+
+func main() {
+	figSel := flag.String("figure", "all", "figure to regenerate: all or 1..7")
+	durFlag := flag.Duration("dur", 120*time.Second, "flow duration (paper: 120 s)")
+	reps := flag.Int("reps", 1, "repetitions per experiment (paper: 20)")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	every := flag.Int("every", 5, "print every Nth window of each series")
+	noSeries := flag.Bool("summary-only", false, "suppress the series, print summaries only")
+	csvDir := flag.String("csv", "", "also write each series as <dir>/figN-<path>.csv (plot-ready)")
+	flag.Parse()
+	dur = *durFlag
+
+	var selected []figure
+	if *figSel == "all" {
+		selected = figures
+	} else {
+		n, err := strconv.Atoi(*figSel)
+		if err != nil || n < 1 || n > 7 {
+			fmt.Fprintf(os.Stderr, "experiments: bad -figure %q\n", *figSel)
+			os.Exit(2)
+		}
+		selected = figures[n-1 : n]
+	}
+
+	fmt.Printf("Reproduction of 'Providing UMTS connectivity to PlanetLab nodes' (ROADS'08)\n")
+	fmt.Printf("flows: %v, window 200 ms, %d repetition(s), base seed %d\n", dur, *reps, *seed)
+
+	for _, fig := range selected {
+		fmt.Printf("\n================ Figure %d: %s ================\n", fig.id, fig.title)
+		for _, path := range []testbed.Path{testbed.PathUMTS, testbed.PathEthernet} {
+			var sums stats.Summary
+			var first stats.Series
+			for rep := 0; rep < *reps; rep++ {
+				r, err := run(*seed, fig.workload, path, rep)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				s := seriesOf(r, fig.series)
+				if rep == 0 {
+					first = s
+				}
+				sums.Add(s.Mean())
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, fig, path, first); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("\n--- %s ---\n", path)
+			fmt.Printf("mean %s over run: %.4g", fig.unit, sums.Mean())
+			if *reps > 1 {
+				fmt.Printf(" (std across %d reps: %.3g)", *reps, sums.Std())
+			}
+			smax := first.Max()
+			fmt.Printf("; max in rep 0: %.4g %s\n", smax, fig.unit)
+			if !*noSeries {
+				fmt.Printf("# t(s)  %s (%s), every %d windows\n", fig.series, fig.unit, *every)
+				for i, p := range first {
+					if i%*every != 0 {
+						continue
+					}
+					fmt.Printf("%7.2f  %.5g\n", p.T.Seconds(), p.V)
+				}
+			}
+		}
+		if fig.id == 4 {
+			printBearerEvents()
+		}
+	}
+
+	printChecks(*seed)
+}
+
+// writeCSV emits one figure curve as "t_seconds,value" rows.
+func writeCSV(dir string, fig figure, path testbed.Path, s stats.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	kind := "umts"
+	if path == testbed.PathEthernet {
+		kind = "eth"
+	}
+	name := filepath.Join(dir, fmt.Sprintf("fig%d-%s.csv", fig.id, kind))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# Figure %d: %s (%s), unit %s\n", fig.id, fig.title, path, fig.unit)
+	fmt.Fprintf(f, "t_seconds,%s\n", fig.series)
+	for _, p := range s {
+		fmt.Fprintf(f, "%.3f,%.6g\n", p.T.Seconds(), p.V)
+	}
+	return nil
+}
+
+func printBearerEvents() {
+	if r, ok := cache[cellKey{testbed.WorkloadCBR1M, testbed.PathUMTS, 0}]; ok {
+		fmt.Println("\nbearer events (UMTS path, rep 0):")
+		for _, e := range r.BearerEvents {
+			fmt.Println("  " + e)
+		}
+	}
+}
+
+// printChecks evaluates the §3.2 narrative claims ("shape criteria").
+func printChecks(seed int64) {
+	fmt.Printf("\n================ Shape checks vs the paper ================\n")
+	voipU, err := run(seed, testbed.WorkloadVoIP, testbed.PathUMTS, 0)
+	if err != nil {
+		return
+	}
+	voipE, err := run(seed, testbed.WorkloadVoIP, testbed.PathEthernet, 0)
+	if err != nil {
+		return
+	}
+	cbrU, err := run(seed, testbed.WorkloadCBR1M, testbed.PathUMTS, 0)
+	if err != nil {
+		return
+	}
+	cbrE, err := run(seed, testbed.WorkloadCBR1M, testbed.PathEthernet, 0)
+	if err != nil {
+		return
+	}
+
+	check := func(name string, ok bool, detail string) {
+		mark := "PASS"
+		if !ok {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %-58s %s\n", mark, name, detail)
+	}
+
+	du, de := voipU.Decoded, voipE.Decoded
+	check("VoIP: both paths deliver the required 72 kbps on average",
+		du.AvgBitrateKbps > 64 && de.AvgBitrateKbps > 64,
+		fmt.Sprintf("umts=%.1f eth=%.1f kbps", du.AvgBitrateKbps, de.AvgBitrateKbps))
+	check("VoIP: zero packet loss on both paths",
+		du.Lost == 0 && de.Lost == 0,
+		fmt.Sprintf("umts=%d eth=%d lost", du.Lost, de.Lost))
+	check("VoIP: UMTS jitter higher and more fluctuating than Ethernet",
+		du.AvgJitter > de.AvgJitter && du.MaxJitter > de.MaxJitter,
+		fmt.Sprintf("umts avg=%.2fms max=%.1fms, eth avg=%.3fms max=%.2fms",
+			ms(du.AvgJitter), ms(du.MaxJitter), ms(de.AvgJitter), ms(de.MaxJitter)))
+	uBR := voipU.Decoded.BitrateSeries().Summarize()
+	eBR := voipE.Decoded.BitrateSeries().Summarize()
+	check("VoIP: UMTS bitrate more fluctuating than Ethernet (std of windows)",
+		uBR.Std() > 2*eBR.Std(),
+		fmt.Sprintf("std umts=%.2f eth=%.2f kbps", uBR.Std(), eBR.Std()))
+	uRTT := voipU.Decoded.RTTSeries().Summarize()
+	eRTT := voipE.Decoded.RTTSeries().Summarize()
+	check("VoIP: UMTS RTT more fluctuating than Ethernet (std of windows)",
+		uRTT.Std() > 5*eRTT.Std(),
+		fmt.Sprintf("std umts=%.1fms eth=%.3fms", uRTT.Std()*1000, eRTT.Std()*1000))
+	check("VoIP: UMTS RTT higher, fluctuating up to ~700 ms",
+		du.AvgRTT > de.AvgRTT && du.MaxRTT > 400*time.Millisecond && du.MaxRTT < time.Second,
+		fmt.Sprintf("umts avg=%.0fms max=%.0fms, eth avg=%.0fms", ms(du.AvgRTT), ms(du.MaxRTT), ms(de.AvgRTT)))
+
+	cu, ce := cbrU.Decoded, cbrE.Decoded
+	br := cu.BitrateSeries()
+	early := br.Before(45 * time.Second).Mean()
+	late := br.After(55 * time.Second).Mean()
+	check("CBR: UMTS uplink saturates around 400 kbps (max capacity)",
+		late > 350 && late < 430,
+		fmt.Sprintf("late-phase bitrate %.1f kbps", late))
+	check("CBR: first ~50 s at ~150 kbps, then more than doubled",
+		early > 130 && early < 175 && late > 2*early,
+		fmt.Sprintf("%.1f -> %.1f kbps", early, late))
+	check("CBR: UMTS jitter exceeds 200 ms under saturation",
+		cu.MaxJitter > 200*time.Millisecond,
+		fmt.Sprintf("max jitter %.0f ms", ms(cu.MaxJitter)))
+	check("CBR: UMTS RTT as large as ~3 s",
+		cu.MaxRTT > 2*time.Second && cu.MaxRTT < 4500*time.Millisecond,
+		fmt.Sprintf("max RTT %.2f s", cu.MaxRTT.Seconds()))
+	check("CBR: heavy loss on UMTS, none on Ethernet",
+		cu.Lost > cu.Sent/2 && ce.Lost == 0,
+		fmt.Sprintf("umts %d/%d lost, eth %d lost", cu.Lost, cu.Sent, ce.Lost))
+	check("Ethernet carries the full 1 Mbps cleanly",
+		ce.AvgBitrateKbps > 950,
+		fmt.Sprintf("%.1f kbps", ce.AvgBitrateKbps))
+	check("Ethernet beats UMTS on every QoS metric (both workloads)",
+		du.AvgRTT > de.AvgRTT && du.AvgJitter > de.AvgJitter &&
+			cu.AvgRTT > ce.AvgRTT && cu.AvgJitter > ce.AvgJitter && cu.Lost > ce.Lost,
+		"")
+
+	upgraded := false
+	for _, e := range cbrU.BearerEvents {
+		if strings.Contains(e, "upgraded") {
+			upgraded = true
+		}
+	}
+	check("CBR: network-side adaptation event observed (~50 s)", upgraded,
+		strings.Join(cbrU.BearerEvents, "; "))
+}
+
+func ms(d time.Duration) float64 { return d.Seconds() * 1000 }

@@ -1,0 +1,119 @@
+// Command plnode boots the simulated PlanetLab node of the testbed and
+// prints its inventory: interfaces, loaded kernel modules, slices, vsys
+// scripts, and the modem's identification — the operator's view after
+// provisioning a UMTS-equipped node (§2.3).
+//
+// Usage:
+//
+//	plnode [-card globetrotter|huawei] [-operator commercial|microcell] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/testbed"
+	"github.com/onelab/umtslab/internal/umts"
+)
+
+func main() {
+	card := flag.String("card", "globetrotter", "datacard: globetrotter or huawei")
+	operator := flag.String("operator", "commercial", "UMTS network: commercial or microcell")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var cardProfile modem.CardProfile
+	switch *card {
+	case "globetrotter":
+		cardProfile = modem.Globetrotter
+	case "huawei":
+		cardProfile = modem.HuaweiE620
+	default:
+		fmt.Fprintf(os.Stderr, "plnode: unknown card %q\n", *card)
+		os.Exit(2)
+	}
+	var opCfg umts.Config
+	switch *operator {
+	case "commercial":
+		opCfg = umts.Commercial()
+	case "microcell":
+		opCfg = umts.Microcell()
+	default:
+		fmt.Fprintf(os.Stderr, "plnode: unknown operator %q\n", *operator)
+		os.Exit(2)
+	}
+
+	tb, err := testbed.New(testbed.Options{Seed: *seed, Card: &cardProfile, Operator: &opCfg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plnode: %v\n", err)
+		os.Exit(1)
+	}
+	// A couple of representative slices, with UMTS granted to one.
+	if _, _, err := tb.NewUMTSSlice("unina_umts"); err != nil {
+		fmt.Fprintf(os.Stderr, "plnode: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := tb.NapoliHost.CreateSlice("princeton_codeen"); err != nil {
+		fmt.Fprintf(os.Stderr, "plnode: %v\n", err)
+		os.Exit(1)
+	}
+	tb.Loop.RunUntil(5e9) // let registration settle (5 s)
+
+	fmt.Printf("PlanetLab node %s (simulated)\n\n", tb.Napoli.Name)
+
+	fmt.Println("interfaces:")
+	for _, ifc := range tb.Napoli.Ifaces() {
+		fmt.Printf("  %-6s %-16s mtu %d\n", ifc.Name, ifc.Addr, ifc.MTU)
+	}
+
+	fmt.Println("\nkernel modules (lsmod):")
+	for _, m := range tb.Kmods.Loaded() {
+		fmt.Printf("  %s\n", m)
+	}
+
+	fmt.Println("\nslices:")
+	for _, s := range tb.NapoliHost.Slices() {
+		slice := tb.NapoliHost.Slice(s)
+		scripts := tb.Vsys.Scripts(s)
+		fmt.Printf("  %-20s ctx %-6d vsys: %v\n", s, slice.Ctx, scripts)
+	}
+
+	fmt.Printf("\ndatacard: %s %s (driver %s, tty %s)\n",
+		cardProfile.Manufacturer, cardProfile.Model, cardProfile.Driver, cardProfile.TTYName)
+	st, op := tb.Terminal.Registration()
+	fmt.Printf("radio: +CREG 0,%d operator %q +CSQ %d\n", int(st), op, tb.Terminal.SignalQuality())
+
+	fmt.Println("\nrouting:")
+	fmt.Print(indent(tb.NapoliRouter.Dump()))
+	fmt.Println("netfilter:")
+	d := tb.NapoliFilter.Dump()
+	if d == "" {
+		d = "(no rules installed; run `umts start` from the slice)\n"
+	}
+	fmt.Print(indent(d))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,122 @@
+// Command umts emulates a PlanetLab user's session with the paper's
+// `umts` front-end command (§2.2/§2.3). It boots the simulated node,
+// creates a slice with vsys access, and executes the given command
+// sequence through the FIFO-pipe protocol, printing each command's
+// output.
+//
+// Commands are separated by "--":
+//
+//	umts status -- start -- add 138.96.1.2 -- status -- stop
+//
+// Flags select the card, operator and slice name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/testbed"
+	"github.com/onelab/umtslab/internal/umts"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+func main() {
+	card := flag.String("card", "globetrotter", "datacard: globetrotter or huawei")
+	operator := flag.String("operator", "commercial", "UMTS network: commercial or microcell")
+	sliceName := flag.String("slice", "unina_umts", "slice issuing the commands")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "trace chat/PPP progress")
+	flag.Parse()
+
+	cmds := splitCommands(flag.Args())
+	if len(cmds) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: umts [flags] <command> [args] [-- <command> ...]")
+		fmt.Fprintln(os.Stderr, "commands: start | stop | status | add <dst> | del <dst>")
+		os.Exit(2)
+	}
+
+	var cardProfile modem.CardProfile
+	switch *card {
+	case "globetrotter":
+		cardProfile = modem.Globetrotter
+	case "huawei":
+		cardProfile = modem.HuaweiE620
+	default:
+		fatalf("unknown card %q", *card)
+	}
+	var opCfg umts.Config
+	switch *operator {
+	case "commercial":
+		opCfg = umts.Commercial()
+	case "microcell":
+		opCfg = umts.Microcell()
+	default:
+		fatalf("unknown operator %q", *operator)
+	}
+
+	opts := testbed.Options{Seed: *seed, Card: &cardProfile, Operator: &opCfg}
+	var tb *testbed.Testbed
+	if *verbose {
+		// Trace lines are stamped with virtual time once the loop exists.
+		opts.Trace = func(format string, args ...any) {
+			now := 0.0
+			if tb != nil {
+				now = tb.Loop.Now().Seconds()
+			}
+			fmt.Printf("  [%8.3fs] %s\n", now, fmt.Sprintf(format, args...))
+		}
+	}
+	var err error
+	tb, err = testbed.New(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	_, fe, err := tb.NewUMTSSlice(*sliceName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	for _, cmd := range cmds {
+		fmt.Printf("$ umts %s\n", strings.Join(cmd, " "))
+		res, err := tb.Invoke(func(cb func(vsys.Result)) error {
+			return fe.Invoke(cmd, cb)
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, l := range res.Output {
+			fmt.Println("  " + l)
+		}
+		for _, l := range res.Errs {
+			fmt.Println("  ! " + l)
+		}
+		fmt.Printf("  (exit %d, t=%.3fs)\n", res.Code, tb.Loop.Now().Seconds())
+	}
+}
+
+func splitCommands(args []string) [][]string {
+	var cmds [][]string
+	var cur []string
+	for _, a := range args {
+		if a == "--" {
+			if len(cur) > 0 {
+				cmds = append(cmds, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, a)
+	}
+	if len(cur) > 0 {
+		cmds = append(cmds, cur)
+	}
+	return cmds
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "umts: "+format+"\n", args...)
+	os.Exit(1)
+}

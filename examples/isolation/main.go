@@ -1,0 +1,91 @@
+// isolation demonstrates the usage model of §2.2 and the enforcement
+// machinery of §2.3: only one slice at a time controls the UMTS
+// interface, and no other slice's traffic can leave through it — not by
+// targeting the registered destination, not by aiming at the PPP peer,
+// and not by spoofing the UMTS source address.
+//
+//	go run ./examples/isolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/testbed"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+func main() {
+	tb, err := testbed.New(testbed.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, feA, err := tb.NewUMTSSlice("slice_a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, feB, err := tb.NewUMTSSlice("slice_b")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slice_a: umts start")
+	if _, err := tb.StartUMTS(feA); err != nil {
+		log.Fatal(err)
+	}
+	tb.Invoke(func(cb func(vsys.Result)) error {
+		return feA.AddDest(testbed.InriaEthAddr.String(), cb)
+	})
+	fmt.Println("  connected; destination registered")
+
+	fmt.Println("\nslice_b: umts start (while slice_a holds the lock)")
+	r, _ := tb.Invoke(feB.Start)
+	fmt.Printf("  exit %d: %v\n", r.Code, r.Errs)
+
+	// slice_c is not even in the vsys ACL.
+	sliceC, _ := tb.NapoliHost.CreateSlice("slice_c")
+	fmt.Println("\nslice_c: opening the umts script without authorization")
+	if _, err := tb.Vsys.Open(sliceC, "umts"); err != nil {
+		fmt.Printf("  refused: %v\n", err)
+	}
+
+	// Now the §2.3 "special cases": slice_c tries to push packets out of
+	// the UMTS interface anyway.
+	ppp0 := tb.Napoli.Iface("ppp0")
+	before := ppp0.TxPackets
+	drops := tb.NapoliFilter.DroppedTotal
+	attempts := []struct {
+		what string
+		pkt  *netsim.Packet
+	}{
+		{"to the registered destination", &netsim.Packet{
+			Dst: testbed.InriaEthAddr, Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 9}},
+		{"to the PPP peer (the other endpoint of the connection)", &netsim.Packet{
+			Dst: ppp0.Peer, Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 9}},
+		{"spoofing the UMTS source address", &netsim.Packet{
+			Src: ppp0.Addr, Dst: testbed.InriaEthAddr, Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 9}},
+	}
+	fmt.Println("\nslice_c: trying to use the UMTS link anyway")
+	for _, a := range attempts {
+		sliceC.Send(a.pkt)
+		tb.Loop.RunUntil(tb.Loop.Now() + time.Second)
+		fmt.Printf("  %-55s ppp0 tx +%d, filter drops +%d\n",
+			a.what, ppp0.TxPackets-before, tb.NapoliFilter.DroppedTotal-drops)
+	}
+	if ppp0.TxPackets != before {
+		log.Fatal("ISOLATION VIOLATED: foreign traffic left via ppp0")
+	}
+	fmt.Println("\nno foreign packet left via ppp0; the POSTROUTING DROP rule and the")
+	fmt.Println("fwmark routing keep the UMTS link exclusive to slice_a.")
+
+	fmt.Println("\nslice_a: umts stop, then slice_b can start")
+	if r, err := tb.Invoke(feA.Stop); err != nil || !r.Ok() {
+		log.Fatalf("stop: %v %v", err, r.Errs)
+	}
+	if _, err := tb.StartUMTS(feB); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  slice_b connected after the lock was released")
+}

@@ -1,0 +1,83 @@
+// saturation reproduces the paper's §3.2.2 experiment (Figures 4-7): a
+// 1 Mbps UDP CBR flow (1024 B x 122 pps) that saturates the UMTS uplink,
+// showing the two-phase rate profile — ~150 kbps for the first ~50 s,
+// then the operator's on-demand adaptation more than doubles it to
+// ~400 kbps — plus heavy loss, jitter beyond 200 ms, and RTTs up to ~3 s.
+//
+//	go run ./examples/saturation [-dur 120s] [-seed 1] [-noadapt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/testbed"
+	"github.com/onelab/umtslab/internal/umts"
+)
+
+func main() {
+	dur := flag.Duration("dur", 120*time.Second, "flow duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	noAdapt := flag.Bool("noadapt", false, "disable the operator's rate adaptation (ablation)")
+	flag.Parse()
+
+	opCfg := umts.Commercial()
+	if *noAdapt {
+		opCfg.Adaptation.Enabled = false
+		fmt.Println("(rate adaptation disabled: expect a flat ~150 kbps profile)")
+	}
+	tb, err := testbed.New(testbed.Options{Seed: *seed, Operator: &opCfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tb.RunExperiment(testbed.ExperimentSpec{
+		Path: testbed.PathUMTS, Workload: testbed.WorkloadCBR1M, Duration: *dur,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := res.Decoded
+
+	fmt.Printf("1 Mbps CBR over UMTS for %v\n\n", *dur)
+	fmt.Print(d.Summary())
+
+	fmt.Println("\nbearer events:")
+	for _, e := range res.BearerEvents {
+		fmt.Println("  " + e)
+	}
+
+	br := d.BitrateSeries()
+	early := br.Before(45 * time.Second).Mean()
+	late := br.After(55 * time.Second).Mean()
+	fmt.Printf("\ntwo-phase profile: %.1f kbps (t<45s) -> %.1f kbps (t>55s)\n", early, late)
+
+	// ASCII rendition of Figure 4: bitrate vs time.
+	fmt.Println("\nbitrate vs time (2-second buckets, '#' = 25 kbps):")
+	for t := time.Duration(0); t < *dur; t += 2 * time.Second {
+		sum, n := 0.0, 0
+		for _, p := range br {
+			if p.T >= t && p.T < t+2*time.Second {
+				sum += p.V
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		avg := sum / float64(n)
+		fmt.Printf("  %4.0fs %6.0f kbps %s\n", t.Seconds(), avg, strings.Repeat("#", int(avg/25)))
+	}
+
+	// Loss profile (Figure 6) before and after the knee.
+	loss := d.LossSeries()
+	fmt.Printf("\nloss: %.1f pkt/window before the knee, %.1f after (arrival rate 24.4 pkt/window)\n",
+		loss.Before(45*time.Second).Mean(), loss.After(55*time.Second).Mean())
+
+	// RTT profile (Figure 7).
+	rtt := d.RTTSeries()
+	fmt.Printf("rtt:  %.2f s mean before the knee, %.2f s after; max %.2f s\n",
+		rtt.Before(45*time.Second).Mean(), rtt.After(55*time.Second).Mean(), rtt.Max())
+}

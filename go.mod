@@ -1,0 +1,3 @@
+module github.com/onelab/umtslab
+
+go 1.22

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/iproute"
+	"github.com/onelab/umtslab/internal/kmod"
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/netfilter"
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/ppp"
+	"github.com/onelab/umtslab/internal/serial"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/umts"
+	"github.com/onelab/umtslab/internal/vserver"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+// rigOperator holds the operator of the last newManagerRig call so tests
+// can drive network-side events.
+var rigOperator *umts.Operator
+
+func opDropAll(t *testing.T, m *Manager) {
+	t.Helper()
+	rigOperator.DropAllSessions("test-induced outage")
+}
+
+// newManagerRig assembles a minimal node + operator for backend tests
+// (the full end-to-end behaviour is covered in internal/testbed).
+func newManagerRig(t *testing.T) (*sim.Loop, *Manager, *vsys.Manager, *vserver.Host) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	nw := netsim.NewNetwork(loop)
+	node := nw.AddNode("pl")
+	node.AddIface("eth0", netsim.MustAddr("160.80.1.2"), netip.Prefix{})
+	host := vserver.NewHost(node)
+	router := iproute.New(node)
+	filter := netfilter.New(node)
+	km := kmod.NewRegistry()
+	kmod.RegisterPPPFamily(km)
+	km.Register(&kmod.Module{Name: "nozomi"})
+	vm := vsys.NewManager(loop, host)
+
+	opCfg := umts.Commercial()
+	op := umts.NewOperator(loop, nw, opCfg)
+	rigOperator = op
+	term := op.NewTerminal("imsi")
+	line := serial.NewLine(loop, "tty", modem.Globetrotter.LineRate)
+	mdm := modem.New(loop, modem.Globetrotter, line, term, "")
+	term.OnCarrierLost = mdm.CarrierLost
+
+	mgr, err := NewManager(Config{
+		Loop: loop, Host: host, Router: router, Filter: filter, Kmods: km, Vsys: vm,
+		Card: modem.Globetrotter, Line: line, Radio: term,
+		APN: opCfg.APN, Creds: ppp.Credentials{User: "web", Password: "web"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, mgr, vm, host
+}
+
+func TestNewManagerLoadsModules(t *testing.T) {
+	loop := sim.NewLoop(1)
+	node := netsim.NewNode(loop, "pl")
+	host := vserver.NewHost(node)
+	km := kmod.NewRegistry()
+	kmod.RegisterPPPFamily(km)
+	km.Register(&kmod.Module{Name: "nozomi"})
+	vm := vsys.NewManager(loop, host)
+	line := serial.NewLine(loop, "tty", 4e6)
+	_, err := NewManager(Config{
+		Loop: loop, Host: host, Router: iproute.New(node), Filter: netfilter.New(node),
+		Kmods: km, Vsys: vm, Card: modem.Globetrotter, Line: line,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"ppp_generic", "ppp_async", "ppp_deflate", "nozomi"} {
+		if !km.IsLoaded(m) {
+			t.Fatalf("module %s not loaded", m)
+		}
+	}
+}
+
+func TestNewManagerMissingDriver(t *testing.T) {
+	loop := sim.NewLoop(1)
+	node := netsim.NewNode(loop, "pl")
+	host := vserver.NewHost(node)
+	km := kmod.NewRegistry()
+	kmod.RegisterPPPFamily(km) // no nozomi registered
+	vm := vsys.NewManager(loop, host)
+	line := serial.NewLine(loop, "tty", 4e6)
+	_, err := NewManager(Config{
+		Loop: loop, Host: host, Router: iproute.New(node), Filter: netfilter.New(node),
+		Kmods: km, Vsys: vm, Card: modem.Globetrotter, Line: line,
+	})
+	if err == nil {
+		t.Fatal("missing card driver should fail manager construction")
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	loop, mgr, vm, host := newManagerRig(t)
+	mgr.Allow("s1")
+	slice, _ := host.CreateSlice("s1")
+	fe, err := OpenFrontend(vm, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke := func(args []string) vsys.Result {
+		var res vsys.Result
+		got := false
+		fe.Invoke(args, func(r vsys.Result) { res = r; got = true })
+		loop.RunWhile(func() bool { return !got })
+		return res
+	}
+
+	if r := invoke(nil); r.Ok() {
+		t.Fatal("empty command should fail")
+	}
+	if r := invoke([]string{"bogus"}); r.Ok() {
+		t.Fatal("unknown command should fail")
+	}
+	if r := invoke([]string{"add"}); r.Ok() {
+		t.Fatal("add without argument should fail")
+	}
+	if r := invoke([]string{"add", "not-an-address"}); r.Ok() {
+		t.Fatal("bad destination should fail")
+	}
+	if r := invoke([]string{"del", "10.0.0.1"}); r.Ok() {
+		t.Fatal("del of unregistered destination should fail")
+	}
+	if r := invoke([]string{"stop"}); r.Ok() {
+		t.Fatal("stop when not started should fail")
+	}
+	// Destinations may be staged before start.
+	if r := invoke([]string{"add", "138.96.1.2"}); !r.Ok() {
+		t.Fatalf("staged add failed: %v", r.Errs)
+	}
+	if r := invoke([]string{"add", "192.0.2.0/24"}); !r.Ok() {
+		t.Fatalf("prefix add failed: %v", r.Errs)
+	}
+	dests := mgr.Destinations()
+	if len(dests) != 2 {
+		t.Fatalf("destinations = %v", dests)
+	}
+	// Status while down.
+	if r := invoke([]string{"status"}); !r.Ok() {
+		t.Fatal("status should always succeed")
+	} else {
+		st := ParseStatus(r)
+		if st.State != StateDown || st.LockedBy != "" {
+			t.Fatalf("status = %+v", st)
+		}
+		if len(st.Destinations) != 2 {
+			t.Fatalf("status destinations = %v", st.Destinations)
+		}
+	}
+}
+
+func TestParseDest(t *testing.T) {
+	good := map[string]string{
+		"138.96.1.2":    "138.96.1.2/32",
+		"192.0.2.0/24":  "192.0.2.0/24",
+		"192.0.2.55/24": "192.0.2.0/24", // masked
+	}
+	for in, want := range good {
+		p, err := parseDest(in)
+		if err != nil || p.String() != want {
+			t.Errorf("parseDest(%q) = %v, %v; want %s", in, p, err, want)
+		}
+	}
+	for _, bad := range []string{"", "nonsense", "300.0.0.1", "1.2.3.4/99"} {
+		if _, err := parseDest(bad); err == nil {
+			t.Errorf("parseDest(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	r := vsys.Result{Output: []string{
+		"locked_by unina_umts",
+		"state up",
+		"iface ppp0",
+		"addr 10.133.7.2",
+		"peer 10.133.0.1",
+		"dest 138.96.1.2/32",
+		"dest 192.0.2.0/24",
+		"last_error connection lost: carrier lost",
+	}}
+	st := ParseStatus(r)
+	if st.LockedBy != "unina_umts" || st.State != StateUp || st.Iface != "ppp0" {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Addr != netip.MustParseAddr("10.133.7.2") || st.Peer != netip.MustParseAddr("10.133.0.1") {
+		t.Fatalf("addrs = %v %v", st.Addr, st.Peer)
+	}
+	if len(st.Destinations) != 2 {
+		t.Fatalf("dests = %v", st.Destinations)
+	}
+	if st.LastError != "connection lost: carrier lost" {
+		t.Fatalf("last_error = %q", st.LastError)
+	}
+	// Unlocked form.
+	st = ParseStatus(vsys.Result{Output: []string{"locked_by -", "state down"}})
+	if st.LockedBy != "" || st.State != StateDown {
+		t.Fatalf("unlocked status = %+v", st)
+	}
+}
+
+func TestManagerStateAccessors(t *testing.T) {
+	_, mgr, _, _ := newManagerRig(t)
+	if mgr.State() != StateDown || mgr.LockedBy() != "" || mgr.Connection() != nil {
+		t.Fatal("fresh manager should be down/unlocked")
+	}
+}
+
+// TestStartInstallsAndStopRemovesRules drives the full §2.3 cycle through
+// the backend directly (the testbed package covers it end-to-end; this
+// exercises the manager in isolation).
+func TestStartInstallsAndStopRemovesRules(t *testing.T) {
+	loop, mgr, vm, host := newManagerRig(t)
+	mgr.Allow("s1")
+	slice, _ := host.CreateSlice("s1")
+	fe, err := OpenFrontend(vm, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke := func(args []string) vsys.Result {
+		var res vsys.Result
+		got := false
+		fe.Invoke(args, func(r vsys.Result) { res = r; got = true })
+		loop.RunWhile(func() bool { return !got })
+		return res
+	}
+
+	if r := invoke([]string{"add", "138.96.1.2"}); !r.Ok() {
+		t.Fatalf("staged add: %v", r.Errs)
+	}
+	r := invoke([]string{"start"})
+	if !r.Ok() {
+		t.Fatalf("start: %v", r.Errs)
+	}
+	if mgr.State() != StateUp || mgr.LockedBy() != "s1" {
+		t.Fatalf("state=%v lock=%q", mgr.State(), mgr.LockedBy())
+	}
+	node := host.Node()
+	if node.Iface("ppp0") == nil {
+		t.Fatal("ppp0 missing")
+	}
+	// Rules present: umts table with a default, rules pointing at it,
+	// mangle + filter entries tagged with the slice.
+	router := mgr.cfg.Router
+	foundTable := false
+	for _, tn := range router.Tables() {
+		if tn == TableUMTS {
+			foundTable = true
+		}
+	}
+	if !foundTable {
+		t.Fatal("umts table missing")
+	}
+	rules := 0
+	for _, rule := range router.Rules() {
+		if rule.Table == TableUMTS {
+			rules++
+		}
+	}
+	if rules != 2 { // from-UMTS-addr + one destination
+		t.Fatalf("umts rules = %d, want 2", rules)
+	}
+	if len(mgr.cfg.Filter.Rules(netfilter.TableMangle, netfilter.ChainOutput)) != 1 {
+		t.Fatal("mangle MARK rule missing")
+	}
+	if len(mgr.cfg.Filter.Rules(netfilter.TableFilter, netfilter.ChainPostRouting)) != 2 {
+		t.Fatal("filter accept+drop rules missing")
+	}
+
+	// Status carries the radio line.
+	sr := invoke([]string{"status"})
+	hasRadio := false
+	for _, l := range sr.Output {
+		if len(l) > 5 && l[:5] == "radio" {
+			hasRadio = true
+		}
+	}
+	if !hasRadio {
+		t.Fatalf("status lacks radio line: %v", sr.Output)
+	}
+
+	// Second start from the same slice reports already-connected.
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("idempotent start: %v", r.Errs)
+	}
+
+	if r := invoke([]string{"stop"}); !r.Ok() {
+		t.Fatalf("stop: %v", r.Errs)
+	}
+	if mgr.State() != StateDown || mgr.LockedBy() != "" {
+		t.Fatal("not unlocked after stop")
+	}
+	if node.Iface("ppp0") != nil {
+		t.Fatal("ppp0 survived stop")
+	}
+	for _, rule := range router.Rules() {
+		if rule.Table == TableUMTS {
+			t.Fatal("umts rule survived stop")
+		}
+	}
+	if len(mgr.cfg.Filter.Rules(netfilter.TableFilter, netfilter.ChainPostRouting)) != 0 {
+		t.Fatal("filter rules survived stop")
+	}
+	// Destinations survive for the next run (staged set).
+	if len(mgr.Destinations()) != 1 {
+		t.Fatal("staged destinations lost on stop")
+	}
+}
+
+// TestConnectionLostCleansUp simulates carrier loss mid-session: rules
+// are removed, the lock released, and status reports the reason.
+func TestConnectionLostCleansUp(t *testing.T) {
+	loop, mgr, vm, host := newManagerRig(t)
+	mgr.Allow("s1")
+	slice, _ := host.CreateSlice("s1")
+	fe, _ := OpenFrontend(vm, slice)
+	invoke := func(args []string) vsys.Result {
+		var res vsys.Result
+		got := false
+		fe.Invoke(args, func(r vsys.Result) { res = r; got = true })
+		loop.RunWhile(func() bool { return !got })
+		return res
+	}
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("start: %v", r.Errs)
+	}
+	// Drop the session from the operator side.
+	mgr.Connection() // non-nil
+	opDropAll(t, mgr)
+	loop.RunUntil(loop.Now() + 2*time.Minute)
+	if mgr.State() != StateDown || mgr.LockedBy() != "" {
+		t.Fatalf("state=%v lock=%q after carrier loss", mgr.State(), mgr.LockedBy())
+	}
+	st := ParseStatus(invoke([]string{"status"}))
+	if st.LastError == "" {
+		t.Fatal("status should report the lost connection")
+	}
+	// A fresh start works again.
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("restart after loss: %v", r.Errs)
+	}
+}

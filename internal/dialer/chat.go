@@ -1,0 +1,135 @@
+// Package dialer reimplements the user-space dial-up tools the paper uses
+// (§2.3): comgt, which registers the card on the operator network, and
+// wvdial, which chats the modem into data mode and hands the line to the
+// PPP client. It also provides the pppd glue that materializes the ppp0
+// network interface on the PlanetLab node once IPCP converges.
+package dialer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/serial"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Errors returned by the chat engine and dialer.
+var (
+	ErrChatTimeout    = errors.New("dialer: timed out waiting for modem response")
+	ErrChatAbort      = errors.New("dialer: modem reported failure")
+	ErrNoSIM          = errors.New("dialer: SIM requires a PIN and none was configured")
+	ErrBadPIN         = errors.New("dialer: SIM rejected the PIN")
+	ErrNoRegistration = errors.New("dialer: network registration failed")
+	ErrBusy           = errors.New("dialer: operation already in progress")
+)
+
+// chat is an expect/send engine over a serial port, the core of both the
+// comgt and wvdial analogs. One step is in flight at a time; incoming
+// bytes accumulate until an expected or abort token appears.
+type chat struct {
+	loop *sim.Loop
+	port serial.Port
+	buf  strings.Builder
+
+	waiting  bool
+	expect   []string
+	abort    []string
+	timer    *sim.Timer
+	callback func(matched string, err error)
+	trace    func(format string, args ...any)
+}
+
+func newChat(loop *sim.Loop, port serial.Port, trace func(string, ...any)) *chat {
+	c := &chat{loop: loop, port: port, trace: trace}
+	port.SetReceiver(c.feed)
+	return c
+}
+
+func (c *chat) tracef(format string, args ...any) {
+	if c.trace != nil {
+		c.trace(format, args...)
+	}
+}
+
+func (c *chat) feed(p []byte) {
+	c.buf.Write(p)
+	if c.waiting {
+		c.check()
+	}
+}
+
+// send writes a command (with CR) without expecting a response.
+func (c *chat) send(cmd string) {
+	c.tracef("chat >> %s", cmd)
+	c.port.Write([]byte(cmd + "\r"))
+}
+
+// sendExpect writes a command and waits for one of expect (success) or
+// abort (failure) tokens, with a timeout. cb receives the matched token.
+func (c *chat) sendExpect(cmd string, expect, abort []string, timeout time.Duration, cb func(string, error)) {
+	if c.waiting {
+		cb("", ErrBusy)
+		return
+	}
+	c.buf.Reset()
+	c.expect = expect
+	c.abort = abort
+	c.callback = cb
+	c.waiting = true
+	c.timer = c.loop.After(timeout, func() {
+		if !c.waiting {
+			return
+		}
+		c.finish("", fmt.Errorf("%w: %q (saw %q)", ErrChatTimeout, cmd, c.tail()))
+	})
+	if cmd != "" {
+		c.send(cmd)
+	} else {
+		c.check()
+	}
+}
+
+func (c *chat) tail() string {
+	s := c.buf.String()
+	if len(s) > 80 {
+		s = "..." + s[len(s)-80:]
+	}
+	return s
+}
+
+func (c *chat) check() {
+	s := c.buf.String()
+	for _, a := range c.abort {
+		if strings.Contains(s, a) {
+			c.finish("", fmt.Errorf("%w: %q", ErrChatAbort, a))
+			return
+		}
+	}
+	for _, e := range c.expect {
+		if strings.Contains(s, e) {
+			c.finish(e, nil)
+			return
+		}
+	}
+}
+
+func (c *chat) finish(matched string, err error) {
+	c.waiting = false
+	if c.timer != nil {
+		c.timer.Cancel()
+	}
+	cb := c.callback
+	c.callback = nil
+	if err == nil {
+		c.tracef("chat << matched %q", matched)
+	} else {
+		c.tracef("chat << %v", err)
+	}
+	cb(matched, err)
+}
+
+// output returns everything received during the last exchange; used to
+// scrape values out of query responses (+CREG, +COPS).
+func (c *chat) output() string { return c.buf.String() }

@@ -1,0 +1,324 @@
+package iproute
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+func newTestRouter(t *testing.T) (*netsim.Node, *Router) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	n := netsim.NewNode(loop, "host")
+	n.AddIface("eth0", netsim.MustAddr("10.0.0.1"), netsim.MustPrefix("10.0.0.0/24"))
+	n.AddIface("ppp0", netsim.MustAddr("10.133.7.42"), netip.Prefix{})
+	return n, New(n)
+}
+
+func pkt(dst string) *netsim.Packet {
+	return &netsim.Packet{
+		Src: netsim.MustAddr("10.0.0.1"), Dst: netsim.MustAddr(dst),
+		Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 2,
+	}
+}
+
+func TestLPMPrefersLongestPrefix(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddRoute(TableMain, Route{Iface: "eth0"}) // default
+	r.AddRoute(TableMain, Route{Dst: netsim.MustPrefix("192.0.2.0/24"), Iface: "ppp0"})
+	r.AddRoute(TableMain, Route{Dst: netsim.MustPrefix("192.0.2.128/25"), Iface: "eth0"})
+
+	rt, err := r.Lookup(TableMain, netsim.MustAddr("192.0.2.200"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Iface != "eth0" || rt.Dst.Bits() != 25 {
+		t.Fatalf("got %v, want the /25", rt)
+	}
+	rt, _ = r.Lookup(TableMain, netsim.MustAddr("192.0.2.5"))
+	if rt.Iface != "ppp0" {
+		t.Fatalf("got %v, want the /24 via ppp0", rt)
+	}
+	rt, _ = r.Lookup(TableMain, netsim.MustAddr("8.8.8.8"))
+	if rt.Dst.IsValid() {
+		t.Fatalf("got %v, want the default route", rt)
+	}
+}
+
+func TestLookupMetricTieBreak(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddRoute(TableMain, Route{Dst: netsim.MustPrefix("10.1.0.0/16"), Iface: "eth0", Metric: 100})
+	r.AddRoute(TableMain, Route{Dst: netsim.MustPrefix("10.1.0.0/16"), Iface: "ppp0", Metric: 10})
+	rt, err := r.Lookup(TableMain, netsim.MustAddr("10.1.2.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Iface != "ppp0" {
+		t.Fatalf("lower metric should win, got %v", rt)
+	}
+}
+
+func TestLookupEmptyTable(t *testing.T) {
+	_, r := newTestRouter(t)
+	if _, err := r.Lookup(TableMain, netsim.MustAddr("1.2.3.4")); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	if _, err := r.Lookup("nonexistent", netsim.MustAddr("1.2.3.4")); err == nil {
+		t.Fatal("lookup in missing table should fail")
+	}
+}
+
+func TestRulePriorityOrder(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddTable("umts")
+	r.AddRoute("umts", Route{Iface: "ppp0"})
+	r.AddRoute(TableMain, Route{Iface: "eth0"})
+	r.AddRule(Rule{Priority: 100, Fwmark: 5, Table: "umts"})
+
+	p := pkt("8.8.8.8")
+	p.Mark = 5
+	res, err := r.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iface.Name != "ppp0" || res.Table != "umts" {
+		t.Fatalf("marked packet: got %s/%s, want ppp0/umts", res.Iface.Name, res.Table)
+	}
+
+	q := pkt("8.8.8.8")
+	res, err = r.Resolve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iface.Name != "eth0" || res.Table != TableMain {
+		t.Fatalf("unmarked packet: got %s/%s, want eth0/main", res.Iface.Name, res.Table)
+	}
+}
+
+func TestEmptyTableFallsThrough(t *testing.T) {
+	// Kernel semantics: a matching rule whose table has no route for the
+	// destination falls through to the next rule.
+	_, r := newTestRouter(t)
+	r.AddTable("umts") // empty
+	r.AddRule(Rule{Priority: 100, Fwmark: 5, Table: "umts"})
+	r.AddRoute(TableMain, Route{Iface: "eth0"})
+	p := pkt("8.8.8.8")
+	p.Mark = 5
+	res, err := r.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iface.Name != "eth0" {
+		t.Fatalf("should fall through to main, got %s", res.Iface.Name)
+	}
+}
+
+func TestRuleSelectors(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		pkt  *netsim.Packet
+		want bool
+	}{
+		{"fwmark match", Rule{Fwmark: 5}, &netsim.Packet{Mark: 5}, true},
+		{"fwmark mismatch", Rule{Fwmark: 5}, &netsim.Packet{Mark: 6}, false},
+		{"fwmark wildcard", Rule{}, &netsim.Packet{Mark: 6}, true},
+		{"to match", Rule{To: netsim.MustPrefix("192.0.2.0/24")}, pkt("192.0.2.9"), true},
+		{"to mismatch", Rule{To: netsim.MustPrefix("192.0.2.0/24")}, pkt("198.51.100.1"), false},
+		{"from match", Rule{From: netsim.MustPrefix("10.0.0.1/32")}, pkt("1.1.1.1"), true},
+		{"from mismatch", Rule{From: netsim.MustPrefix("10.99.0.0/16")}, pkt("1.1.1.1"), false},
+		{"from with no src", Rule{From: netsim.MustPrefix("10.0.0.0/8")}, &netsim.Packet{Dst: netsim.MustAddr("1.1.1.1")}, false},
+		{"iif match", Rule{IIF: "eth0"}, &netsim.Packet{InIface: "eth0"}, true},
+		{"iif mismatch", Rule{IIF: "eth1"}, &netsim.Packet{InIface: "eth0"}, false},
+		{"combined", Rule{Fwmark: 5, To: netsim.MustPrefix("192.0.2.0/24")},
+			func() *netsim.Packet { p := pkt("192.0.2.1"); p.Mark = 5; return p }(), true},
+	}
+	for _, c := range cases {
+		if got := c.rule.Matches(c.pkt); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAddDelRule(t *testing.T) {
+	_, r := newTestRouter(t)
+	rule := Rule{Priority: 50, Fwmark: 7, Table: "umts"}
+	r.AddRule(rule)
+	if len(r.Rules()) != 2 { // + default rule
+		t.Fatalf("rules = %d, want 2", len(r.Rules()))
+	}
+	if r.Rules()[0] != rule {
+		t.Fatal("rule with lower priority should sort first")
+	}
+	if err := r.DelRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DelRule(rule); err != ErrNoSuchRule {
+		t.Fatalf("err = %v, want ErrNoSuchRule", err)
+	}
+}
+
+func TestDelRulesByTable(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddRule(Rule{Priority: 10, Fwmark: 1, Table: "umts"})
+	r.AddRule(Rule{Priority: 20, Fwmark: 2, Table: "umts"})
+	r.AddRule(Rule{Priority: 30, Fwmark: 3, Table: "other"})
+	if n := r.DelRulesByTable("umts"); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	for _, rule := range r.Rules() {
+		if rule.Table == "umts" {
+			t.Fatal("umts rule survived")
+		}
+	}
+}
+
+func TestAddDelRoute(t *testing.T) {
+	_, r := newTestRouter(t)
+	rt := Route{Dst: netsim.MustPrefix("192.0.2.0/24"), Iface: "eth0"}
+	r.AddRoute("umts", rt)
+	if len(r.Routes("umts")) != 1 {
+		t.Fatal("route not added")
+	}
+	if err := r.DelRoute("umts", rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DelRoute("umts", rt); err != ErrNoSuchRoute {
+		t.Fatalf("err = %v, want ErrNoSuchRoute", err)
+	}
+	if err := r.DelRoute("missing", rt); err == nil {
+		t.Fatal("delete from missing table should fail")
+	}
+}
+
+func TestDelTable(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddTable("umts")
+	if err := r.DelTable("umts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DelTable("umts"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	if err := r.DelTable(TableMain); err == nil {
+		t.Fatal("deleting main should fail")
+	}
+}
+
+func TestInstallConnected(t *testing.T) {
+	n, r := newTestRouter(t)
+	n.Iface("ppp0").Peer = netsim.MustAddr("10.133.0.1")
+	r.InstallConnected()
+	rt, err := r.Lookup(TableMain, netsim.MustAddr("10.0.0.77"))
+	if err != nil || rt.Iface != "eth0" {
+		t.Fatalf("connected /24 lookup: %v %v", rt, err)
+	}
+	rt, err = r.Lookup(TableMain, netsim.MustAddr("10.133.0.1"))
+	if err != nil || rt.Iface != "ppp0" {
+		t.Fatalf("p2p peer lookup: %v %v", rt, err)
+	}
+}
+
+func TestResolveNoRoute(t *testing.T) {
+	_, r := newTestRouter(t)
+	if _, err := r.Resolve(pkt("8.8.8.8")); err != netsim.ErrNoRoute {
+		t.Fatalf("err = %v, want netsim.ErrNoRoute", err)
+	}
+}
+
+func TestResolveSkipsMissingIface(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddRoute(TableMain, Route{Iface: "wlan0"}) // not an iface of the node
+	if _, err := r.Resolve(pkt("8.8.8.8")); err == nil {
+		t.Fatal("route via missing iface should not resolve")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	_, r := newTestRouter(t)
+	r.AddTable("umts")
+	r.AddRoute("umts", Route{Iface: "ppp0"})
+	r.AddRule(Rule{Priority: 100, Fwmark: 5, Table: "umts"})
+	d := r.Dump()
+	for _, want := range []string{"fwmark 0x5", "lookup umts", "default dev ppp0", "32766: from all lookup main"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	rt := Route{Dst: netsim.MustPrefix("192.0.2.0/24"), Iface: "eth0",
+		Gateway: netsim.MustAddr("10.0.0.254"), Src: netsim.MustAddr("10.0.0.1"), Metric: 5}
+	s := rt.String()
+	for _, want := range []string{"192.0.2.0/24", "via 10.0.0.254", "dev eth0", "src 10.0.0.1", "metric 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Route.String missing %q: %s", want, s)
+		}
+	}
+}
+
+// Property: rules are always sorted by priority after any sequence of
+// inserts, and Resolve honors the first matching rule with a usable table.
+func TestPropertyRuleOrdering(t *testing.T) {
+	f := func(prios []uint8) bool {
+		_, r := newTestRouter(t)
+		for _, p := range prios {
+			r.AddRule(Rule{Priority: int(p), Table: TableMain})
+		}
+		rules := r.Rules()
+		for i := 1; i < len(rules); i++ {
+			if rules[i].Priority < rules[i-1].Priority {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LPM never returns a route whose prefix does not contain the
+// destination, and always returns the longest containing prefix present.
+func TestPropertyLPM(t *testing.T) {
+	f := func(octets [4]byte, lens []uint8) bool {
+		_, r := newTestRouter(t)
+		dst := netip.AddrFrom4(octets)
+		longest := -1
+		for _, l := range lens {
+			bits := int(l) % 33
+			p, err := dst.Prefix(bits)
+			if err != nil {
+				return false
+			}
+			r.AddRoute(TableMain, Route{Dst: p, Iface: "eth0"})
+			if bits > longest {
+				longest = bits
+			}
+		}
+		if longest == -1 {
+			_, err := r.Lookup(TableMain, dst)
+			return err == ErrNoRoute
+		}
+		rt, err := r.Lookup(TableMain, dst)
+		if err != nil {
+			return false
+		}
+		got := 0
+		if rt.Dst.IsValid() {
+			got = rt.Dst.Bits()
+		}
+		return got == longest
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

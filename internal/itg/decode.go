@@ -1,0 +1,296 @@
+package itg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/stats"
+)
+
+// WindowStats aggregates one non-overlapping time window — the paper
+// samples every QoS parameter over 200 ms windows (§3.1).
+type WindowStats struct {
+	// Start of the window.
+	T time.Duration
+	// Packets/Bytes received (payload bytes, as D-ITG counts them).
+	Packets int
+	Bytes   int
+	// BitrateKbps is the received payload rate in the window.
+	BitrateKbps float64
+	// Jitter is the mean absolute delay variation between consecutive
+	// arrivals in the window; JitterSamples counts the variations.
+	Jitter        time.Duration
+	JitterSamples int
+	// Delay is the mean one-way delay of arrivals in the window.
+	Delay time.Duration
+	// Loss counts packets sent in the window (by departure time) that
+	// never arrived.
+	Loss int
+	// RTT is the mean round trip time of echoes arriving in the window
+	// (MeterRTT flows); RTTSamples is the echo count.
+	RTT        time.Duration
+	RTTSamples int
+}
+
+// Result is the decoder's output: the ITGDec analog of per-window series
+// plus flow totals.
+type Result struct {
+	Window  time.Duration
+	Windows []WindowStats
+
+	Sent     int
+	Received int
+	Lost     int
+
+	AvgBitrateKbps float64
+	AvgDelay       time.Duration
+	MaxDelay       time.Duration
+	AvgJitter      time.Duration
+	MaxJitter      time.Duration
+	AvgRTT         time.Duration
+	MaxRTT         time.Duration
+}
+
+// Decode correlates a sender log, receiver log, and (optionally) the
+// sender's echo log into windowed QoS series. echo may be nil for
+// MeterOWD flows.
+func Decode(sent, recv, echo *Log, window time.Duration) *Result {
+	if window <= 0 {
+		window = 200 * time.Millisecond
+	}
+	res := &Result{Window: window}
+	if sent == nil {
+		sent = &Log{}
+	}
+	if recv == nil {
+		recv = &Log{}
+	}
+	if echo == nil {
+		echo = &Log{}
+	}
+	res.Sent = sent.Len()
+	res.Received = recv.Len()
+
+	// Horizon: cover every event.
+	var maxT time.Duration
+	for _, r := range sent.Records {
+		if r.TxTime > maxT {
+			maxT = r.TxTime
+		}
+	}
+	for _, r := range recv.Records {
+		if r.RxTime > maxT {
+			maxT = r.RxTime
+		}
+	}
+	for _, r := range echo.Records {
+		if r.RxTime > maxT {
+			maxT = r.RxTime
+		}
+	}
+	nWin := int(maxT/window) + 1
+	if res.Sent == 0 && res.Received == 0 && echo.Len() == 0 {
+		nWin = 0
+	}
+	res.Windows = make([]WindowStats, nWin)
+	for i := range res.Windows {
+		res.Windows[i].T = time.Duration(i) * window
+	}
+	widx := func(t time.Duration) int {
+		i := int(t / window)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nWin {
+			i = nWin - 1
+		}
+		return i
+	}
+
+	// Received packets: bitrate, delay, jitter (arrival order).
+	arrivals := append([]Record(nil), recv.Records...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].RxTime < arrivals[j].RxTime })
+	type acc struct {
+		jitterSum time.Duration
+		jitterN   int
+		delaySum  time.Duration
+	}
+	accs := make([]acc, nWin)
+	var haveLast bool
+	var lastDelay time.Duration
+	var totalDelay time.Duration
+	type flowSeq struct {
+		flow uint32
+		seq  uint32
+	}
+	received := make(map[flowSeq]bool, len(arrivals))
+	for _, r := range arrivals {
+		received[flowSeq{r.FlowID, r.Seq}] = true
+		i := widx(r.RxTime)
+		w := &res.Windows[i]
+		w.Packets++
+		w.Bytes += r.Size
+		delay := r.RxTime - r.TxTime
+		accs[i].delaySum += delay
+		totalDelay += delay
+		if delay > res.MaxDelay {
+			res.MaxDelay = delay
+		}
+		if haveLast {
+			dv := delay - lastDelay
+			if dv < 0 {
+				dv = -dv
+			}
+			accs[i].jitterSum += dv
+			accs[i].jitterN++
+		}
+		lastDelay = delay
+		haveLast = true
+	}
+
+	// Losses, by departure window.
+	for _, r := range sent.Records {
+		if !received[flowSeq{r.FlowID, r.Seq}] {
+			res.Lost++
+			res.Windows[widx(r.TxTime)].Loss++
+		}
+	}
+
+	// RTT from echoes, by echo-arrival window.
+	type rttAcc struct {
+		sum time.Duration
+		n   int
+	}
+	rtts := make([]rttAcc, nWin)
+	var totalRTT time.Duration
+	for _, r := range echo.Records {
+		rtt := r.RxTime - r.TxTime
+		i := widx(r.RxTime)
+		rtts[i].sum += rtt
+		rtts[i].n++
+		totalRTT += rtt
+		if rtt > res.MaxRTT {
+			res.MaxRTT = rtt
+		}
+	}
+
+	// Fold the accumulators into the windows.
+	winSecs := window.Seconds()
+	var jitterSum time.Duration
+	var jitterN int
+	var totalBytes int
+	for i := range res.Windows {
+		w := &res.Windows[i]
+		totalBytes += w.Bytes
+		w.BitrateKbps = float64(w.Bytes) * 8 / winSecs / 1000
+		if w.Packets > 0 {
+			w.Delay = accs[i].delaySum / time.Duration(w.Packets)
+		}
+		if accs[i].jitterN > 0 {
+			w.JitterSamples = accs[i].jitterN
+			w.Jitter = accs[i].jitterSum / time.Duration(accs[i].jitterN)
+			jitterSum += accs[i].jitterSum
+			jitterN += accs[i].jitterN
+			if w.Jitter > res.MaxJitter {
+				res.MaxJitter = w.Jitter
+			}
+		}
+		if rtts[i].n > 0 {
+			w.RTT = rtts[i].sum / time.Duration(rtts[i].n)
+			w.RTTSamples = rtts[i].n
+		}
+	}
+	if nWin > 0 {
+		res.AvgBitrateKbps = float64(totalBytes) * 8 / (float64(nWin) * winSecs) / 1000
+	}
+	if res.Received > 0 {
+		res.AvgDelay = totalDelay / time.Duration(res.Received)
+	}
+	if jitterN > 0 {
+		res.AvgJitter = jitterSum / time.Duration(jitterN)
+	}
+	if echo.Len() > 0 {
+		res.AvgRTT = totalRTT / time.Duration(echo.Len())
+	}
+	return res
+}
+
+// BitrateSeries returns the per-window received bitrate in kbit/s
+// (Figure 1 / Figure 4 of the paper).
+func (r *Result) BitrateSeries() stats.Series {
+	out := make(stats.Series, len(r.Windows))
+	for i, w := range r.Windows {
+		out[i] = stats.Point{T: w.T, V: w.BitrateKbps}
+	}
+	return out
+}
+
+// JitterSeries returns the per-window jitter in seconds for windows with
+// at least one delay-variation sample (Figure 2 / Figure 5).
+func (r *Result) JitterSeries() stats.Series {
+	var out stats.Series
+	for _, w := range r.Windows {
+		if w.JitterSamples > 0 {
+			out = append(out, stats.Point{T: w.T, V: w.Jitter.Seconds()})
+		}
+	}
+	return out
+}
+
+// LossSeries returns the per-window loss in packets (Figure 6).
+func (r *Result) LossSeries() stats.Series {
+	out := make(stats.Series, len(r.Windows))
+	for i, w := range r.Windows {
+		out[i] = stats.Point{T: w.T, V: float64(w.Loss)}
+	}
+	return out
+}
+
+// RTTSeries returns the per-window mean RTT in seconds for windows with
+// echo samples (Figure 3 / Figure 7).
+func (r *Result) RTTSeries() stats.Series {
+	var out stats.Series
+	for _, w := range r.Windows {
+		if w.RTTSamples > 0 {
+			out = append(out, stats.Point{T: w.T, V: w.RTT.Seconds()})
+		}
+	}
+	return out
+}
+
+// DelaySeries returns the per-window mean one-way delay in seconds.
+func (r *Result) DelaySeries() stats.Series {
+	var out stats.Series
+	for _, w := range r.Windows {
+		if w.Packets > 0 {
+			out = append(out, stats.Point{T: w.T, V: w.Delay.Seconds()})
+		}
+	}
+	return out
+}
+
+// Summary renders the flow totals like `ITGDec -v`.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets: sent=%d received=%d lost=%d (%.2f%%)\n",
+		r.Sent, r.Received, r.Lost, 100*float64(r.Lost)/max1(float64(r.Sent)))
+	fmt.Fprintf(&b, "bitrate: avg=%.1f kbps\n", r.AvgBitrateKbps)
+	fmt.Fprintf(&b, "delay:   avg=%.1f ms max=%.1f ms\n",
+		r.AvgDelay.Seconds()*1000, r.MaxDelay.Seconds()*1000)
+	fmt.Fprintf(&b, "jitter:  avg=%.2f ms max=%.2f ms\n",
+		r.AvgJitter.Seconds()*1000, r.MaxJitter.Seconds()*1000)
+	if r.AvgRTT > 0 {
+		fmt.Fprintf(&b, "rtt:     avg=%.1f ms max=%.1f ms\n",
+			r.AvgRTT.Seconds()*1000, r.MaxRTT.Seconds()*1000)
+	}
+	return b.String()
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+// Package itg reimplements the D-ITG (Distributed Internet Traffic
+// Generator) workflow the paper's evaluation is built on (§3.1): a
+// sender that draws inter-departure times (IDT) and packet sizes (PS)
+// from stochastic processes, a receiver that logs arrivals and optionally
+// reflects packets for round-trip measurement, binary packet logs on both
+// sides, and a decoder (the ITGDec analog) that aggregates bitrate,
+// jitter, loss and RTT over non-overlapping time windows.
+package itg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Distribution generates positive samples for IDT (seconds) or PS
+// (bytes) processes. Implementations match D-ITG's option set.
+type Distribution interface {
+	Sample(rng *rand.Rand) float64
+	String() string
+}
+
+// Constant always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Distribution.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+func (c Constant) String() string            { return fmt.Sprintf("constant(%g)", c.V) }
+
+// Uniform returns samples uniform in [Min, Max).
+type Uniform struct{ Min, Max float64 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Min + rng.Float64()*(u.Max-u.Min) }
+func (u Uniform) String() string                { return fmt.Sprintf("uniform(%g,%g)", u.Min, u.Max) }
+
+// Exponential returns exponentially distributed samples with the given
+// mean.
+type Exponential struct{ Mean float64 }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.Mean }
+func (e Exponential) String() string                { return fmt.Sprintf("exponential(%g)", e.Mean) }
+
+// Normal returns normally distributed samples truncated at zero.
+type Normal struct{ Mean, Std float64 }
+
+// Sample implements Distribution.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	v := rng.NormFloat64()*n.Std + n.Mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mean, n.Std) }
+
+// Pareto returns Pareto-distributed samples with shape Alpha and scale
+// Scale (heavy-tailed; used by D-ITG for self-similar traffic).
+type Pareto struct{ Shape, Scale float64 }
+
+// Sample implements Distribution.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Scale / math.Pow(u, 1/p.Shape)
+}
+func (p Pareto) String() string { return fmt.Sprintf("pareto(%g,%g)", p.Shape, p.Scale) }
+
+// Cauchy returns samples from a Cauchy distribution (location, scale),
+// truncated to non-negative values; the raw Cauchy has no mean, so D-ITG
+// clips it for IDT/PS use.
+type Cauchy struct{ Location, Scale float64 }
+
+// Sample implements Distribution.
+func (c Cauchy) Sample(rng *rand.Rand) float64 {
+	v := c.Location + c.Scale*math.Tan(math.Pi*(rng.Float64()-0.5))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+func (c Cauchy) String() string { return fmt.Sprintf("cauchy(%g,%g)", c.Location, c.Scale) }
+
+// Weibull returns Weibull-distributed samples with shape K and scale
+// Lambda.
+type Weibull struct{ Shape, Scale float64 }
+
+// Sample implements Distribution.
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 1 {
+		u = rng.Float64()
+	}
+	return w.Scale * math.Pow(-math.Log(1-u), 1/w.Shape)
+}
+func (w Weibull) String() string { return fmt.Sprintf("weibull(%g,%g)", w.Shape, w.Scale) }
+
+// ParseDistribution parses a CLI spec like "constant:1024",
+// "uniform:500,1500", "exponential:0.01", "normal:512,100",
+// "pareto:1.5,200", "cauchy:100,10", "weibull:2,100".
+func ParseDistribution(spec string) (Distribution, error) {
+	name, argstr, found := strings.Cut(spec, ":")
+	if !found {
+		return nil, fmt.Errorf("itg: distribution spec %q needs name:args", spec)
+	}
+	parts := strings.Split(argstr, ",")
+	args := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("itg: bad number in %q: %v", spec, err)
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("itg: %s needs %d args, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch strings.ToLower(name) {
+	case "constant", "const", "c":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Constant{args[0]}, nil
+	case "uniform", "u":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Uniform{args[0], args[1]}, nil
+	case "exponential", "exp", "e":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Exponential{args[0]}, nil
+	case "normal", "n":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Normal{args[0], args[1]}, nil
+	case "pareto", "v":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Pareto{args[0], args[1]}, nil
+	case "cauchy", "y":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Cauchy{args[0], args[1]}, nil
+	case "weibull", "w":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Weibull{args[0], args[1]}, nil
+	default:
+		return nil, fmt.Errorf("itg: unknown distribution %q", name)
+	}
+}

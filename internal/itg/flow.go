@@ -1,0 +1,266 @@
+package itg
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Meter selects the measurement mode of a flow (D-ITG's -m switch).
+type Meter int
+
+// Meter modes.
+const (
+	// MeterOWD measures one-way metrics only: the receiver logs
+	// arrivals.
+	MeterOWD Meter = iota
+	// MeterRTT additionally has the receiver reflect every packet so
+	// the sender can log round-trip times.
+	MeterRTT
+)
+
+// flagEchoRequest marks a data packet the receiver should reflect.
+const flagEchoRequest byte = 0x80
+
+// FlowSpec describes one generated flow (ITGSend's command line).
+type FlowSpec struct {
+	FlowID  uint32
+	SrcAddr netip.Addr // optional explicit bind (zero = stack chooses)
+	DstAddr netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	// IDT samples inter-departure times in seconds; PS samples payload
+	// sizes in bytes.
+	IDT Distribution
+	PS  Distribution
+	// Duration bounds the generation time.
+	Duration time.Duration
+	Meter    Meter
+	// TOS is copied into the IP header (diffserv experiments).
+	TOS uint8
+}
+
+// VoIPG711 returns the paper's first traffic class (§3.1): a VoIP-like
+// 72 kbps UDP CBR flow resembling a G.711 call — 100 packets per second
+// of 90 bytes (voice frames plus RTP framing).
+func VoIPG711(flowID uint32, dst netip.Addr, srcPort, dstPort uint16, duration time.Duration) FlowSpec {
+	return FlowSpec{
+		FlowID: flowID, DstAddr: dst, SrcPort: srcPort, DstPort: dstPort,
+		IDT: Constant{0.010}, PS: Constant{90},
+		Duration: duration, Meter: MeterRTT,
+	}
+}
+
+// VoIPG729 returns a G.729-codec VoIP profile (D-ITG's other VoIP
+// preset): 100 pps of 30-byte frames (10 B voice + RTP framing),
+// 24 kbps — a lighter call for constrained uplinks.
+func VoIPG729(flowID uint32, dst netip.Addr, srcPort, dstPort uint16, duration time.Duration) FlowSpec {
+	return FlowSpec{
+		FlowID: flowID, DstAddr: dst, SrcPort: srcPort, DstPort: dstPort,
+		IDT: Constant{0.010}, PS: Constant{30},
+		Duration: duration, Meter: MeterRTT,
+	}
+}
+
+// Telnet returns D-ITG's Telnet-like profile: exponential inter-departure
+// times (mean 500 ms) with small uniformly distributed packets — bursty
+// interactive traffic for heterogeneity experiments.
+func Telnet(flowID uint32, dst netip.Addr, srcPort, dstPort uint16, duration time.Duration) FlowSpec {
+	return FlowSpec{
+		FlowID: flowID, DstAddr: dst, SrcPort: srcPort, DstPort: dstPort,
+		IDT: Exponential{0.5}, PS: Uniform{MinPayload, 200},
+		Duration: duration, Meter: MeterOWD,
+	}
+}
+
+// CBR1Mbps returns the paper's second traffic class (§3.1): a 1 Mbps UDP
+// CBR flow with 1024-byte packets at 122 packets per second, which
+// saturates the UMTS uplink.
+func CBR1Mbps(flowID uint32, dst netip.Addr, srcPort, dstPort uint16, duration time.Duration) FlowSpec {
+	return FlowSpec{
+		FlowID: flowID, DstAddr: dst, SrcPort: srcPort, DstPort: dstPort,
+		IDT: Constant{1.0 / 122.0}, PS: Constant{1024},
+		Duration: duration, Meter: MeterRTT,
+	}
+}
+
+// SendFunc injects a packet into some network stack: a node's Send, a
+// slice's Send (VNET+ attribution), or a test capture.
+type SendFunc func(*netsim.Packet) error
+
+// Sender generates one flow (the ITGSend analog).
+type Sender struct {
+	loop *sim.Loop
+	rng  *rand.Rand
+	spec FlowSpec
+	send SendFunc
+
+	// SentLog records every transmitted data packet.
+	SentLog Log
+	// EchoLog records reflected packets (MeterRTT): TxTime is the
+	// original departure, RxTime the echo arrival.
+	EchoLog Log
+	// OnDone fires once generation finishes (all departures scheduled
+	// within Duration are sent).
+	OnDone func()
+
+	seq        uint32
+	started    bool
+	stopped    bool
+	deadline   time.Duration
+	timer      *sim.Timer
+	SendErrors uint64
+}
+
+// NewSender creates a sender for spec; name salts the RNG stream.
+func NewSender(loop *sim.Loop, name string, spec FlowSpec, send SendFunc) *Sender {
+	return &Sender{
+		loop: loop,
+		rng:  loop.RNG("itg/" + name),
+		spec: spec,
+		send: send,
+	}
+}
+
+// Spec returns the flow specification.
+func (s *Sender) Spec() FlowSpec { return s.spec }
+
+// Start begins generation: the first packet departs immediately, each
+// subsequent one after an IDT sample, until Duration elapses.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.deadline = s.loop.Now() + s.spec.Duration
+	s.emit()
+}
+
+// Stop aborts generation early.
+func (s *Sender) Stop() {
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+}
+
+func (s *Sender) emit() {
+	if s.stopped {
+		return
+	}
+	now := s.loop.Now()
+	if now >= s.deadline {
+		s.finish()
+		return
+	}
+	size := int(s.spec.PS.Sample(s.rng))
+	if size < MinPayload {
+		size = MinPayload
+	}
+	kind := KindData
+	if s.spec.Meter == MeterRTT {
+		kind |= flagEchoRequest
+	}
+	pkt := &netsim.Packet{
+		Src:     s.spec.SrcAddr,
+		Dst:     s.spec.DstAddr,
+		Proto:   netsim.ProtoUDP,
+		TOS:     s.spec.TOS,
+		SrcPort: s.spec.SrcPort,
+		DstPort: s.spec.DstPort,
+		Payload: EncodePayload(kind, s.spec.FlowID, s.seq, now, size),
+	}
+	if err := s.send(pkt); err != nil {
+		s.SendErrors++
+	}
+	s.SentLog.Add(Record{FlowID: s.spec.FlowID, Seq: s.seq, Size: size, TxTime: now})
+	s.seq++
+
+	idt := s.spec.IDT.Sample(s.rng)
+	if idt <= 0 {
+		idt = 1e-6 // degenerate IDT: avoid a zero-delay storm
+	}
+	s.timer = s.loop.After(time.Duration(idt*float64(time.Second)), s.emit)
+}
+
+func (s *Sender) finish() {
+	if s.OnDone != nil {
+		done := s.OnDone
+		s.OnDone = nil
+		done()
+	}
+}
+
+// HandleEcho processes a packet received on the sender's source port
+// (MeterRTT reflections). Non-echo or foreign-flow packets are ignored.
+func (s *Sender) HandleEcho(pkt *netsim.Packet) {
+	kind, flowID, seq, txTime, err := DecodePayload(pkt.Payload)
+	if err != nil || kind != KindEcho || flowID != s.spec.FlowID {
+		return
+	}
+	s.EchoLog.Add(Record{
+		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
+		TxTime: txTime, RxTime: s.loop.Now(),
+	})
+}
+
+// Receiver logs one or more flows' arrivals and reflects echo-requested
+// packets (the ITGRecv analog).
+type Receiver struct {
+	loop *sim.Loop
+	// reply transmits reflections; nil disables echoing.
+	reply SendFunc
+	// RecvLog records every data packet received.
+	RecvLog Log
+	// Malformed counts packets that did not carry an ITG header.
+	Malformed uint64
+}
+
+// NewReceiver creates a receiver; reply (may be nil) is used to send
+// reflections back to the sender.
+func NewReceiver(loop *sim.Loop, reply SendFunc) *Receiver {
+	return &Receiver{loop: loop, reply: reply}
+}
+
+// Handle processes one received packet; bind it to the flow's
+// destination port.
+func (r *Receiver) Handle(pkt *netsim.Packet) {
+	kind, flowID, seq, txTime, err := DecodePayload(pkt.Payload)
+	if err != nil {
+		r.Malformed++
+		return
+	}
+	if kind&^flagEchoRequest != KindData {
+		return // stray echo, not ours to log
+	}
+	r.RecvLog.Add(Record{
+		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
+		TxTime: txTime, RxTime: r.loop.Now(),
+	})
+	if kind&flagEchoRequest != 0 && r.reply != nil {
+		echo := &netsim.Packet{
+			Src:     pkt.Dst,
+			Dst:     pkt.Src,
+			Proto:   netsim.ProtoUDP,
+			SrcPort: pkt.DstPort,
+			DstPort: pkt.SrcPort,
+			Payload: EncodePayload(KindEcho, flowID, seq, txTime, len(pkt.Payload)),
+		}
+		r.reply(echo)
+	}
+}
+
+func (m Meter) String() string {
+	switch m {
+	case MeterOWD:
+		return "owd"
+	case MeterRTT:
+		return "rtt"
+	default:
+		return fmt.Sprintf("meter(%d)", int(m))
+	}
+}

@@ -1,0 +1,168 @@
+// Package kmod models the kernel-module layer of the PlanetLab node OS.
+//
+// Integrating UMTS support required adding modules to the PlanetLab
+// kernel (§2.3): the PPP family (ppp_generic, ppp_async, ppp_deflate,
+// ppp_bsdcomp, ppp_filter, ppp_synctty) and the card drivers (nozomi for
+// the Option Globetrotter GT+, usbserial/pl2303 for the Huawei E620).
+// This package provides the registry those names live in: dependency-
+// resolved loading, reference-counted unloading, and init/exit hooks that
+// drivers use to probe devices.
+//
+// Loading a module is a root-context operation; slices are refused, which
+// is one of the privileges the vsys backend exercises on their behalf.
+package kmod
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/onelab/umtslab/internal/vserver"
+)
+
+// Errors returned by the registry.
+var (
+	ErrUnknown  = errors.New("kmod: unknown module")
+	ErrInUse    = errors.New("kmod: module in use")
+	ErrNotFound = errors.New("kmod: module not loaded")
+	ErrCycle    = errors.New("kmod: dependency cycle")
+	ErrInit     = errors.New("kmod: module init failed")
+)
+
+// Module is a loadable kernel module description.
+type Module struct {
+	Name string
+	// Deps are modules that must be loaded first (modprobe semantics).
+	Deps []string
+	// Init runs when the module is loaded; an error aborts the load.
+	Init func() error
+	// Exit runs when the module is unloaded.
+	Exit func()
+}
+
+// Registry is the kernel's module table.
+type Registry struct {
+	available map[string]*Module
+	loaded    map[string]bool
+	refs      map[string]int // dependency reference counts
+	order     []string       // load order for lsmod-style listing
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		available: make(map[string]*Module),
+		loaded:    make(map[string]bool),
+		refs:      make(map[string]int),
+	}
+}
+
+// Register makes a module available for loading (placing the .ko in the
+// module tree). Re-registering an available module replaces it only if
+// not loaded.
+func (r *Registry) Register(m *Module) error {
+	if r.loaded[m.Name] {
+		return fmt.Errorf("%w: cannot replace loaded module %q", ErrInUse, m.Name)
+	}
+	r.available[m.Name] = m
+	return nil
+}
+
+// Load loads a module and, recursively, its dependencies (modprobe). ctx
+// is the caller's security context; only the root context may load.
+func (r *Registry) Load(ctx uint32, name string) error {
+	if err := vserver.Require(ctx, vserver.CapSysModule); err != nil {
+		return err
+	}
+	return r.load(name, make(map[string]bool))
+}
+
+func (r *Registry) load(name string, visiting map[string]bool) error {
+	if r.loaded[name] {
+		return nil
+	}
+	if visiting[name] {
+		return fmt.Errorf("%w involving %q", ErrCycle, name)
+	}
+	m, ok := r.available[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+	for _, d := range m.Deps {
+		if err := r.load(d, visiting); err != nil {
+			return fmt.Errorf("loading dependency of %q: %w", name, err)
+		}
+	}
+	if m.Init != nil {
+		if err := m.Init(); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrInit, name, err)
+		}
+	}
+	r.loaded[name] = true
+	r.order = append(r.order, name)
+	for _, d := range m.Deps {
+		r.refs[d]++
+	}
+	return nil
+}
+
+// Unload removes a module (rmmod). It fails if another loaded module
+// depends on it.
+func (r *Registry) Unload(ctx uint32, name string) error {
+	if err := vserver.Require(ctx, vserver.CapSysModule); err != nil {
+		return err
+	}
+	if !r.loaded[name] {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if r.refs[name] > 0 {
+		return fmt.Errorf("%w: %q (refcount %d)", ErrInUse, name, r.refs[name])
+	}
+	m := r.available[name]
+	if m.Exit != nil {
+		m.Exit()
+	}
+	delete(r.loaded, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	for _, d := range m.Deps {
+		r.refs[d]--
+	}
+	return nil
+}
+
+// IsLoaded reports whether the named module is loaded.
+func (r *Registry) IsLoaded(name string) bool { return r.loaded[name] }
+
+// Loaded returns loaded module names in load order (lsmod).
+func (r *Registry) Loaded() []string { return append([]string(nil), r.order...) }
+
+// Available returns registered module names, sorted.
+func (r *Registry) Available() []string {
+	names := make([]string, 0, len(r.available))
+	for n := range r.available {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Refcount returns the number of loaded modules depending on name.
+func (r *Registry) Refcount(name string) int { return r.refs[name] }
+
+// RegisterPPPFamily registers the PPP module set the paper lists, with
+// the dependency structure of the real kernel (everything depends on
+// ppp_generic; ppp_generic depends on slhc).
+func RegisterPPPFamily(r *Registry) {
+	r.Register(&Module{Name: "slhc"})
+	r.Register(&Module{Name: "ppp_generic", Deps: []string{"slhc"}})
+	for _, name := range []string{"ppp_async", "ppp_synctty", "ppp_deflate", "ppp_bsdcomp", "ppp_filter"} {
+		r.Register(&Module{Name: name, Deps: []string{"ppp_generic"}})
+	}
+}

@@ -1,0 +1,155 @@
+package kmod
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/onelab/umtslab/internal/vserver"
+)
+
+func TestLoadResolvesDependencies(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	if err := r.Load(vserver.RootCtx, "ppp_async"); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"slhc", "ppp_generic", "ppp_async"} {
+		if !r.IsLoaded(m) {
+			t.Fatalf("%s not loaded", m)
+		}
+	}
+	order := r.Loaded()
+	if order[0] != "slhc" || order[1] != "ppp_generic" || order[2] != "ppp_async" {
+		t.Fatalf("load order = %v", order)
+	}
+}
+
+func TestLoadIdempotent(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	r.Load(vserver.RootCtx, "ppp_generic")
+	if err := r.Load(vserver.RootCtx, "ppp_generic"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Loaded()) != 2 { // slhc + ppp_generic, no duplicates
+		t.Fatalf("Loaded = %v", r.Loaded())
+	}
+}
+
+func TestSliceCannotLoad(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	if err := r.Load(1234, "ppp_generic"); !errors.Is(err, vserver.ErrPermission) {
+		t.Fatalf("err = %v, want permission denied", err)
+	}
+	if err := r.Unload(1234, "ppp_generic"); !errors.Is(err, vserver.ErrPermission) {
+		t.Fatalf("unload err = %v, want permission denied", err)
+	}
+}
+
+func TestUnknownModule(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Load(vserver.RootCtx, "nozomi"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestMissingDependency(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Module{Name: "nozomi", Deps: []string{"crc16"}})
+	if err := r.Load(vserver.RootCtx, "nozomi"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown for missing dep", err)
+	}
+	if r.IsLoaded("nozomi") {
+		t.Fatal("module with failed dep must not be loaded")
+	}
+}
+
+func TestUnloadRespectsRefcount(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	r.Load(vserver.RootCtx, "ppp_async")
+	r.Load(vserver.RootCtx, "ppp_deflate")
+	if err := r.Unload(vserver.RootCtx, "ppp_generic"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("err = %v, want ErrInUse", err)
+	}
+	if err := r.Unload(vserver.RootCtx, "ppp_async"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unload(vserver.RootCtx, "ppp_deflate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unload(vserver.RootCtx, "ppp_generic"); err != nil {
+		t.Fatalf("refcount should have dropped to zero: %v", err)
+	}
+	if r.Refcount("slhc") != 0 {
+		t.Fatalf("slhc refcount = %d", r.Refcount("slhc"))
+	}
+}
+
+func TestUnloadNotLoaded(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	if err := r.Unload(vserver.RootCtx, "ppp_generic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInitExitHooks(t *testing.T) {
+	r := NewRegistry()
+	var log []string
+	r.Register(&Module{
+		Name: "nozomi",
+		Init: func() error { log = append(log, "init"); return nil },
+		Exit: func() { log = append(log, "exit") },
+	})
+	r.Load(vserver.RootCtx, "nozomi")
+	r.Unload(vserver.RootCtx, "nozomi")
+	if len(log) != 2 || log[0] != "init" || log[1] != "exit" {
+		t.Fatalf("hooks = %v", log)
+	}
+}
+
+func TestInitFailureAbortsLoad(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Module{Name: "broken", Init: func() error { return fmt.Errorf("no hardware") }})
+	if err := r.Load(vserver.RootCtx, "broken"); !errors.Is(err, ErrInit) {
+		t.Fatalf("err = %v, want ErrInit", err)
+	}
+	if r.IsLoaded("broken") {
+		t.Fatal("failed module is loaded")
+	}
+}
+
+func TestDependencyCycle(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Module{Name: "a", Deps: []string{"b"}})
+	r.Register(&Module{Name: "b", Deps: []string{"a"}})
+	if err := r.Load(vserver.RootCtx, "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestCannotReplaceLoadedModule(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Module{Name: "m"})
+	r.Load(vserver.RootCtx, "m")
+	if err := r.Register(&Module{Name: "m"}); !errors.Is(err, ErrInUse) {
+		t.Fatalf("err = %v, want ErrInUse", err)
+	}
+}
+
+func TestAvailableSorted(t *testing.T) {
+	r := NewRegistry()
+	RegisterPPPFamily(r)
+	av := r.Available()
+	for i := 1; i < len(av); i++ {
+		if av[i] < av[i-1] {
+			t.Fatalf("Available not sorted: %v", av)
+		}
+	}
+	if len(av) != 7 {
+		t.Fatalf("Available = %v, want 7 PPP-family modules", av)
+	}
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// ICMP message types used by the simulator.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// icmpHeaderLen is type(1) + code(1) + checksum(2, unused here) + id(2) +
+// seq(2).
+const icmpHeaderLen = 8
+
+// NewEchoRequest builds an ICMP echo request packet.
+func NewEchoRequest(src, dst netip.Addr, id, seq uint16, data []byte) *Packet {
+	payload := make([]byte, icmpHeaderLen+len(data))
+	payload[0] = ICMPEchoRequest
+	binary.BigEndian.PutUint16(payload[4:], id)
+	binary.BigEndian.PutUint16(payload[6:], seq)
+	copy(payload[icmpHeaderLen:], data)
+	return &Packet{Src: src, Dst: dst, Proto: ProtoICMP, TTL: 64, Payload: payload}
+}
+
+// ParseICMPEcho decodes an echo request or reply. ok is false for other
+// ICMP types or malformed payloads.
+func ParseICMPEcho(pkt *Packet) (isRequest bool, id, seq uint16, data []byte, ok bool) {
+	if pkt.Proto != ProtoICMP || len(pkt.Payload) < icmpHeaderLen {
+		return false, 0, 0, nil, false
+	}
+	t := pkt.Payload[0]
+	if t != ICMPEchoRequest && t != ICMPEchoReply {
+		return false, 0, 0, nil, false
+	}
+	return t == ICMPEchoRequest,
+		binary.BigEndian.Uint16(pkt.Payload[4:]),
+		binary.BigEndian.Uint16(pkt.Payload[6:]),
+		pkt.Payload[icmpHeaderLen:], true
+}
+
+// EnableEchoResponder makes the node answer ICMP echo requests (the
+// kernel's built-in behaviour). It claims the node's wildcard ICMP
+// handler; compose manually if the node needs other ICMP processing.
+func EnableEchoResponder(n *Node) error {
+	return n.Bind(ProtoICMP, 0, func(pkt *Packet) {
+		isReq, id, seq, data, ok := ParseICMPEcho(pkt)
+		if !ok || !isReq {
+			return
+		}
+		reply := make([]byte, icmpHeaderLen+len(data))
+		reply[0] = ICMPEchoReply
+		binary.BigEndian.PutUint16(reply[4:], id)
+		binary.BigEndian.PutUint16(reply[6:], seq)
+		copy(reply[icmpHeaderLen:], data)
+		n.Send(&Packet{Src: pkt.Dst, Dst: pkt.Src, Proto: ProtoICMP, TTL: 64, Payload: reply})
+	})
+}
+
+// Pinger sends echo requests from a node and reports RTTs — the
+// diagnostic a PlanetLab user runs to check whether the UMTS path works
+// (and to observe that inbound-initiated probes do not).
+type Pinger struct {
+	loop *sim.Loop
+	send func(*Packet) error
+	id   uint16
+	seq  uint16
+	// outstanding maps seq -> (txTime, callback).
+	outstanding map[uint16]pingWait
+}
+
+type pingWait struct {
+	tx    time.Duration
+	cb    func(rtt time.Duration, err error)
+	timer *sim.Timer
+}
+
+// ErrPingTimeout reports an unanswered echo request.
+var ErrPingTimeout = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "netsim: ping timeout" }
+
+// NewPinger creates a pinger that transmits through send (a node's Send
+// or a slice's Send) and receives replies via HandleReply — bind it:
+//
+//	node.Bind(netsim.ProtoICMP, 0, pinger.HandleReply)
+func NewPinger(loop *sim.Loop, send func(*Packet) error) *Pinger {
+	return &Pinger{
+		loop: loop, send: send,
+		id:          uint16(loop.RNG("pinger").Uint32()),
+		outstanding: make(map[uint16]pingWait),
+	}
+}
+
+// Ping sends one echo request to dst and invokes cb with the RTT, or
+// with ErrPingTimeout after timeout.
+func (p *Pinger) Ping(dst netip.Addr, timeout time.Duration, cb func(rtt time.Duration, err error)) {
+	p.seq++
+	seq := p.seq
+	req := NewEchoRequest(netip.Addr{}, dst, p.id, seq, []byte("umtslab ping"))
+	w := pingWait{tx: p.loop.Now(), cb: cb}
+	w.timer = p.loop.After(timeout, func() {
+		if _, live := p.outstanding[seq]; live {
+			delete(p.outstanding, seq)
+			cb(0, ErrPingTimeout)
+		}
+	})
+	p.outstanding[seq] = w
+	if err := p.send(req); err != nil {
+		w.timer.Cancel()
+		delete(p.outstanding, seq)
+		p.loop.Post(func() { cb(0, err) })
+	}
+}
+
+// HandleReply consumes incoming ICMP packets, matching echo replies to
+// outstanding requests.
+func (p *Pinger) HandleReply(pkt *Packet) {
+	isReq, id, seq, _, ok := ParseICMPEcho(pkt)
+	if !ok || isReq || id != p.id {
+		return
+	}
+	w, live := p.outstanding[seq]
+	if !live {
+		return
+	}
+	delete(p.outstanding, seq)
+	w.timer.Cancel()
+	w.cb(p.loop.Now()-w.tx, nil)
+}

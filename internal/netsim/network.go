@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Network is a convenience container for assembling topologies: it tracks
+// nodes by name and wires point-to-point links with addressing.
+type Network struct {
+	Loop  *sim.Loop
+	nodes map[string]*Node
+	links map[string]*P2PLink
+}
+
+// NewNetwork creates an empty network on the given loop.
+func NewNetwork(loop *sim.Loop) *Network {
+	return &Network{Loop: loop, nodes: make(map[string]*Node), links: make(map[string]*P2PLink)}
+}
+
+// AddNode creates and registers a node. Duplicate names panic: topology
+// construction errors are programming errors.
+func (nw *Network) AddNode(name string) *Node {
+	if _, dup := nw.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	n := NewNode(nw.Loop, name)
+	nw.nodes[name] = n
+	return n
+}
+
+// Node returns a registered node or nil.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// Nodes returns the number of registered nodes.
+func (nw *Network) Nodes() int { return len(nw.nodes) }
+
+// WireP2P creates a full-duplex link between new interfaces on a and b.
+// The /30-style addressing uses addrA and addrB as the interface and peer
+// addresses of the two ends. ifname are the interface names on a and b.
+func (nw *Network) WireP2P(name string, a *Node, ifA string, addrA netip.Addr,
+	b *Node, ifB string, addrB netip.Addr, a2b, b2a LinkConfig) *P2PLink {
+
+	if _, dup := nw.links[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	ia := a.AddIface(ifA, addrA, netip.Prefix{})
+	ib := b.AddIface(ifB, addrB, netip.Prefix{})
+	ia.Peer = addrB
+	ib.Peer = addrA
+	l := NewP2PLink(nw.Loop, name, a2b, b2a)
+	l.Connect(ia, ib)
+	nw.links[name] = l
+	return l
+}
+
+// Link returns a registered link or nil.
+func (nw *Network) Link(name string) *P2PLink { return nw.links[name] }
+
+// SymmetricConfig returns a LinkConfig usable for both directions of a
+// typical wired link.
+func SymmetricConfig(rateBps float64, delay, jitter time.Duration) LinkConfig {
+	return LinkConfig{RateBps: rateBps, Delay: delay, Jitter: jitter, QueuePackets: 1000}
+}

@@ -1,0 +1,86 @@
+package ppp
+
+import (
+	"bytes"
+	"crypto/md5"
+	"errors"
+	"fmt"
+)
+
+// ErrAuthFailed reports a rejected authentication exchange.
+var ErrAuthFailed = errors.New("ppp: authentication failed")
+
+// Credentials identify a subscriber to the operator network. For UMTS
+// data dial-ups, operators commonly accept fixed strings (the real
+// subscriber identity comes from the SIM), but the PPP exchange is still
+// performed.
+type Credentials struct {
+	User     string
+	Password string
+}
+
+// chapHash computes the CHAP-MD5 response value: MD5(id | secret |
+// challenge) per RFC 1994.
+func chapHash(id byte, secret string, challenge []byte) []byte {
+	h := md5.New()
+	h.Write([]byte{id})
+	h.Write([]byte(secret))
+	h.Write(challenge)
+	return h.Sum(nil)
+}
+
+// chapVerify checks a response hash against the expected value.
+func chapVerify(id byte, secret string, challenge, response []byte) bool {
+	return bytes.Equal(chapHash(id, secret, challenge), response)
+}
+
+// marshalChapValue builds the CHAP Challenge/Response data field:
+// value-size, value, name.
+func marshalChapValue(value []byte, name string) []byte {
+	b := make([]byte, 0, 1+len(value)+len(name))
+	b = append(b, byte(len(value)))
+	b = append(b, value...)
+	b = append(b, name...)
+	return b
+}
+
+// parseChapValue splits a Challenge/Response data field.
+func parseChapValue(b []byte) (value []byte, name string, err error) {
+	if len(b) < 1 {
+		return nil, "", ErrShortPacket
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return nil, "", fmt.Errorf("%w: chap value size %d of %d", ErrShortPacket, n, len(b)-1)
+	}
+	return append([]byte(nil), b[1:1+n]...), string(b[1+n:]), nil
+}
+
+// marshalPapRequest builds the PAP Authenticate-Request data field:
+// peer-id length, peer-id, password length, password.
+func marshalPapRequest(c Credentials) []byte {
+	b := make([]byte, 0, 2+len(c.User)+len(c.Password))
+	b = append(b, byte(len(c.User)))
+	b = append(b, c.User...)
+	b = append(b, byte(len(c.Password)))
+	b = append(b, c.Password...)
+	return b
+}
+
+// parsePapRequest splits a PAP Authenticate-Request data field.
+func parsePapRequest(b []byte) (Credentials, error) {
+	if len(b) < 1 {
+		return Credentials{}, ErrShortPacket
+	}
+	ul := int(b[0])
+	if len(b) < 1+ul+1 {
+		return Credentials{}, fmt.Errorf("%w: pap peer-id", ErrShortPacket)
+	}
+	user := string(b[1 : 1+ul])
+	rest := b[1+ul:]
+	pl := int(rest[0])
+	if len(rest) < 1+pl {
+		return Credentials{}, fmt.Errorf("%w: pap password", ErrShortPacket)
+	}
+	return Credentials{User: user, Password: string(rest[1 : 1+pl])}, nil
+}

@@ -1,0 +1,391 @@
+package ppp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// cpState is an RFC 1661 §4.2 automaton state.
+type cpState int
+
+const (
+	cpInitial cpState = iota
+	cpStarting
+	cpClosed
+	cpStopped
+	cpClosing
+	cpReqSent
+	cpAckRcvd
+	cpAckSent
+	cpOpened
+)
+
+func (s cpState) String() string {
+	switch s {
+	case cpInitial:
+		return "Initial"
+	case cpStarting:
+		return "Starting"
+	case cpClosed:
+		return "Closed"
+	case cpStopped:
+		return "Stopped"
+	case cpClosing:
+		return "Closing"
+	case cpReqSent:
+		return "Req-Sent"
+	case cpAckRcvd:
+		return "Ack-Rcvd"
+	case cpAckSent:
+		return "Ack-Sent"
+	case cpOpened:
+		return "Opened"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// optionPolicy supplies the protocol-specific option handling (what to
+// request, how to respond to the peer's requests) for an automaton.
+type optionPolicy interface {
+	// LocalOptions returns the options to put in our Configure-Request.
+	LocalOptions() []Option
+	// OnLocalNak lets the policy adjust its desired options after the
+	// peer Naked some of them (e.g. IPCP address assignment).
+	OnLocalNak(nak []Option)
+	// OnLocalRej lets the policy drop options the peer rejected.
+	OnLocalRej(rej []Option)
+	// ReviewPeer inspects the peer's Configure-Request. It returns
+	// options to Nak (unacceptable values, with suggested replacements)
+	// and options to Reject (unsupported types). Empty results mean the
+	// request is acceptable.
+	ReviewPeer(opts []Option) (nak, rej []Option)
+	// OnPeerAccepted is called with the peer's option set once we Ack it.
+	OnPeerAccepted(opts []Option)
+}
+
+// automatonConfig bundles automaton construction parameters.
+type automatonConfig struct {
+	Name   string // for tracing, e.g. "lcp/client"
+	Proto  uint16 // ProtoLCP or ProtoIPCP
+	Loop   *sim.Loop
+	Send   func(proto uint16, p ControlPacket)
+	Policy optionPolicy
+	// OnUp fires on entering Opened; OnDown on leaving it. OnFinished
+	// fires when negotiation terminates (failure, rejection, or peer
+	// Terminate), with a human-readable reason.
+	OnUp       func()
+	OnDown     func()
+	OnFinished func(reason string)
+	// OnEchoReply fires when an Echo-Reply arrives in Opened state
+	// (keepalive liveness signal).
+	OnEchoReply func()
+	// Trace, if set, logs state transitions.
+	Trace func(format string, args ...any)
+}
+
+// Negotiation timing (RFC 1661 defaults).
+const (
+	restartInterval = 3 * time.Second
+	maxConfigure    = 10
+	maxTerminate    = 2
+)
+
+// automaton is the option-negotiation state machine shared by LCP and
+// IPCP.
+type automaton struct {
+	cfg     automatonConfig
+	state   cpState
+	id      byte
+	restart *sim.Timer
+	retries int
+	lastReq []Option // options in our outstanding Configure-Request
+}
+
+func newAutomaton(cfg automatonConfig) *automaton {
+	return &automaton{cfg: cfg, state: cpInitial}
+}
+
+func (a *automaton) tracef(format string, args ...any) {
+	if a.cfg.Trace != nil {
+		a.cfg.Trace("%s: %s", a.cfg.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (a *automaton) setState(s cpState) {
+	if s == a.state {
+		return
+	}
+	a.tracef("%v -> %v", a.state, s)
+	wasOpen := a.state == cpOpened
+	a.state = s
+	if wasOpen && a.cfg.OnDown != nil {
+		a.cfg.OnDown()
+	}
+	if s == cpOpened && a.cfg.OnUp != nil {
+		a.cfg.OnUp()
+	}
+}
+
+// State returns the current automaton state name (for status displays).
+func (a *automaton) State() string { return a.state.String() }
+
+// Opened reports whether negotiation has converged.
+func (a *automaton) Opened() bool { return a.state == cpOpened }
+
+// Open administratively opens the protocol (waits for Up if the lower
+// layer is not yet available).
+func (a *automaton) Open() {
+	switch a.state {
+	case cpInitial:
+		a.setState(cpStarting)
+	case cpClosed, cpStopped:
+		a.sendConfReq()
+	}
+}
+
+// Up signals that the lower layer is available.
+func (a *automaton) Up() {
+	switch a.state {
+	case cpInitial:
+		a.setState(cpClosed)
+	case cpStarting:
+		a.sendConfReq()
+	}
+}
+
+// Down signals that the lower layer became unavailable.
+func (a *automaton) Down() {
+	a.stopTimer()
+	switch a.state {
+	case cpOpened, cpReqSent, cpAckRcvd, cpAckSent, cpClosing:
+		a.setState(cpStarting)
+	case cpClosed, cpStopped:
+		a.setState(cpInitial)
+	}
+}
+
+// Close terminates the protocol gracefully.
+func (a *automaton) Close(reason string) {
+	switch a.state {
+	case cpOpened, cpReqSent, cpAckRcvd, cpAckSent:
+		a.retries = maxTerminate
+		a.id++
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeTermReq, ID: a.id, Data: []byte(reason)})
+		a.setState(cpClosing)
+		a.armTimer(func() { a.termTimeout(reason) })
+	case cpStarting:
+		a.setState(cpInitial)
+		a.finished(reason)
+	}
+}
+
+func (a *automaton) termTimeout(reason string) {
+	a.retries--
+	if a.retries <= 0 {
+		a.setState(cpClosed)
+		a.finished(reason)
+		return
+	}
+	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeTermReq, ID: a.id, Data: []byte(reason)})
+	a.armTimer(func() { a.termTimeout(reason) })
+}
+
+func (a *automaton) finished(reason string) {
+	if a.cfg.OnFinished != nil {
+		a.cfg.OnFinished(reason)
+	}
+}
+
+func (a *automaton) armTimer(fn func()) {
+	a.stopTimer()
+	a.restart = a.cfg.Loop.After(restartInterval, fn)
+}
+
+func (a *automaton) stopTimer() {
+	if a.restart != nil {
+		a.restart.Cancel()
+		a.restart = nil
+	}
+}
+
+func (a *automaton) sendConfReq() {
+	a.retries = maxConfigure
+	a.transmitConfReq()
+	a.setState(cpReqSent)
+}
+
+func (a *automaton) transmitConfReq() {
+	a.id++
+	a.lastReq = a.cfg.Policy.LocalOptions()
+	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeConfReq, ID: a.id, Data: MarshalOptions(a.lastReq)})
+	a.armTimer(a.confReqTimeout)
+}
+
+func (a *automaton) confReqTimeout() {
+	a.retries--
+	if a.retries <= 0 {
+		a.tracef("negotiation timed out")
+		a.setState(cpStopped)
+		a.finished("negotiation timeout")
+		return
+	}
+	switch a.state {
+	case cpReqSent, cpAckRcvd, cpAckSent:
+		a.transmitConfReq()
+	}
+}
+
+// SendEcho transmits an LCP Echo-Request (keepalive) while Opened.
+func (a *automaton) SendEcho(magic uint32) {
+	if a.state != cpOpened {
+		return
+	}
+	a.id++
+	d := make([]byte, 4)
+	d[0] = byte(magic >> 24)
+	d[1] = byte(magic >> 16)
+	d[2] = byte(magic >> 8)
+	d[3] = byte(magic)
+	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeEchoReq, ID: a.id, Data: d})
+}
+
+// Input processes a received control packet for this protocol.
+func (a *automaton) Input(p ControlPacket) {
+	switch p.Code {
+	case CodeConfReq:
+		a.rcvConfReq(p)
+	case CodeConfAck:
+		a.rcvConfAck(p)
+	case CodeConfNak, CodeConfRej:
+		a.rcvConfNakRej(p)
+	case CodeTermReq:
+		a.rcvTermReq(p)
+	case CodeTermAck:
+		a.rcvTermAck()
+	case CodeEchoReq:
+		if a.state == cpOpened {
+			a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeEchoRep, ID: p.ID, Data: p.Data})
+		}
+	case CodeEchoRep:
+		if a.state == cpOpened && a.cfg.OnEchoReply != nil {
+			a.cfg.OnEchoReply()
+		}
+	case CodeDiscardReq:
+		// ignored
+	default:
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeCodeRej, ID: p.ID, Data: p.Marshal()})
+	}
+}
+
+func (a *automaton) rcvConfReq(p ControlPacket) {
+	opts, err := ParseOptions(p.Data)
+	if err != nil {
+		a.tracef("bad ConfReq: %v", err)
+		return
+	}
+	nak, rej := a.cfg.Policy.ReviewPeer(opts)
+	switch {
+	case len(rej) > 0:
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeConfRej, ID: p.ID, Data: MarshalOptions(rej)})
+	case len(nak) > 0:
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeConfNak, ID: p.ID, Data: MarshalOptions(nak)})
+	default:
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeConfAck, ID: p.ID, Data: p.Data})
+		a.cfg.Policy.OnPeerAccepted(opts)
+	}
+	acked := len(nak) == 0 && len(rej) == 0
+
+	switch a.state {
+	case cpClosed:
+		a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeTermAck, ID: p.ID})
+	case cpStopped:
+		a.sendConfReq()
+		if acked {
+			a.setState(cpAckSent)
+		}
+	case cpReqSent, cpAckSent:
+		if acked {
+			a.setState(cpAckSent)
+		} else {
+			a.setState(cpReqSent)
+		}
+	case cpAckRcvd:
+		if acked {
+			a.stopTimer()
+			a.setState(cpOpened)
+		}
+	case cpOpened:
+		// Renegotiation: go back down.
+		a.sendConfReq()
+		if acked {
+			a.setState(cpAckSent)
+		}
+	}
+}
+
+func (a *automaton) rcvConfAck(p ControlPacket) {
+	if p.ID != a.id {
+		a.tracef("ConfAck id mismatch: %d != %d", p.ID, a.id)
+		return
+	}
+	switch a.state {
+	case cpReqSent:
+		a.setState(cpAckRcvd)
+	case cpAckSent:
+		a.stopTimer()
+		a.setState(cpOpened)
+	case cpAckRcvd, cpOpened:
+		// Duplicate ack: restart negotiation per RFC (crossed packets).
+		a.sendConfReq()
+	}
+}
+
+func (a *automaton) rcvConfNakRej(p ControlPacket) {
+	if p.ID != a.id {
+		return
+	}
+	opts, err := ParseOptions(p.Data)
+	if err != nil {
+		return
+	}
+	if p.Code == CodeConfNak {
+		a.cfg.Policy.OnLocalNak(opts)
+	} else {
+		a.cfg.Policy.OnLocalRej(opts)
+	}
+	switch a.state {
+	case cpReqSent, cpAckRcvd, cpAckSent, cpOpened:
+		a.transmitConfReq()
+		if a.state == cpAckRcvd || a.state == cpOpened {
+			a.setState(cpReqSent)
+		}
+	}
+}
+
+func (a *automaton) rcvTermReq(p ControlPacket) {
+	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeTermAck, ID: p.ID})
+	switch a.state {
+	case cpOpened, cpReqSent, cpAckRcvd, cpAckSent:
+		a.stopTimer()
+		// Deliver the peer's reason before the state change so the
+		// connection's down handler sees it rather than a generic
+		// "left Opened" notification.
+		a.finished("terminated by peer: " + string(p.Data))
+		a.setState(cpStopped)
+	}
+}
+
+func (a *automaton) rcvTermAck() {
+	switch a.state {
+	case cpClosing:
+		a.stopTimer()
+		a.setState(cpClosed)
+		a.finished("closed")
+	case cpOpened:
+		a.setState(cpReqSent)
+		a.sendConfReq()
+	}
+}

@@ -1,0 +1,323 @@
+package ppp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+func simNewLoopForFuzz() *sim.Loop { return sim.NewLoop(99) }
+
+func TestFCSKnownVector(t *testing.T) {
+	// CRC-16/X-25 check value: FCS("123456789") = 0x906e.
+	if got := ^fcs16(fcsInit, []byte("123456789")); got != 0x906e {
+		t.Fatalf("FCS = %#04x, want 0x906e", got)
+	}
+}
+
+func TestFCSGoodResidue(t *testing.T) {
+	data := []byte("any old frame content")
+	fcs := ^fcs16(fcsInit, data)
+	framed := append(append([]byte(nil), data...), byte(fcs&0xff), byte(fcs>>8))
+	if fcs16(fcsInit, framed) != fcsGood {
+		t.Fatal("appending the FCS must leave the good residue")
+	}
+}
+
+func deframeAll(t *testing.T, stream []byte) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	d := Deframer{OnFrame: func(p []byte) { frames = append(frames, p) }}
+	if err := d.Feed(stream); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	return frames
+}
+
+func TestEncodeDeframeRoundtrip(t *testing.T) {
+	payload := EncapsulatePPP(ProtoLCP, []byte{1, 2, 0, 8, 0xde, 0xad, 0xbe, 0xef})
+	frames := deframeAll(t, EncodeFrame(payload))
+	if len(frames) != 1 || !bytes.Equal(frames[0], payload) {
+		t.Fatalf("roundtrip failed: %x", frames)
+	}
+}
+
+func TestEscapingOfControlBytes(t *testing.T) {
+	// Payload containing flag, escape, and low control bytes.
+	payload := []byte{0x00, 0x21, hdlcFlag, hdlcEscape, 0x00, 0x1f, 0x20, 0x7f}
+	wire := EncodeFrame(payload)
+	// Between the framing flags there must be no raw flag/escape/ctl bytes.
+	inner := wire[1 : len(wire)-1]
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == hdlcFlag {
+			t.Fatalf("unescaped flag byte at %d", i)
+		}
+		if inner[i] == hdlcEscape {
+			i++ // next byte is the escaped value
+			continue
+		}
+		if inner[i] < 0x20 {
+			t.Fatalf("unescaped control byte %#02x at %d", inner[i], i)
+		}
+	}
+	frames := deframeAll(t, wire)
+	if len(frames) != 1 || !bytes.Equal(frames[0], payload) {
+		t.Fatalf("roundtrip failed: %x", frames)
+	}
+}
+
+func TestDeframerSplitDelivery(t *testing.T) {
+	payload := EncapsulatePPP(ProtoIPv4, bytes.Repeat([]byte{0x7e, 0x7d, 0x03, 0xaa}, 50))
+	wire := EncodeFrame(payload)
+	var frames [][]byte
+	d := Deframer{OnFrame: func(p []byte) { frames = append(frames, p) }}
+	// Feed one byte at a time.
+	for _, b := range wire {
+		d.Feed([]byte{b})
+	}
+	if len(frames) != 1 || !bytes.Equal(frames[0], payload) {
+		t.Fatal("byte-at-a-time deframing failed")
+	}
+}
+
+func TestDeframerBackToBackFrames(t *testing.T) {
+	p1 := EncapsulatePPP(ProtoLCP, []byte{9, 1, 0, 4})
+	p2 := EncapsulatePPP(ProtoIPCP, []byte{1, 1, 0, 4})
+	stream := append(EncodeFrame(p1), EncodeFrame(p2)...)
+	frames := deframeAll(t, stream)
+	if len(frames) != 2 || !bytes.Equal(frames[0], p1) || !bytes.Equal(frames[1], p2) {
+		t.Fatalf("got %d frames", len(frames))
+	}
+}
+
+func TestDeframerSharedFlag(t *testing.T) {
+	// A single flag may terminate one frame and open the next.
+	p1 := EncapsulatePPP(ProtoLCP, []byte{9, 1, 0, 4})
+	p2 := EncapsulatePPP(ProtoLCP, []byte{10, 1, 0, 4})
+	w1 := EncodeFrame(p1)
+	w2 := EncodeFrame(p2)
+	stream := append(w1, w2[1:]...) // drop the opening flag of frame 2
+	frames := deframeAll(t, stream)
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2", len(frames))
+	}
+}
+
+func TestDeframerFCSError(t *testing.T) {
+	payload := EncapsulatePPP(ProtoLCP, []byte{1, 1, 0, 4})
+	wire := EncodeFrame(payload)
+	wire[3] ^= 0x01 // corrupt a payload byte
+	var d Deframer
+	d.OnFrame = func(p []byte) { t.Fatal("corrupted frame delivered") }
+	d.Feed(wire)
+	if d.FCSErrors != 1 {
+		t.Fatalf("FCSErrors = %d, want 1", d.FCSErrors)
+	}
+}
+
+func TestDeframerIgnoresInterFrameNoise(t *testing.T) {
+	payload := EncapsulatePPP(ProtoLCP, []byte{1, 1, 0, 4})
+	stream := append([]byte("\r\nCONNECT 3600000\r\n"), EncodeFrame(payload)...)
+	frames := deframeAll(t, stream)
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1 (noise must be skipped)", len(frames))
+	}
+}
+
+func TestDeframerRunt(t *testing.T) {
+	var d Deframer
+	d.OnFrame = func(p []byte) { t.Fatal("runt delivered") }
+	d.Feed([]byte{hdlcFlag, 0xff, 0x03, 0x01, hdlcFlag})
+	if d.Runts != 1 {
+		t.Fatalf("Runts = %d, want 1", d.Runts)
+	}
+}
+
+func TestDeframerOversized(t *testing.T) {
+	var d Deframer
+	stream := append([]byte{hdlcFlag}, bytes.Repeat([]byte{0xaa}, maxFrame+10)...)
+	if err := d.Feed(stream); err != ErrOversizedFrame {
+		t.Fatalf("err = %v, want ErrOversizedFrame", err)
+	}
+	// Recovery: a valid frame afterwards is still decoded.
+	payload := EncapsulatePPP(ProtoLCP, []byte{1, 1, 0, 4})
+	got := 0
+	d.OnFrame = func(p []byte) { got++ }
+	d.Feed(EncodeFrame(payload))
+	if got != 1 {
+		t.Fatal("deframer did not recover after oversized frame")
+	}
+}
+
+// Property: EncodeFrame/Deframer round-trip arbitrary payloads, including
+// every byte value.
+func TestPropertyHDLCRoundtrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) < 4 {
+			payload = append(payload, 0, 0, 0, 0)
+		}
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		var got [][]byte
+		d := Deframer{OnFrame: func(p []byte) { got = append(got, p) }}
+		if err := d.Feed(EncodeFrame(payload)); err != nil {
+			return false
+		}
+		return len(got) == 1 && bytes.Equal(got[0], payload)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random single-byte corruption is never delivered as a valid
+// frame with different content (FCS catches it) — or is detected as a
+// framing anomaly. It must never panic.
+func TestPropertyHDLCCorruption(t *testing.T) {
+	payload := EncapsulatePPP(ProtoIPv4, bytes.Repeat([]byte{0x55}, 100))
+	wire := EncodeFrame(payload)
+	f := func(pos uint16, bit uint8) bool {
+		w := append([]byte(nil), wire...)
+		w[int(pos)%len(w)] ^= 1 << (bit % 8)
+		ok := true
+		d := Deframer{OnFrame: func(p []byte) {
+			// If a frame is delivered it must be the original payload
+			// (corruption of framing bytes can still yield the frame).
+			if !bytes.Equal(p, payload) {
+				ok = false
+			}
+		}}
+		d.Feed(w)
+		d.Feed([]byte{hdlcFlag}) // flush a possibly unterminated frame
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionCodecRoundtrip(t *testing.T) {
+	opts := []Option{
+		U16Option(OptMRU, 1500),
+		U32Option(OptMagic, 0xdeadbeef),
+		{Type: OptAuthProto, Data: []byte{0xc2, 0x23, 0x05}},
+	}
+	parsed, err := ParseOptions(MarshalOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("parsed %d options", len(parsed))
+	}
+	for i := range opts {
+		if parsed[i].Type != opts[i].Type || !bytes.Equal(parsed[i].Data, opts[i].Data) {
+			t.Fatalf("option %d mismatch", i)
+		}
+	}
+}
+
+func TestParseOptionsMalformed(t *testing.T) {
+	for _, bad := range [][]byte{{1}, {1, 1}, {1, 9, 0}} {
+		if _, err := ParseOptions(bad); err == nil {
+			t.Fatalf("ParseOptions(%v) should fail", bad)
+		}
+	}
+}
+
+func TestControlPacketCodec(t *testing.T) {
+	p := ControlPacket{Code: CodeConfReq, ID: 7, Data: []byte{1, 4, 5, 220}}
+	got, err := ParseControl(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != p.Code || got.ID != p.ID || !bytes.Equal(got.Data, p.Data) {
+		t.Fatalf("roundtrip: %+v vs %+v", got, p)
+	}
+}
+
+func TestParseControlMalformed(t *testing.T) {
+	if _, err := ParseControl([]byte{1, 2, 0}); err == nil {
+		t.Fatal("short packet should fail")
+	}
+	if _, err := ParseControl([]byte{1, 2, 0, 99}); err == nil {
+		t.Fatal("bad length field should fail")
+	}
+	// Length smaller than header.
+	if _, err := ParseControl([]byte{1, 2, 0, 2}); err == nil {
+		t.Fatal("undersized length field should fail")
+	}
+}
+
+func TestChapValueCodec(t *testing.T) {
+	v, name, err := parseChapValue(marshalChapValue([]byte{1, 2, 3}, "operator"))
+	if err != nil || !bytes.Equal(v, []byte{1, 2, 3}) || name != "operator" {
+		t.Fatalf("chap value roundtrip: %v %q %v", v, name, err)
+	}
+	if _, _, err := parseChapValue(nil); err == nil {
+		t.Fatal("empty chap value should fail")
+	}
+	if _, _, err := parseChapValue([]byte{10, 1, 2}); err == nil {
+		t.Fatal("short chap value should fail")
+	}
+}
+
+func TestPapRequestCodec(t *testing.T) {
+	c := Credentials{User: "onelab", Password: "secret!"}
+	got, err := parsePapRequest(marshalPapRequest(c))
+	if err != nil || got != c {
+		t.Fatalf("pap roundtrip: %+v %v", got, err)
+	}
+	for _, bad := range [][]byte{nil, {5, 'a'}, {1, 'a', 9, 'x'}} {
+		if _, err := parsePapRequest(bad); err == nil {
+			t.Fatalf("parsePapRequest(%v) should fail", bad)
+		}
+	}
+}
+
+func TestChapHashVerify(t *testing.T) {
+	ch := []byte("challenge-bytes")
+	h := chapHash(7, "s3cret", ch)
+	if !chapVerify(7, "s3cret", ch, h) {
+		t.Fatal("verify of own hash failed")
+	}
+	if chapVerify(8, "s3cret", ch, h) {
+		t.Fatal("different id must not verify")
+	}
+	if chapVerify(7, "other", ch, h) {
+		t.Fatal("different secret must not verify")
+	}
+}
+
+// Property: the control-protocol automaton survives arbitrary byte blobs
+// presented as control packets (fuzzing the parser + state machine).
+func TestPropertyAutomatonRobust(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		loop := simNewLoopForFuzz()
+		a := newAutomaton(automatonConfig{
+			Name: "fuzz", Proto: ProtoLCP, Loop: loop,
+			Send:   func(uint16, ControlPacket) {},
+			Policy: &lcpPolicy{mru: 1500, localACCM0: true},
+		})
+		a.Open()
+		a.Up()
+		for _, b := range blobs {
+			p, err := ParseControl(b)
+			if err != nil {
+				continue
+			}
+			a.Input(p) // must not panic
+		}
+		loop.RunUntil(loop.Now() + 120e9)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(15))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All model code in this repository (links, modems, PPP state machines,
+// traffic generators) runs inside a single Loop. Time is virtual: the loop
+// holds a priority queue of timed events and advances its clock to the
+// timestamp of each event as it fires. Within a single timestamp, events
+// fire in scheduling order, which makes every run bit-for-bit reproducible
+// for a given seed.
+//
+// The kernel is intentionally single-threaded: model code never needs
+// locks, and an entire 120-second paper experiment executes in a few
+// milliseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Loop is a discrete-event scheduler with a virtual clock.
+//
+// The zero value is not usable; construct with NewLoop.
+type Loop struct {
+	now     time.Duration
+	seq     uint64
+	pq      eventHeap
+	seed    int64
+	rngs    map[string]*rand.Rand
+	stopped bool
+	idleFns []func()
+}
+
+// NewLoop returns a Loop whose clock starts at zero and whose named RNG
+// streams are derived from seed.
+func NewLoop(seed int64) *Loop {
+	return &Loop{
+		seed: seed,
+		rngs: make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Seed returns the seed the loop was created with.
+func (l *Loop) Seed() int64 { return l.seed }
+
+// RNG returns the deterministic random stream with the given name,
+// creating it on first use. Distinct names yield independent streams, so a
+// model component can own a stream without perturbing others when the
+// topology changes.
+func (l *Loop) RNG(name string) *rand.Rand {
+	if r, ok := l.rngs[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r := rand.New(rand.NewSource(l.seed ^ int64(h.Sum64())))
+	l.rngs[name] = r
+	return r
+}
+
+// Timer is a handle to a scheduled event. It may be cancelled before it
+// fires; cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's function from running if it has not fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Pending reports whether the timer has been scheduled and not yet fired
+// or cancelled.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) is an error in the model; the event fires immediately
+// at the current time instead, preserving clock monotonicity.
+func (l *Loop) At(at time.Duration, fn func()) *Timer {
+	if at < l.now {
+		at = l.now
+	}
+	ev := &event{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	return l.At(l.now+d, fn)
+}
+
+// Post schedules fn to run at the current virtual time, after all events
+// already scheduled for this instant.
+func (l *Loop) Post(fn func()) *Timer { return l.At(l.now, fn) }
+
+// OnIdle registers fn to be consulted when the event queue drains during
+// Run. This is used by sources that generate work lazily.
+func (l *Loop) OnIdle(fn func()) { l.idleFns = append(l.idleFns, fn) }
+
+// Stop makes the currently executing Run/RunUntil return after the current
+// event completes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the virtual time of the last event executed.
+func (l *Loop) Run() time.Duration {
+	l.stopped = false
+	for !l.stopped {
+		if l.pq.Len() == 0 {
+			for _, fn := range l.idleFns {
+				fn()
+			}
+			if l.pq.Len() == 0 {
+				break
+			}
+		}
+		l.step()
+	}
+	return l.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled for later remain queued.
+func (l *Loop) RunUntil(t time.Duration) {
+	l.stopped = false
+	for !l.stopped && l.pq.Len() > 0 && l.pq[0].at <= t {
+		l.step()
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// RunWhile executes events until cond returns false or the queue drains.
+// cond is evaluated before each event.
+func (l *Loop) RunWhile(cond func() bool) {
+	l.stopped = false
+	for !l.stopped && l.pq.Len() > 0 && cond() {
+		l.step()
+	}
+}
+
+func (l *Loop) step() {
+	ev := heap.Pop(&l.pq).(*event)
+	if ev.fn == nil { // cancelled
+		return
+	}
+	if ev.at > l.now {
+		l.now = ev.at
+	}
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+}
+
+// Len returns the number of queued (possibly cancelled) events; useful in
+// tests.
+func (l *Loop) Len() int { return l.pq.Len() }
+
+// event is a queue entry. seq breaks ties between events scheduled for the
+// same instant, guaranteeing FIFO order and determinism.
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker invokes a function at a fixed virtual-time period until stopped.
+type Ticker struct {
+	loop   *Loop
+	period time.Duration
+	fn     func()
+	timer  *Timer
+	active bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one
+// period from now. period must be positive.
+func (l *Loop) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t := &Ticker{loop: l, period: period, fn: fn, active: true}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.loop.After(t.period, func() {
+		if !t.active {
+			return
+		}
+		t.fn()
+		if t.active {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.active = false
+	t.timer.Cancel()
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.After(30*time.Millisecond, func() { got = append(got, 3) })
+	l.After(10*time.Millisecond, func() { got = append(got, 1) })
+	l.After(20*time.Millisecond, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", l.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	l := NewLoop(1)
+	fired := 0
+	l.After(time.Second, func() {
+		l.After(time.Second, func() { fired++ })
+	})
+	l.Run()
+	if fired != 1 {
+		t.Fatalf("nested event fired %d times, want 1", fired)
+	}
+	if l.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", l.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	tm := l.After(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	tm.Cancel()
+	if tm.Pending() {
+		t.Fatal("cancelled timer should not be pending")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	tm.Cancel() // idempotent
+}
+
+func TestCancelNil(t *testing.T) {
+	var tm *Timer
+	tm.Cancel() // must not panic
+	if tm.Pending() {
+		t.Fatal("nil timer pending")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.After(10*time.Millisecond, func() { got = append(got, 1) })
+	l.After(30*time.Millisecond, func() { got = append(got, 2) })
+	l.RunUntil(20 * time.Millisecond)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if l.Now() != 20*time.Millisecond {
+		t.Fatalf("Now = %v, want 20ms", l.Now())
+	}
+	l.Run()
+	if len(got) != 2 {
+		t.Fatalf("got %v, want both events", got)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	for i := 0; i < 100; i++ {
+		l.After(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	l.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	for i := 1; i <= 5; i++ {
+		l.After(time.Duration(i)*time.Second, func() {
+			n++
+			if n == 2 {
+				l.Stop()
+			}
+		})
+	}
+	l.Run()
+	if n != 2 {
+		t.Fatalf("executed %d events after Stop, want 2", n)
+	}
+	// Run again resumes.
+	l.Run()
+	if n != 5 {
+		t.Fatalf("executed %d events total, want 5", n)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	l := NewLoop(1)
+	l.After(time.Second, func() {
+		l.At(0, func() {
+			if l.Now() != time.Second {
+				t.Errorf("clock went backwards: %v", l.Now())
+			}
+		})
+	})
+	l.Run()
+}
+
+func TestPost(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.After(time.Second, func() {
+		got = append(got, 1)
+		l.Post(func() { got = append(got, 3) })
+		got = append(got, 2)
+	})
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	var tk *Ticker
+	tk = l.NewTicker(100*time.Millisecond, func() {
+		n++
+		if n == 5 {
+			tk.Stop()
+		}
+	})
+	l.Run()
+	if n != 5 {
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+	if l.Now() != 500*time.Millisecond {
+		t.Fatalf("Now = %v, want 500ms", l.Now())
+	}
+}
+
+func TestTickerBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive period")
+		}
+	}()
+	NewLoop(1).NewTicker(0, func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewLoop(42)
+	b := NewLoop(42)
+	for i := 0; i < 100; i++ {
+		if a.RNG("x").Int63() != b.RNG("x").Int63() {
+			t.Fatal("same seed + name should give identical streams")
+		}
+	}
+	if a.RNG("x") != a.RNG("x") {
+		t.Fatal("RNG should be cached per name")
+	}
+}
+
+func TestRNGIndependentStreams(t *testing.T) {
+	l := NewLoop(42)
+	a := l.RNG("a").Int63()
+	b := l.RNG("b").Int63()
+	if a == b {
+		t.Fatal("distinct names should give distinct streams")
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	if NewLoop(1).RNG("x").Int63() == NewLoop(2).RNG("x").Int63() {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestOnIdle(t *testing.T) {
+	l := NewLoop(1)
+	phase := 0
+	l.OnIdle(func() {
+		if phase == 1 {
+			phase = 2
+			l.After(time.Second, func() { phase = 3 })
+		}
+	})
+	l.After(time.Second, func() { phase = 1 })
+	l.Run()
+	if phase != 3 {
+		t.Fatalf("phase = %d, want 3", phase)
+	}
+	if l.Now() != 2*time.Second {
+		t.Fatalf("Now = %v", l.Now())
+	}
+}
+
+// Property: for any set of non-negative delays, Run executes all events in
+// non-decreasing time order and finishes at the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		l := NewLoop(7)
+		var fired []time.Duration
+		var maxD time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			if at > maxD {
+				maxD = at
+			}
+			l.After(at, func() { fired = append(fired, l.Now()) })
+		}
+		l.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return l.Now() == maxD
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

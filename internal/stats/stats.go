@@ -1,0 +1,148 @@
+// Package stats provides the small statistical toolkit used by the
+// traffic decoder and the experiment harness: running summaries
+// (Welford), percentiles, and timestamped series with windowed views.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates a running mean/variance/min/max (Welford's
+// algorithm). The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates a sample.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation. values need not be sorted; the slice is not modified.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Point is one timestamped sample of a series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a time-ordered sequence of samples (one per window in the
+// decoder's output).
+type Series []Point
+
+// Values extracts the sample values.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Summarize computes a Summary over the series values.
+func (s Series) Summarize() Summary {
+	var sum Summary
+	for _, p := range s {
+		sum.Add(p.V)
+	}
+	return sum
+}
+
+// Mean returns the mean value of the series.
+func (s Series) Mean() float64 { sum := s.Summarize(); return sum.Mean() }
+
+// Max returns the maximum value of the series.
+func (s Series) Max() float64 { sum := s.Summarize(); return sum.Max() }
+
+// Min returns the minimum value of the series.
+func (s Series) Min() float64 { sum := s.Summarize(); return sum.Min() }
+
+// After returns the sub-series with T >= t (for "after the adaptation
+// knee" comparisons).
+func (s Series) After(t time.Duration) Series {
+	for i, p := range s {
+		if p.T >= t {
+			return s[i:]
+		}
+	}
+	return nil
+}
+
+// Before returns the sub-series with T < t.
+func (s Series) Before(t time.Duration) Series {
+	for i, p := range s {
+		if p.T >= t {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population std is 2; sample std = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.Std() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatalf("single-sample summary wrong: %s", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEdge(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("singleton percentile")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSeriesOps(t *testing.T) {
+	s := Series{
+		{T: 0, V: 10}, {T: time.Second, V: 20}, {T: 2 * time.Second, V: 30},
+	}
+	if s.Mean() != 20 || s.Min() != 10 || s.Max() != 30 {
+		t.Fatalf("series stats wrong: %v %v %v", s.Mean(), s.Min(), s.Max())
+	}
+	after := s.After(time.Second)
+	if len(after) != 2 || after[0].V != 20 {
+		t.Fatalf("After = %v", after)
+	}
+	before := s.Before(time.Second)
+	if len(before) != 1 || before[0].V != 10 {
+		t.Fatalf("Before = %v", before)
+	}
+	if len(s.After(time.Hour)) != 0 {
+		t.Fatal("After far future should be empty")
+	}
+	if len(s.Before(time.Hour)) != 3 {
+		t.Fatal("Before far future should be everything")
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[2] != 30 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+// Property: Summary mean/min/max agree with direct computation.
+func TestPropertySummaryAgreesWithDirect(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Summary
+		sum, mn, mx := 0.0, clean[0], clean[0]
+		for _, v := range clean {
+			s.Add(v)
+			sum += v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		mean := sum / float64(len(clean))
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) && s.Min() == mn && s.Max() == mx
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(clean, pa), Percentile(clean, pb)
+		lo, hi := Percentile(clean, 0), Percentile(clean, 100)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

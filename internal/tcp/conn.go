@@ -1,0 +1,564 @@
+package tcp
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Connection states (simplified TCP state machine: simultaneous opens
+// and half-closed data flow are not supported).
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateFinWait   // we sent FIN, waiting for its ACK
+	stateCloseWait // peer sent FIN; we will FIN once drained
+	stateClosed
+)
+
+func (s connState) String() string {
+	switch s {
+	case stateSynSent:
+		return "syn-sent"
+	case stateSynRcvd:
+		return "syn-rcvd"
+	case stateEstablished:
+		return "established"
+	case stateFinWait:
+		return "fin-wait"
+	case stateCloseWait:
+		return "close-wait"
+	case stateClosed:
+		return "closed"
+	default:
+		return "?"
+	}
+}
+
+// Errors delivered through OnClose / Dial callbacks.
+var (
+	ErrTimeout = errors.New("tcp: connection timed out")
+	ErrReset   = errors.New("tcp: connection reset")
+	ErrClosed  = errors.New("tcp: connection closed")
+)
+
+// Tunables (RFC 6298 bounds relaxed at the low end for simulated LANs).
+const (
+	defaultMSS    = 1400
+	initWindow    = 2 * defaultMSS
+	rcvWindow     = 256 * 1024
+	minRTO        = 200 * time.Millisecond
+	maxRTO        = 60 * time.Second
+	initialRTO    = time.Second
+	synRetries    = 5
+	maxRetransmit = 10
+	dupAckThresh  = 3
+)
+
+// Stats counts a connection's protocol activity.
+type Stats struct {
+	SegsSent        uint64
+	SegsReceived    uint64
+	BytesSent       uint64 // application bytes handed to the network (incl. rexmits)
+	BytesAcked      uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	DupAcksSeen     uint64
+	OutOfOrderDrops uint64
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack *Stack
+	loop  *sim.Loop
+	local netip.Addr
+	peer  netip.Addr
+	lport uint16
+	rport uint16
+
+	state connState
+
+	// Send state.
+	sndUna    uint32 // oldest unacknowledged
+	sndNxt    uint32 // next sequence to send
+	iss       uint32
+	sndBuf    []byte // bytes [sndUna, ...) still owned by us
+	finQueued bool
+	finSent   bool
+	peerWnd   uint32
+
+	// Congestion control (Reno).
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+
+	// RTO estimation.
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtSeq        uint32        // sequence being timed
+	rtStart      time.Duration // when it was sent
+	rtValid      bool
+	rexmitTimer  *sim.Timer
+	rexmitCount  int
+
+	// Receive state.
+	rcvNxt uint32
+
+	// Callbacks.
+	// OnData receives in-order application bytes.
+	OnData func(b []byte)
+	// OnConnect fires when the handshake completes (active open).
+	OnConnect func()
+	// OnClose fires exactly once when the connection ends; err is nil
+	// for a graceful close.
+	OnClose func(err error)
+
+	stats  Stats
+	closed bool
+}
+
+// State returns the connection state name (for tests and status tools).
+func (c *Conn) State() string { return c.state.String() }
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// LocalAddr returns the local address and port.
+func (c *Conn) LocalAddr() (netip.Addr, uint16) { return c.local, c.lport }
+
+// RemoteAddr returns the remote address and port.
+func (c *Conn) RemoteAddr() (netip.Addr, uint16) { return c.peer, c.rport }
+
+// Established reports whether the handshake has completed and the
+// connection is usable.
+func (c *Conn) Established() bool { return c.state == stateEstablished || c.state == stateCloseWait }
+
+// BufferedBytes returns unacknowledged + unsent bytes held by the sender.
+func (c *Conn) BufferedBytes() int { return len(c.sndBuf) }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() int { return int(c.cwnd) }
+
+// Write queues application data for transmission. It is an error to
+// write after Close.
+func (c *Conn) Write(b []byte) error {
+	if c.closed || c.finQueued {
+		return ErrClosed
+	}
+	if !c.Established() && c.state != stateSynSent && c.state != stateSynRcvd {
+		return ErrClosed
+	}
+	c.sndBuf = append(c.sndBuf, b...)
+	c.output()
+	return nil
+}
+
+// Close initiates a graceful close: remaining buffered data is sent,
+// then a FIN.
+func (c *Conn) Close() {
+	if c.closed || c.finQueued {
+		return
+	}
+	c.finQueued = true
+	c.output()
+}
+
+// Abort sends a RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.closed {
+		return
+	}
+	c.sendSegment(segment{Seq: c.sndNxt, Flags: flagRST})
+	c.teardown(ErrReset)
+}
+
+// --- internals ---
+
+func (c *Conn) init(loop *sim.Loop) {
+	c.loop = loop
+	c.cwnd = initWindow
+	c.ssthresh = 64 * 1024
+	c.rto = initialRTO
+	c.peerWnd = rcvWindow
+}
+
+// startActive begins an active open (SYN).
+func (c *Conn) startActive() {
+	c.state = stateSynSent
+	c.iss = c.loop.RNG("tcp/iss").Uint32()
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.sendSYN(false)
+}
+
+func (c *Conn) sendSYN(withAck bool) {
+	seg := segment{Seq: c.iss, Flags: flagSYN, Wnd: rcvWindow}
+	if withAck {
+		seg.Flags |= flagACK
+		seg.Ack = c.rcvNxt
+	}
+	c.sendSegment(seg)
+	c.armRexmit()
+}
+
+func (c *Conn) sendSegment(seg segment) {
+	c.stats.SegsSent++
+	pkt := &netsim.Packet{
+		Src: c.local, Dst: c.peer, Proto: netsim.ProtoTCP,
+		SrcPort: c.lport, DstPort: c.rport,
+		Payload: seg.marshal(),
+	}
+	c.stack.send(pkt)
+}
+
+// flight returns bytes in flight.
+func (c *Conn) flight() int { return int(c.sndNxt - c.sndUna) }
+
+// output transmits as much buffered data as the congestion and peer
+// windows allow, plus the FIN when everything is drained.
+func (c *Conn) output() {
+	if c.state != stateEstablished && c.state != stateCloseWait {
+		return
+	}
+	wnd := int(c.cwnd)
+	if int(c.peerWnd) < wnd {
+		wnd = int(c.peerWnd)
+	}
+	for {
+		offset := c.flight()
+		avail := len(c.sndBuf) - offset
+		if avail <= 0 {
+			break
+		}
+		room := wnd - offset
+		if room <= 0 {
+			break
+		}
+		n := defaultMSS
+		if n > avail {
+			n = avail
+		}
+		if n > room {
+			n = room
+		}
+		data := append([]byte(nil), c.sndBuf[offset:offset+n]...)
+		seg := segment{Seq: c.sndNxt, Ack: c.rcvNxt, Flags: flagACK, Wnd: rcvWindow, Data: data}
+		c.sendSegment(seg)
+		c.stats.BytesSent += uint64(n)
+		if !c.rtValid {
+			c.rtValid = true
+			c.rtSeq = c.sndNxt
+			c.rtStart = c.loop.Now()
+		}
+		c.sndNxt += uint32(n)
+		c.armRexmit()
+	}
+	// FIN once the buffer is fully in flight or acked.
+	if c.finQueued && !c.finSent && c.flight() == len(c.sndBuf) {
+		c.finSent = true
+		c.sendSegment(segment{Seq: c.sndNxt, Ack: c.rcvNxt, Flags: flagFIN | flagACK, Wnd: rcvWindow})
+		c.sndNxt++ // FIN consumes a sequence number
+		if c.state == stateEstablished {
+			c.state = stateFinWait
+		}
+		c.armRexmit()
+	}
+}
+
+func (c *Conn) armRexmit() {
+	if c.rexmitTimer != nil {
+		c.rexmitTimer.Cancel()
+	}
+	c.rexmitTimer = c.loop.After(c.rto, c.rexmitTimeout)
+}
+
+func (c *Conn) disarmRexmit() {
+	if c.rexmitTimer != nil {
+		c.rexmitTimer.Cancel()
+		c.rexmitTimer = nil
+	}
+}
+
+// rexmitTimeout is the RTO expiry: back off, shrink to one segment, and
+// resend from sndUna (go-back-N on the first unacked segment).
+func (c *Conn) rexmitTimeout() {
+	if c.closed {
+		return
+	}
+	c.rexmitCount++
+	limit := maxRetransmit
+	if c.state == stateSynSent || c.state == stateSynRcvd {
+		limit = synRetries
+	}
+	if c.rexmitCount > limit {
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.stats.Retransmits++
+	// Karn: do not time retransmitted segments; back the RTO off.
+	c.rtValid = false
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	// Multiplicative decrease to a single segment (RFC 5681 RTO).
+	c.ssthresh = maxf(float64(c.flight())/2, 2*defaultMSS)
+	c.cwnd = defaultMSS
+	c.dupAcks = 0
+	switch c.state {
+	case stateSynSent, stateSynRcvd:
+		c.retransmitFirst()
+	default:
+		// Go-back-N: treat the whole flight as lost, rewind, and let
+		// normal (cwnd-paced, ACK-clocked) output resend it. Without
+		// the rewind, a burst loss would crawl back one segment per
+		// doubled RTO.
+		c.sndNxt = c.sndUna
+		c.finSent = false // the FIN, if sent, is re-queued after the data
+		c.output()
+	}
+	c.armRexmit()
+}
+
+// retransmitFirst resends the segment starting at sndUna (or the
+// SYN/FIN when appropriate).
+func (c *Conn) retransmitFirst() {
+	switch c.state {
+	case stateSynSent:
+		c.sendSegment(segment{Seq: c.iss, Flags: flagSYN, Wnd: rcvWindow})
+		return
+	case stateSynRcvd:
+		c.sendSegment(segment{Seq: c.iss, Flags: flagSYN | flagACK, Ack: c.rcvNxt, Wnd: rcvWindow})
+		return
+	}
+	offset := 0
+	avail := len(c.sndBuf)
+	if avail > 0 && c.flight() > 0 && offset < avail {
+		n := defaultMSS
+		if n > avail {
+			n = avail
+		}
+		data := append([]byte(nil), c.sndBuf[:n]...)
+		c.sendSegment(segment{Seq: c.sndUna, Ack: c.rcvNxt, Flags: flagACK, Wnd: rcvWindow, Data: data})
+		c.stats.BytesSent += uint64(n)
+		return
+	}
+	if c.finSent {
+		c.sendSegment(segment{Seq: c.sndNxt - 1, Ack: c.rcvNxt, Flags: flagFIN | flagACK, Wnd: rcvWindow})
+	}
+}
+
+// input processes one incoming segment.
+func (c *Conn) input(seg segment) {
+	if c.closed {
+		return
+	}
+	c.stats.SegsReceived++
+	if seg.Flags&flagRST != 0 {
+		c.teardown(ErrReset)
+		return
+	}
+	switch c.state {
+	case stateSynSent:
+		if seg.Flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.Ack == c.iss+1 {
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.sndNxt = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.state = stateEstablished
+			c.disarmRexmit()
+			c.rexmitCount = 0
+			c.sendAck()
+			if c.OnConnect != nil {
+				c.OnConnect()
+			}
+			c.output()
+		}
+		return
+	case stateSynRcvd:
+		if seg.Flags&flagACK != 0 && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.sndNxt = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.state = stateEstablished
+			c.disarmRexmit()
+			c.rexmitCount = 0
+			if c.OnConnect != nil {
+				c.OnConnect()
+			}
+			// fall through to process any piggybacked data
+		} else if seg.Flags&flagSYN != 0 {
+			// Duplicate SYN: re-answer.
+			c.sendSegment(segment{Seq: c.iss, Flags: flagSYN | flagACK, Ack: c.rcvNxt, Wnd: rcvWindow})
+			return
+		} else {
+			return
+		}
+	}
+
+	// Established / closing states.
+	if seg.Flags&flagACK != 0 {
+		c.processAck(seg)
+	}
+	if len(seg.Data) > 0 {
+		c.processData(seg)
+	}
+	if seg.Flags&flagFIN != 0 {
+		c.processFin(seg)
+	}
+}
+
+func (c *Conn) processAck(seg segment) {
+	c.peerWnd = seg.Wnd
+	ack := seg.Ack
+	switch {
+	case seqLess(c.sndUna, ack) && seqLEq(ack, c.sndNxt):
+		acked := ack - c.sndUna
+		c.stats.BytesAcked += uint64(acked)
+		// Slide the send buffer. The FIN's phantom byte is not in sndBuf.
+		dataAcked := int(acked)
+		if dataAcked > len(c.sndBuf) {
+			dataAcked = len(c.sndBuf)
+		}
+		c.sndBuf = c.sndBuf[dataAcked:]
+		c.sndUna = ack
+		c.dupAcks = 0
+		c.rexmitCount = 0
+		// RTT sample (Karn: only if the timed segment is covered and was
+		// not retransmitted).
+		if c.rtValid && seqLess(c.rtSeq, ack) {
+			c.updateRTO(c.loop.Now() - c.rtStart)
+			c.rtValid = false
+		}
+		// Congestion control.
+		if c.cwnd < c.ssthresh {
+			c.cwnd += defaultMSS // slow start
+		} else {
+			c.cwnd += defaultMSS * defaultMSS / c.cwnd // congestion avoidance
+		}
+		// New data acknowledged: collapse any exponential backoff back
+		// to the estimator's value (RFC 6298 §5.7 behaviour).
+		if c.srtt > 0 {
+			c.rto = c.srtt + 4*c.rttvar
+			if c.rto < minRTO {
+				c.rto = minRTO
+			}
+		}
+		if c.flight() == 0 && len(c.sndBuf) == 0 {
+			c.disarmRexmit()
+			if c.finSent && ack == c.sndNxt {
+				// Our FIN is acknowledged.
+				if c.state == stateFinWait {
+					c.state = stateClosed
+					c.teardown(nil)
+					return
+				}
+				if c.state == stateCloseWait {
+					c.teardown(nil)
+					return
+				}
+			}
+		} else {
+			c.armRexmit()
+		}
+		c.output()
+	case ack == c.sndUna && c.flight() > 0:
+		// Duplicate ACK.
+		c.stats.DupAcksSeen++
+		c.dupAcks++
+		if c.dupAcks == dupAckThresh {
+			c.stats.FastRetransmits++
+			c.ssthresh = maxf(float64(c.flight())/2, 2*defaultMSS)
+			c.cwnd = c.ssthresh
+			c.retransmitFirst()
+			c.armRexmit()
+		}
+	}
+}
+
+func (c *Conn) processData(seg segment) {
+	if seg.Seq == c.rcvNxt {
+		c.rcvNxt += uint32(len(seg.Data))
+		if c.OnData != nil {
+			c.OnData(seg.Data)
+		}
+		c.sendAck()
+		return
+	}
+	// Out of order or duplicate: drop and re-advertise rcvNxt (the
+	// duplicate ACK drives the sender's fast retransmit).
+	c.stats.OutOfOrderDrops++
+	c.sendAck()
+}
+
+func (c *Conn) processFin(seg segment) {
+	if seg.Seq != c.rcvNxt {
+		return // FIN beyond a gap: ignore until data catches up
+	}
+	c.rcvNxt++
+	c.sendAck()
+	switch c.state {
+	case stateEstablished:
+		c.state = stateCloseWait
+		// Passive close: finish sending, then FIN.
+		c.Close()
+	case stateFinWait:
+		// Both sides have FINed; our FIN ack may still be pending, but
+		// for the simulator's purposes the connection is done.
+		c.teardown(nil)
+	}
+}
+
+func (c *Conn) sendAck() {
+	c.sendSegment(segment{Seq: c.sndNxt, Ack: c.rcvNxt, Flags: flagACK, Wnd: rcvWindow})
+}
+
+func (c *Conn) updateRTO(sample time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+func (c *Conn) teardown(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.state = stateClosed
+	c.disarmRexmit()
+	c.stack.remove(c)
+	if c.OnClose != nil {
+		c.OnClose(err)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

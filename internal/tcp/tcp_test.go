@@ -1,0 +1,282 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// pairStacks builds two hosts with TCP stacks over a configurable link.
+func pairStacks(t *testing.T, a2b, b2a netsim.LinkConfig) (*sim.Loop, *Stack, *Stack) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	nw := netsim.NewNetwork(loop)
+	a := nw.AddNode("a")
+	b := nw.AddNode("b")
+	nw.WireP2P("l", a, "eth0", netsim.MustAddr("10.0.0.1"),
+		b, "eth0", netsim.MustAddr("10.0.0.2"), a2b, b2a)
+	sa, err := NewStack(loop, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewStack(loop, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, sa, sb
+}
+
+// transfer sends payload from a to b and returns what b received plus
+// both connections.
+func transfer(t *testing.T, loop *sim.Loop, sa, sb *Stack, payload []byte, budget time.Duration) ([]byte, *Conn, *Conn) {
+	t.Helper()
+	var got bytes.Buffer
+	var server *Conn
+	serverClosed := false
+	if err := sb.Listen(80, func(c *Conn) {
+		server = c
+		c.OnData = func(b []byte) { got.Write(b) }
+		c.OnClose = func(error) { serverClosed = true }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientClosed := false
+	client.OnClose = func(error) { clientClosed = true }
+	client.OnConnect = func() {
+		client.Write(payload)
+		client.Close()
+	}
+	loop.RunUntil(loop.Now() + budget)
+	if !clientClosed || !serverClosed {
+		t.Fatalf("connections not closed: client=%v server=%v (client %s, server %s)",
+			clientClosed, serverClosed, client.State(), server.State())
+	}
+	return got.Bytes(), client, server
+}
+
+func TestHandshakeAndSmallTransfer(t *testing.T) {
+	cfg := netsim.LinkConfig{Delay: 10 * time.Millisecond}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	payload := []byte("GET / HTTP/1.0\r\n\r\n")
+	got, client, _ := transfer(t, loop, sa, sb, payload, 10*time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("received %q", got)
+	}
+	if client.Stats().Retransmits != 0 {
+		t.Fatal("clean link should not retransmit")
+	}
+	if sa.Conns() != 0 || sb.Conns() != 0 {
+		t.Fatal("connections not reaped")
+	}
+}
+
+func TestBulkTransferIntegrity(t *testing.T) {
+	cfg := netsim.LinkConfig{RateBps: 10e6, Delay: 20 * time.Millisecond, QueuePackets: 100}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	payload := make([]byte, 1<<20) // 1 MiB
+	rng := loop.RNG("payload")
+	rng.Read(payload)
+	got, client, _ := transfer(t, loop, sa, sb, payload, 5*time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("1 MiB transfer corrupted: got %d bytes", len(got))
+	}
+	if client.SRTT() == 0 {
+		t.Fatal("no RTT estimate formed")
+	}
+}
+
+func TestTransferOverLossyLink(t *testing.T) {
+	cfg := netsim.LinkConfig{RateBps: 5e6, Delay: 15 * time.Millisecond, LossProb: 0.03, QueuePackets: 200}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	payload := make([]byte, 256<<10)
+	loop.RNG("payload").Read(payload)
+	got, client, _ := transfer(t, loop, sa, sb, payload, 10*time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("lossy transfer corrupted: %d of %d bytes", len(got), len(payload))
+	}
+	st := client.Stats()
+	if st.Retransmits == 0 && st.FastRetransmits == 0 {
+		t.Fatal("3% loss must force retransmissions")
+	}
+}
+
+func TestFastRetransmitUsed(t *testing.T) {
+	// Enough loss and enough flight for dup-ACK recovery to trigger.
+	cfg := netsim.LinkConfig{RateBps: 20e6, Delay: 30 * time.Millisecond, LossProb: 0.01, QueuePackets: 500}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	payload := make([]byte, 512<<10)
+	loop.RNG("payload").Read(payload)
+	got, client, _ := transfer(t, loop, sa, sb, payload, 10*time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("corrupted")
+	}
+	if client.Stats().FastRetransmits == 0 {
+		t.Fatalf("expected fast retransmits; stats %+v", client.Stats())
+	}
+}
+
+func TestSlowStartGrowsCwnd(t *testing.T) {
+	cfg := netsim.LinkConfig{RateBps: 50e6, Delay: 25 * time.Millisecond, QueuePackets: 1000}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	var server *Conn
+	sb.Listen(80, func(c *Conn) {
+		server = c
+		c.OnData = func([]byte) {}
+	})
+	client, _ := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	start := client.Cwnd()
+	client.OnConnect = func() { client.Write(make([]byte, 512<<10)) }
+	loop.RunUntil(3 * time.Second)
+	if client.Cwnd() <= start {
+		t.Fatalf("cwnd did not grow: %d -> %d", start, client.Cwnd())
+	}
+	_ = server
+}
+
+func TestRTOBackoffAndGiveUp(t *testing.T) {
+	// Peer is unreachable: SYN retries back off, then the dial fails.
+	loop := sim.NewLoop(1)
+	nw := netsim.NewNetwork(loop)
+	a := nw.AddNode("a")
+	b := nw.AddNode("b") // no TCP stack: node drops to no handler
+	nw.WireP2P("l", a, "eth0", netsim.MustAddr("10.0.0.1"),
+		b, "eth0", netsim.MustAddr("10.0.0.2"), netsim.LinkConfig{}, netsim.LinkConfig{})
+	sa, _ := NewStack(loop, a, nil)
+	client, err := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	client.OnClose = func(e error) { gotErr = e }
+	loop.RunUntil(5 * time.Minute)
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", gotErr)
+	}
+	if client.Stats().Retransmits < synRetries-1 {
+		t.Fatalf("SYN retries = %d", client.Stats().Retransmits)
+	}
+}
+
+func TestConnectionRefusedByRST(t *testing.T) {
+	// Peer has a TCP stack but no listener on the port: RST.
+	cfg := netsim.LinkConfig{Delay: 5 * time.Millisecond}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	client, err := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	client.OnClose = func(e error) { gotErr = e }
+	loop.RunUntil(time.Minute)
+	if !errors.Is(gotErr, ErrReset) {
+		t.Fatalf("err = %v, want reset", gotErr)
+	}
+	if sb.RefusedSegments == 0 {
+		t.Fatal("refused segment not counted")
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	cfg := netsim.LinkConfig{Delay: 5 * time.Millisecond}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	var server *Conn
+	var serverErr error
+	gotServerClose := false
+	sb.Listen(80, func(c *Conn) {
+		server = c
+		c.OnClose = func(e error) { serverErr = e; gotServerClose = true }
+	})
+	client, _ := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	client.OnConnect = func() { client.Abort() }
+	loop.RunUntil(time.Minute)
+	if !gotServerClose || !errors.Is(serverErr, ErrReset) {
+		t.Fatalf("server close err = %v (closed=%v)", serverErr, gotServerClose)
+	}
+	_ = server
+}
+
+func TestServerToClientData(t *testing.T) {
+	cfg := netsim.LinkConfig{Delay: 5 * time.Millisecond}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	response := bytes.Repeat([]byte("pong!"), 2000)
+	sb.Listen(80, func(c *Conn) {
+		c.OnData = func([]byte) {
+			c.Write(response)
+			c.Close()
+		}
+	})
+	var got bytes.Buffer
+	closed := false
+	client, _ := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	client.OnData = func(b []byte) { got.Write(b) }
+	client.OnClose = func(error) { closed = true }
+	client.OnConnect = func() { client.Write([]byte("ping")) }
+	loop.RunUntil(time.Minute)
+	if !closed {
+		t.Fatalf("client not closed (%s)", client.State())
+	}
+	if !bytes.Equal(got.Bytes(), response) {
+		t.Fatalf("got %d bytes, want %d", got.Len(), len(response))
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	cfg := netsim.LinkConfig{Delay: time.Millisecond}
+	loop, sa, sb := pairStacks(t, cfg, cfg)
+	sb.Listen(80, func(c *Conn) {})
+	client, _ := sa.Dial(netsim.MustAddr("10.0.0.1"), netsim.MustAddr("10.0.0.2"), 80)
+	client.Close()
+	if err := client.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	loop.RunUntil(time.Minute)
+}
+
+func TestListenDuplicatePort(t *testing.T) {
+	cfg := netsim.LinkConfig{}
+	_, _, sb := pairStacks(t, cfg, cfg)
+	if err := sb.Listen(80, func(*Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Listen(80, func(*Conn) {}); err == nil {
+		t.Fatal("duplicate listen should fail")
+	}
+}
+
+func TestSegmentCodec(t *testing.T) {
+	s := segment{Seq: 1e9, Ack: 42, Flags: flagSYN | flagACK, Wnd: 65535, Data: []byte("abc")}
+	got, err := parseSegment(s.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != s.Seq || got.Ack != s.Ack || got.Flags != s.Flags || got.Wnd != s.Wnd ||
+		!bytes.Equal(got.Data, s.Data) {
+		t.Fatalf("roundtrip: %v vs %v", got, s)
+	}
+	if _, err := parseSegment([]byte{1, 2}); err == nil {
+		t.Fatal("short segment should fail")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if !seqLess(0xfffffff0, 0x10) {
+		t.Fatal("wraparound compare broken")
+	}
+	if seqLess(0x10, 0xfffffff0) {
+		t.Fatal("wraparound compare broken (reverse)")
+	}
+	if !seqLEq(5, 5) || !seqLEq(4, 5) || seqLEq(6, 5) {
+		t.Fatal("seqLEq broken")
+	}
+}

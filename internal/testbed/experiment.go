@@ -1,0 +1,202 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+// Path selects which end-to-end path a flow takes (§3: UMTS-to-Ethernet
+// vs Ethernet-to-Ethernet between the same two nodes).
+type Path int
+
+// Paths.
+const (
+	PathUMTS Path = iota
+	PathEthernet
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathUMTS:
+		return "UMTS-to-Ethernet"
+	case PathEthernet:
+		return "Ethernet-to-Ethernet"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// Workload selects the traffic class (§3.1).
+type Workload int
+
+// Workloads.
+const (
+	// WorkloadVoIP is the 72 kbps G.711-like UDP CBR flow (paper §3.1).
+	WorkloadVoIP Workload = iota
+	// WorkloadCBR1M is the 1 Mbps UDP CBR flow (1024 B x 122 pps,
+	// paper §3.1).
+	WorkloadCBR1M
+	// WorkloadVoIPG729 is the lighter 24 kbps G.729 call (extension:
+	// D-ITG's other VoIP preset).
+	WorkloadVoIPG729
+	// WorkloadTelnet is bursty interactive traffic (extension).
+	WorkloadTelnet
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadVoIP:
+		return "VoIP G.711 (72 kbps)"
+	case WorkloadCBR1M:
+		return "CBR 1 Mbps"
+	case WorkloadVoIPG729:
+		return "VoIP G.729 (24 kbps)"
+	case WorkloadTelnet:
+		return "Telnet-like"
+	default:
+		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// Experiment ports.
+const (
+	senderPort   = 5000
+	receiverPort = 9000
+)
+
+// ExperimentSpec parameterizes one §3 run.
+type ExperimentSpec struct {
+	Path     Path
+	Workload Workload
+	// Duration of the flow (paper: 120 s).
+	Duration time.Duration
+	// Window of the QoS samples (paper: 200 ms).
+	Window time.Duration
+}
+
+// ExperimentResult carries the decoded flow plus testbed-side context.
+type ExperimentResult struct {
+	Spec    ExperimentSpec
+	Decoded *itg.Result
+	// Status is the final `umts status` (UMTS path only).
+	Status core.Status
+	// BearerEvents is the radio session log (UMTS path only) — the
+	// bearer upgrade shows the Fig. 4 knee.
+	BearerEvents []string
+	// SetupTime is how long the dial-up took (UMTS path only).
+	SetupTime time.Duration
+	// SenderErrors counts packets refused on the send path.
+	SenderErrors uint64
+}
+
+// RunExperiment reproduces one cell of the paper's evaluation on this
+// testbed: bring the path up, generate the flow from a slice on the
+// Napoli node to a slice on the INRIA node with the RTT meter, and
+// decode the logs over the sample window.
+func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
+	if spec.Duration == 0 {
+		spec.Duration = 120 * time.Second
+	}
+	if spec.Window == 0 {
+		spec.Window = 200 * time.Millisecond
+	}
+	res := &ExperimentResult{Spec: spec}
+
+	// Slices on both nodes.
+	sender, fe, err := tb.NewUMTSSlice("unina_umts")
+	if err != nil {
+		return nil, err
+	}
+	recvSlice, err := tb.InriaHost.CreateSlice("unina_probe")
+	if err != nil {
+		return nil, err
+	}
+
+	// UMTS path: start the connection and register the destination.
+	if spec.Path == PathUMTS {
+		t0 := tb.Loop.Now()
+		if _, err := tb.StartUMTS(fe); err != nil {
+			return nil, err
+		}
+		res.SetupTime = tb.Loop.Now() - t0
+		if r, err := tb.Invoke(func(cb func(vsys.Result)) error {
+			return fe.AddDest(InriaEthAddr.String(), cb)
+		}); err != nil || !r.Ok() {
+			return nil, fmt.Errorf("add destination failed: %v %v", err, r.Errs)
+		}
+	}
+
+	// Receiver (ITGRecv) in the INRIA slice, echoing for the RTT meter.
+	receiver := itg.NewReceiver(tb.Loop, func(pkt *netsim.Packet) error {
+		return recvSlice.Send(pkt)
+	})
+	if err := recvSlice.Bind(netsim.ProtoUDP, receiverPort, receiver.Handle); err != nil {
+		return nil, err
+	}
+
+	// Sender (ITGSend) in the Napoli slice.
+	var flow itg.FlowSpec
+	switch spec.Workload {
+	case WorkloadVoIP:
+		flow = itg.VoIPG711(1, InriaEthAddr, senderPort, receiverPort, spec.Duration)
+	case WorkloadCBR1M:
+		flow = itg.CBR1Mbps(1, InriaEthAddr, senderPort, receiverPort, spec.Duration)
+	case WorkloadVoIPG729:
+		flow = itg.VoIPG729(1, InriaEthAddr, senderPort, receiverPort, spec.Duration)
+	case WorkloadTelnet:
+		flow = itg.Telnet(1, InriaEthAddr, senderPort, receiverPort, spec.Duration)
+	default:
+		return nil, fmt.Errorf("unknown workload %v", spec.Workload)
+	}
+	snd := itg.NewSender(tb.Loop, fmt.Sprintf("%v/%v", spec.Path, spec.Workload), flow,
+		func(pkt *netsim.Packet) error { return sender.Send(pkt) })
+	if err := sender.Bind(netsim.ProtoUDP, senderPort, snd.HandleEcho); err != nil {
+		return nil, err
+	}
+
+	start := tb.Loop.Now()
+	snd.Start()
+	// Run the flow plus drain time for queued packets and echoes.
+	tb.Loop.RunUntil(start + spec.Duration + 10*time.Second)
+
+	res.SenderErrors = snd.SendErrors
+	res.Decoded = itg.Decode(
+		snd.SentLog.Rebase(start),
+		receiver.RecvLog.Rebase(start),
+		snd.EchoLog.Rebase(start),
+		spec.Window,
+	)
+
+	if spec.Path == PathUMTS {
+		res.BearerEvents = tb.Terminal.SessionEvents()
+		if r, err := tb.Invoke(func(cb func(vsys.Result)) error {
+			return fe.Status(func(st core.Status, rr vsys.Result) { res.Status = st; cb(rr) })
+		}); err != nil || !r.Ok() {
+			return nil, fmt.Errorf("status failed: %v", err)
+		}
+		// Tear down so repeated runs on a fresh testbed stay symmetric
+		// with the paper's "set up and torn down just before and after
+		// the test" methodology (§2.2).
+		if r, err := tb.Invoke(fe.Stop); err != nil || !r.Ok() {
+			return nil, fmt.Errorf("stop failed: %v %v", err, r.Errs)
+		}
+	}
+	fe.Close()
+	return res, nil
+}
+
+// RunPaperExperiment builds a fresh testbed with the given seed and runs
+// one (path, workload) cell with paper parameters — the entry point the
+// benches and cmd/experiments share.
+func RunPaperExperiment(seed int64, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
+	tb, err := New(Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return tb.RunExperiment(ExperimentSpec{Path: path, Workload: wl, Duration: dur})
+}

@@ -1,0 +1,183 @@
+package testbed
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/tcp"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+// TestTCPUploadOverUMTS runs a bulk TCP transfer from the UMTS slice to
+// the INRIA node: the transfer must complete exactly, at a goodput
+// bounded by the radio uplink, with the deep radio buffer inflating the
+// RTT estimate well beyond the path's base RTT (bufferbloat).
+func TestTCPUploadOverUMTS(t *testing.T) {
+	tb := newTB(t, 41)
+	slice, fe, err := tb.NewUMTSSlice("unina_umts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		t.Fatal(err)
+	}
+	tb.Invoke(func(cb func(vsys.Result)) error { return fe.AddDest(InriaEthAddr.String(), cb) })
+
+	napoliTCP, err := tcp.NewStack(tb.Loop, tb.Napoli, slice.Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inriaTCP, err := tcp.NewStack(tb.Loop, tb.Inria, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	done := false
+	var doneAt time.Duration
+	inriaTCP.Listen(8080, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) { got.Write(b) }
+		c.OnClose = func(error) { done = true; doneAt = tb.Loop.Now() }
+	})
+
+	payload := make([]byte, 512<<10) // 512 KiB
+	tb.Loop.RNG("tcp-payload").Read(payload)
+	ppp0 := tb.Napoli.Iface("ppp0")
+	client, err := napoliTCP.Dial(ppp0.Addr, InriaEthAddr, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := tb.Loop.Now()
+	client.OnConnect = func() {
+		client.Write(payload)
+		client.Close()
+	}
+	tb.Loop.RunUntil(start + 180*time.Second)
+	if !done {
+		t.Fatalf("transfer incomplete: %d of %d bytes (client %s, cwnd %d)",
+			got.Len(), len(payload), client.State(), client.Cwnd())
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("transferred bytes corrupted")
+	}
+	elapsed := doneAt - start
+	goodput := float64(len(payload)*8) / elapsed.Seconds() / 1000 // kbps
+	// Bounded by the radio uplink (150 kbps initially, ~400 after the
+	// adaptation) minus TCP's loss-recovery overhead on a deep drop-tail
+	// buffer.
+	if goodput < 60 || goodput > 430 {
+		t.Fatalf("goodput %.1f kbps outside the radio uplink envelope", goodput)
+	}
+	// Bufferbloat: SRTT far above the ~250 ms base radio RTT because the
+	// 50 KB drop-tail buffer fills.
+	if client.SRTT() < 500*time.Millisecond {
+		t.Fatalf("SRTT %v: expected RTT inflation from the radio buffer", client.SRTT())
+	}
+	t.Logf("goodput %.1f kbps, SRTT %v, retransmits %d", goodput, client.SRTT(), client.Stats().Retransmits)
+}
+
+// TestTCPInboundSSHBlocked reproduces the §2.2 observation end to end
+// with a real transport: an inbound TCP connection (ssh) to the UMTS
+// address never completes — the operator firewall drops the SYNs and the
+// dial times out without even a RST.
+func TestTCPInboundSSHBlocked(t *testing.T) {
+	tb := newTB(t, 42)
+	_, fe, err := tb.NewUMTSSlice("unina_umts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		t.Fatal(err)
+	}
+	// An ssh daemon listens on the Napoli node.
+	napoliTCP, err := tcp.NewStack(tb.Loop, tb.Napoli, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := false
+	napoliTCP.Listen(22, func(*tcp.Conn) { accepted = true })
+
+	inriaTCP, err := tcp.NewStack(tb.Loop, tb.Inria, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppp0 := tb.Napoli.Iface("ppp0")
+	conn, err := inriaTCP.Dial(InriaEthAddr, ppp0.Addr, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dialErr error
+	conn.OnClose = func(e error) { dialErr = e }
+	drops := tb.Operator.FirewallDrops
+	tb.Loop.RunUntil(tb.Loop.Now() + 5*time.Minute)
+	if accepted {
+		t.Fatal("inbound ssh to the UMTS address was accepted")
+	}
+	if !errors.Is(dialErr, tcp.ErrTimeout) {
+		t.Fatalf("dial err = %v, want timeout (firewall drops, no RST)", dialErr)
+	}
+	if tb.Operator.FirewallDrops <= drops {
+		t.Fatal("firewall did not account the dropped SYNs")
+	}
+	// The same daemon IS reachable on the wired interface — the reason
+	// the paper keeps control traffic on eth0.
+	conn2, err := inriaTCP.Dial(InriaEthAddr, NapoliEthAddr, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = conn2
+	tb.Loop.RunUntil(tb.Loop.Now() + 10*time.Second)
+	if !accepted {
+		t.Fatal("ssh over the wired path should connect")
+	}
+}
+
+// TestTCPDownloadOverUMTS pulls data toward the UMTS node: the downlink
+// bearer (384 kbps initially) is the bottleneck.
+func TestTCPDownloadOverUMTS(t *testing.T) {
+	tb := newTB(t, 43)
+	slice, fe, err := tb.NewUMTSSlice("unina_umts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.StartUMTS(fe); err != nil {
+		t.Fatal(err)
+	}
+	tb.Invoke(func(cb func(vsys.Result)) error { return fe.AddDest(InriaEthAddr.String(), cb) })
+
+	napoliTCP, _ := tcp.NewStack(tb.Loop, tb.Napoli, slice.Send)
+	inriaTCP, _ := tcp.NewStack(tb.Loop, tb.Inria, nil)
+	payload := make([]byte, 512<<10)
+	tb.Loop.RNG("dl-payload").Read(payload)
+	inriaTCP.Listen(8080, func(c *tcp.Conn) {
+		c.OnData = func(b []byte) {
+			c.Write(payload)
+			c.Close()
+		}
+	})
+	ppp0 := tb.Napoli.Iface("ppp0")
+	client, err := napoliTCP.Dial(ppp0.Addr, InriaEthAddr, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	done := false
+	var doneAt time.Duration
+	client.OnData = func(b []byte) { got.Write(b) }
+	client.OnClose = func(error) { done = true; doneAt = tb.Loop.Now() }
+	client.OnConnect = func() { client.Write([]byte("GET /file\r\n")) }
+	start := tb.Loop.Now()
+	tb.Loop.RunUntil(start + 120*time.Second)
+	if !done || !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("download incomplete: %d of %d (done=%v)", got.Len(), len(payload), done)
+	}
+	elapsed := doneAt - start
+	goodput := float64(len(payload)*8) / elapsed.Seconds() / 1000
+	if goodput < 80 || goodput > 420 {
+		t.Fatalf("download goodput %.1f kbps outside the 384 kbps downlink envelope", goodput)
+	}
+	_ = netsim.ErrNoRoute
+}

@@ -1,0 +1,250 @@
+// Package testbed assembles the full Private-OneLab scenario of the
+// paper: a PlanetLab node in Napoli equipped with a 3G datacard and a
+// wired campus uplink, a PlanetLab node at INRIA, the research Internet
+// between them, and a UMTS operator network whose GGSN also reaches the
+// Internet. On top of the topology it provides the §3 experiment
+// drivers (VoIP and 1 Mbps CBR over the UMTS-to-Ethernet and
+// Ethernet-to-Ethernet paths).
+package testbed
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/iproute"
+	"github.com/onelab/umtslab/internal/kmod"
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/netfilter"
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/ppp"
+	"github.com/onelab/umtslab/internal/serial"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/umts"
+	"github.com/onelab/umtslab/internal/vserver"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+// Fixed testbed addressing.
+var (
+	NapoliEthAddr = netsim.MustAddr("160.80.1.2") // unina.it campus
+	NapoliGWAddr  = netsim.MustAddr("160.80.1.1")
+	InriaEthAddr  = netsim.MustAddr("138.96.1.2") // inria.fr
+	InriaGWAddr   = netsim.MustAddr("138.96.1.1")
+	GGSNGiAddr    = netsim.MustAddr("192.0.77.2")
+	GGSNGWAddr    = netsim.MustAddr("192.0.77.1")
+)
+
+// Options configure the scenario.
+type Options struct {
+	// Seed drives every random stream; identical seeds reproduce runs
+	// exactly.
+	Seed int64
+	// Operator selects the UMTS network profile (default
+	// umts.Commercial()).
+	Operator *umts.Config
+	// Card selects the datacard (default modem.Globetrotter).
+	Card *modem.CardProfile
+	// PIN locks the SIM (default unlocked).
+	PIN string
+	// EthDelay is the one-way per-hop wired delay (two hops between the
+	// nodes; default 7.5 ms for a ~30 ms RTT across the GRN).
+	EthDelay time.Duration
+	// EthJitter is the per-hop wired jitter bound (default 300 µs).
+	EthJitter time.Duration
+	// Trace receives verbose progress lines.
+	Trace func(format string, args ...any)
+}
+
+// Testbed is the assembled scenario.
+type Testbed struct {
+	Loop *sim.Loop
+	Net  *netsim.Network
+
+	// Napoli: the UMTS-equipped PlanetLab node.
+	Napoli       *netsim.Node
+	NapoliHost   *vserver.Host
+	NapoliRouter *iproute.Router
+	NapoliFilter *netfilter.Stack
+	Kmods        *kmod.Registry
+	Vsys         *vsys.Manager
+	Manager      *core.Manager
+	Modem        *modem.Modem
+	Terminal     *umts.Terminal
+	Line         *serial.Line
+
+	// Inria: the wired remote node.
+	Inria       *netsim.Node
+	InriaHost   *vserver.Host
+	InriaRouter *iproute.Router
+
+	// Infrastructure.
+	Internet *netsim.Node
+	Operator *umts.Operator
+
+	coreRouter *iproute.Router
+	opts       Options
+}
+
+// New assembles the scenario.
+func New(opts Options) (*Testbed, error) {
+	if opts.Operator == nil {
+		cfg := umts.Commercial()
+		opts.Operator = &cfg
+	}
+	if opts.Card == nil {
+		card := modem.Globetrotter
+		opts.Card = &card
+	}
+	if opts.EthDelay == 0 {
+		opts.EthDelay = 7500 * time.Microsecond
+	}
+	if opts.EthJitter == 0 {
+		opts.EthJitter = 300 * time.Microsecond
+	}
+
+	loop := sim.NewLoop(opts.Seed)
+	nw := netsim.NewNetwork(loop)
+	tb := &Testbed{Loop: loop, Net: nw, opts: opts}
+
+	// Nodes.
+	tb.Napoli = nw.AddNode("planetlab.unina.it")
+	tb.Inria = nw.AddNode("planetlab.inria.fr")
+	tb.Internet = nw.AddNode("grn-core")
+	tb.Internet.Forwarding = true
+
+	// Wired research-network links: 100 Mbit/s with small jitter.
+	eth := netsim.LinkConfig{
+		RateBps: 100e6, Delay: opts.EthDelay, Jitter: opts.EthJitter, QueuePackets: 1000,
+	}
+	nw.WireP2P("napoli-grn", tb.Napoli, "eth0", NapoliEthAddr, tb.Internet, "to-napoli", NapoliGWAddr, eth, eth)
+	nw.WireP2P("inria-grn", tb.Inria, "eth0", InriaEthAddr, tb.Internet, "to-inria", InriaGWAddr, eth, eth)
+
+	// Operator network and its Gi uplink.
+	tb.Operator = umts.NewOperator(loop, nw, *opts.Operator)
+	nw.WireP2P("ggsn-grn", tb.Operator.GGSN(), "gi0", GGSNGiAddr, tb.Internet, "to-ggsn", GGSNGWAddr, eth, eth)
+	tb.Operator.SetGi("gi0")
+
+	// Internet core routing.
+	coreRouter := iproute.New(tb.Internet)
+	tb.coreRouter = coreRouter
+	coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(NapoliEthAddr, 32), Iface: "to-napoli"})
+	coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(InriaEthAddr, 32), Iface: "to-inria"})
+	coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: opts.Operator.Pool, Iface: "to-ggsn", Gateway: GGSNGiAddr})
+	coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(GGSNGiAddr, 32), Iface: "to-ggsn"})
+
+	// Napoli node software stack.
+	tb.NapoliHost = vserver.NewHost(tb.Napoli)
+	tb.NapoliRouter = iproute.New(tb.Napoli)
+	tb.NapoliRouter.InstallConnected()
+	tb.NapoliRouter.DefaultVia("eth0", NapoliGWAddr)
+	tb.NapoliFilter = netfilter.New(tb.Napoli)
+	tb.Kmods = kmod.NewRegistry()
+	kmod.RegisterPPPFamily(tb.Kmods)
+	tb.Kmods.Register(&kmod.Module{Name: "nozomi"})
+	tb.Kmods.Register(&kmod.Module{Name: "usbserial"})
+	tb.Kmods.Register(&kmod.Module{Name: "pl2303", Deps: []string{"usbserial"}})
+	tb.Vsys = vsys.NewManager(loop, tb.NapoliHost)
+
+	// Hardware: terminal, serial line, datacard.
+	tb.Terminal = tb.Operator.NewTerminal("222015550001")
+	tb.Line = serial.NewLine(loop, opts.Card.TTYName, opts.Card.LineRate)
+	tb.Modem = modem.New(loop, *opts.Card, tb.Line, tb.Terminal, opts.PIN)
+	tb.Terminal.OnCarrierLost = tb.Modem.CarrierLost
+
+	// The umts backend.
+	mgr, err := core.NewManager(core.Config{
+		Loop: loop, Host: tb.NapoliHost, Router: tb.NapoliRouter,
+		Filter: tb.NapoliFilter, Kmods: tb.Kmods, Vsys: tb.Vsys,
+		Card: *opts.Card, Line: tb.Line, Radio: tb.Terminal,
+		APN: opts.Operator.APN, PIN: opts.PIN,
+		Creds: operatorCreds(*opts.Operator),
+		Trace: opts.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	tb.Manager = mgr
+
+	// INRIA node software stack (no UMTS hardware).
+	tb.InriaHost = vserver.NewHost(tb.Inria)
+	tb.InriaRouter = iproute.New(tb.Inria)
+	tb.InriaRouter.InstallConnected()
+	tb.InriaRouter.DefaultVia("eth0", InriaGWAddr)
+	netfilter.New(tb.Inria)
+
+	// Both end nodes answer pings (kernel default), for diagnostics.
+	if err := netsim.EnableEchoResponder(tb.Inria); err != nil {
+		return nil, err
+	}
+	if err := netsim.EnableEchoResponder(tb.Napoli); err != nil {
+		return nil, err
+	}
+
+	return tb, nil
+}
+
+// operatorCreds picks the operator's well-known dial credentials from
+// its secrets table.
+func operatorCreds(cfg umts.Config) ppp.Credentials {
+	for u, p := range cfg.Secrets {
+		return ppp.Credentials{User: u, Password: p}
+	}
+	return ppp.Credentials{}
+}
+
+// NewUMTSSlice creates a slice on the Napoli node and grants it the umts
+// script.
+func (tb *Testbed) NewUMTSSlice(name string) (*vserver.Slice, *core.Frontend, error) {
+	slice, err := tb.NapoliHost.CreateSlice(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb.Manager.Allow(name)
+	fe, err := core.OpenFrontend(tb.Vsys, slice)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slice, fe, nil
+}
+
+// StartUMTS drives `umts start` synchronously (running the loop until
+// the command completes) and returns the command result.
+func (tb *Testbed) StartUMTS(fe *core.Frontend) (vsys.Result, error) {
+	var res vsys.Result
+	got := false
+	if err := fe.Start(func(r vsys.Result) { res = r; got = true }); err != nil {
+		return res, err
+	}
+	tb.Loop.RunWhile(func() bool { return !got })
+	if !got {
+		return res, fmt.Errorf("testbed: umts start never completed")
+	}
+	if !res.Ok() {
+		return res, fmt.Errorf("testbed: umts start failed: %v", res.Errs)
+	}
+	return res, nil
+}
+
+// Invoke runs one frontend command synchronously.
+func (tb *Testbed) Invoke(fn func(cb func(vsys.Result)) error) (vsys.Result, error) {
+	var res vsys.Result
+	got := false
+	if err := fn(func(r vsys.Result) { res = r; got = true }); err != nil {
+		return res, err
+	}
+	tb.Loop.RunWhile(func() bool { return !got })
+	if !got {
+		return res, fmt.Errorf("testbed: command never completed")
+	}
+	return res, nil
+}
+
+// InternetRouterAdd installs a route on the research-network core toward
+// an extra attachment (e.g. a second operator's pool); used by
+// generalization scenarios that add interfaces beyond the paper's single
+// card.
+func (tb *Testbed) InternetRouterAdd(dst netip.Prefix, iface string) {
+	tb.coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: dst, Iface: iface})
+}

@@ -1,0 +1,484 @@
+package umts
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/ppp"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Errors returned by the operator network.
+var (
+	ErrBadAPN        = errors.New("umts: unknown APN")
+	ErrPoolExhausted = errors.New("umts: address pool exhausted")
+	ErrBusySession   = errors.New("umts: session already active")
+)
+
+// AdaptationConfig controls the network's on-demand bearer upgrades: the
+// behaviour the paper observed at ~50 s into the saturating flow ("some
+// sort of adaptation algorithm happening inside the UMTS network", §3.2).
+type AdaptationConfig struct {
+	Enabled bool
+	// SampleInterval is how often uplink occupancy is sampled.
+	SampleInterval time.Duration
+	// OccupancyThreshold is the buffer fill fraction counting as
+	// sustained demand.
+	OccupancyThreshold float64
+	// HoldTime is how long demand must be sustained before the bearer is
+	// upgraded one step.
+	HoldTime time.Duration
+	// IdleHoldTime, if non-zero, downgrades the bearer one step after
+	// the uplink has been idle (empty buffer) this long — the release
+	// half of on-demand allocation. Zero keeps upgrades sticky.
+	IdleHoldTime time.Duration
+}
+
+// FadeConfig describes short radio-channel outages (deep fades) that
+// pause the bearer.
+type FadeConfig struct {
+	MeanInterval time.Duration // exponential inter-fade time; zero disables
+	MinDuration  time.Duration
+	MaxDuration  time.Duration
+}
+
+// Config describes one operator network.
+type Config struct {
+	Name string
+	APN  string
+	// Pool is the subscriber address pool; GGSNAddr is the PPP peer
+	// (GGSN) address.
+	Pool     netip.Prefix
+	GGSNAddr netip.Addr
+	// Uplink/Downlink are the initial bearer configurations. The rate
+	// ladders list the rates adaptation may move through; index 0 is the
+	// initial rate and must match the corresponding RadioDirConfig.
+	Uplink, Downlink           RadioDirConfig
+	ULRateLadder, DLRateLadder []float64
+	Adaptation                 AdaptationConfig
+	Fades                      FadeConfig
+	// CoreDelay is the one-way SGSN/GGSN transit time.
+	CoreDelay time.Duration
+	// AttachTime is the PDP-context activation latency (dial to bearer).
+	AttachTime time.Duration
+	// RegistrationTime is the time from terminal power-on to +CREG 0,1.
+	RegistrationTime time.Duration
+	// Auth is the PPP authentication the NAS demands (ppp.ProtoCHAP,
+	// ppp.ProtoPAP, or 0); Secrets maps accepted users to passwords.
+	Auth    uint16
+	Secrets map[string]string
+	// Firewall, when true, drops inbound packets that do not belong to a
+	// flow initiated by the subscriber (the reason §2.2 keeps ssh on the
+	// wired interface).
+	Firewall bool
+	// SignalQuality is the +CSQ value terminals report in this cell.
+	SignalQuality int
+}
+
+// Commercial returns the calibrated profile of the commercial Italian
+// operator used in §3: ~150 kbps initial uplink goodput, upgraded to
+// ~400 kbps after ~50 s of sustained demand; CHAP with the operator's
+// well-known web/web credentials; inbound firewall.
+func Commercial() Config {
+	return Config{
+		Name:     "SimTel IT",
+		APN:      "web.simtel.it",
+		Pool:     netsim.MustPrefix("10.133.7.0/24"),
+		GGSNAddr: netsim.MustAddr("10.133.0.1"),
+		Uplink: RadioDirConfig{
+			RateBps: 160e3, BaseDelay: 70 * time.Millisecond, TTI: 10 * time.Millisecond,
+			HarqProb: 0.12, HarqRetx: 8 * time.Millisecond, HarqMax: 3, QueueBytes: 50000,
+		},
+		Downlink: RadioDirConfig{
+			RateBps: 384e3, BaseDelay: 50 * time.Millisecond, TTI: 10 * time.Millisecond,
+			HarqProb: 0.08, HarqRetx: 8 * time.Millisecond, HarqMax: 3, QueueBytes: 64000,
+		},
+		ULRateLadder: []float64{160e3, 416e3},
+		DLRateLadder: []float64{384e3, 3.6e6},
+		Adaptation: AdaptationConfig{
+			Enabled: true, SampleInterval: time.Second,
+			OccupancyThreshold: 0.25, HoldTime: 49 * time.Second,
+		},
+		Fades: FadeConfig{
+			MeanInterval: 12 * time.Second,
+			MinDuration:  150 * time.Millisecond,
+			MaxDuration:  450 * time.Millisecond,
+		},
+		CoreDelay:        15 * time.Millisecond,
+		AttachTime:       2500 * time.Millisecond,
+		RegistrationTime: 1800 * time.Millisecond,
+		Auth:             ppp.ProtoCHAP,
+		Secrets:          map[string]string{"web": "web"},
+		Firewall:         true,
+		SignalQuality:    14,
+	}
+}
+
+// Microcell returns the profile of the Alcatel-Lucent private UMTS
+// micro-cell at the 3G Reality Center in Vimercate (§2.1): a clean,
+// lightly loaded cell with a fixed 384 kbps bearer, no fades, no inbound
+// firewall, and OneLab credentials.
+func Microcell() Config {
+	return Config{
+		Name:     "ALU 3G Reality Center",
+		APN:      "onelab.vimercate",
+		Pool:     netsim.MustPrefix("10.201.3.0/24"),
+		GGSNAddr: netsim.MustAddr("10.201.0.1"),
+		Uplink: RadioDirConfig{
+			RateBps: 384e3, BaseDelay: 45 * time.Millisecond, TTI: 10 * time.Millisecond,
+			HarqProb: 0.03, HarqRetx: 8 * time.Millisecond, HarqMax: 2, QueueBytes: 56000,
+		},
+		Downlink: RadioDirConfig{
+			RateBps: 384e3, BaseDelay: 45 * time.Millisecond, TTI: 10 * time.Millisecond,
+			HarqProb: 0.03, HarqRetx: 8 * time.Millisecond, HarqMax: 2, QueueBytes: 64000,
+		},
+		ULRateLadder:     []float64{384e3},
+		DLRateLadder:     []float64{384e3},
+		CoreDelay:        5 * time.Millisecond,
+		AttachTime:       1200 * time.Millisecond,
+		RegistrationTime: 900 * time.Millisecond,
+		Auth:             ppp.ProtoCHAP,
+		Secrets:          map[string]string{"onelab": "onelab"},
+		SignalQuality:    27,
+	}
+}
+
+// Operator is one UMTS network: cell, core, GGSN, firewall.
+type Operator struct {
+	loop *sim.Loop
+	cfg  Config
+	ggsn *netsim.Node
+	gi   *netsim.Iface
+
+	sessions  map[netip.Addr]*session
+	usedAddrs map[netip.Addr]bool
+	nextIface int
+
+	conntrack     map[netsim.FlowKey]bool
+	FirewallDrops uint64
+}
+
+// NewOperator creates the operator's network elements; the GGSN node is
+// registered in nw under "<name>-ggsn". Wire the GGSN's Gi interface to
+// the Internet with nw.WireP2P and pass its name to SetGi.
+func NewOperator(loop *sim.Loop, nw *netsim.Network, cfg Config) *Operator {
+	op := &Operator{
+		loop:      loop,
+		cfg:       cfg,
+		sessions:  make(map[netip.Addr]*session),
+		usedAddrs: make(map[netip.Addr]bool),
+		conntrack: make(map[netsim.FlowKey]bool),
+	}
+	op.ggsn = nw.AddNode(sanitize(cfg.Name) + "-ggsn")
+	op.ggsn.Forwarding = true
+	op.ggsn.AddIface("ggsn0", cfg.GGSNAddr, netip.Prefix{})
+	op.ggsn.Route = op.route
+	op.ggsn.Hooks.PreRouting = op.preRouting
+	op.ggsn.Hooks.PostRouting = op.postRouting
+	return op
+}
+
+func sanitize(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, " ", "-"))
+}
+
+// Config returns the operator configuration.
+func (op *Operator) Config() Config { return op.cfg }
+
+// GGSN returns the operator's gateway node, for wiring to the Internet.
+func (op *Operator) GGSN() *netsim.Node { return op.ggsn }
+
+// SetGi declares which GGSN interface reaches the Internet.
+func (op *Operator) SetGi(ifaceName string) {
+	op.gi = op.ggsn.Iface(ifaceName)
+	if op.gi == nil {
+		panic(fmt.Sprintf("umts: no such GGSN iface %q", ifaceName))
+	}
+}
+
+func (op *Operator) route(pkt *netsim.Packet) (netsim.RouteResult, error) {
+	if sess, ok := op.sessions[pkt.Dst]; ok && !sess.closed {
+		return netsim.RouteResult{Iface: sess.iface, Table: "gtp"}, nil
+	}
+	if op.gi != nil {
+		return netsim.RouteResult{Iface: op.gi, NextHop: op.gi.Peer, Table: "gi"}, nil
+	}
+	return netsim.RouteResult{}, netsim.ErrNoRoute
+}
+
+// preRouting records subscriber-initiated flows for the stateful
+// firewall.
+func (op *Operator) preRouting(pkt *netsim.Packet, _ *netsim.Iface) netsim.Verdict {
+	if op.cfg.Firewall && strings.HasPrefix(pkt.InIface, "gtp") {
+		op.conntrack[pkt.Flow()] = true
+	}
+	return netsim.VerdictAccept
+}
+
+// postRouting enforces the inbound firewall on traffic toward
+// subscribers.
+func (op *Operator) postRouting(pkt *netsim.Packet, out *netsim.Iface) netsim.Verdict {
+	if !op.cfg.Firewall || out == nil || !strings.HasPrefix(out.Name, "gtp") {
+		return netsim.VerdictAccept
+	}
+	if op.conntrack[pkt.Flow().Reverse()] {
+		return netsim.VerdictAccept
+	}
+	op.FirewallDrops++
+	return netsim.VerdictDrop
+}
+
+// allocAddr takes the next free address from the pool (skipping the
+// network and .1 addresses).
+func (op *Operator) allocAddr() (netip.Addr, error) {
+	a := op.cfg.Pool.Addr().Next().Next() // skip .0 and .1
+	for op.cfg.Pool.Contains(a) {
+		if !op.usedAddrs[a] {
+			op.usedAddrs[a] = true
+			return a, nil
+		}
+		a = a.Next()
+	}
+	return netip.Addr{}, ErrPoolExhausted
+}
+
+// ActiveSessions returns the number of established PDP contexts.
+func (op *Operator) ActiveSessions() int { return len(op.sessions) }
+
+// session is one subscriber's PDP context: radio bearer, PPP
+// termination, and GGSN attachment.
+type session struct {
+	op   *Operator
+	term *Terminal
+	addr netip.Addr
+
+	ul, dl  *radioDir
+	srv     *ppp.Server
+	srvCh   *srvChannel
+	bearer  *bearer
+	iface   *netsim.Iface
+	adapt   *sim.Ticker
+	fade    *sim.Timer
+	rateIdx int
+	sustain time.Duration
+	idle    time.Duration
+	events  []string
+	closed  bool
+}
+
+func (op *Operator) newSession(term *Terminal) (*session, error) {
+	addr, err := op.allocAddr()
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{op: op, term: term, addr: addr}
+	loop := op.loop
+
+	rng := loop.RNG("umts/radio/" + term.imsi)
+	sess.srvCh = &srvChannel{sess: sess}
+	sess.bearer = &bearer{sess: sess}
+	sess.ul = newRadioDir(loop, rng, op.cfg.Uplink, func(p []byte) {
+		if sess.srvCh.recv != nil {
+			sess.srvCh.recv(p)
+		}
+	})
+	sess.dl = newRadioDir(loop, rng, op.cfg.Downlink, func(p []byte) {
+		if sess.bearer.recv != nil {
+			sess.bearer.recv(p)
+		}
+	})
+
+	// GGSN attachment: a gtpN interface whose link hands packets to the
+	// PPP server after the core transit delay.
+	name := fmt.Sprintf("gtp%d", op.nextIface)
+	op.nextIface++
+	sess.iface = op.ggsn.AddIface(name, netip.Addr{}, netip.Prefix{})
+	sess.iface.SetLink(netsim.FuncLink(func(_ *netsim.Iface, pkt *netsim.Packet) {
+		wire := pkt.Marshal()
+		loop.After(op.cfg.CoreDelay, func() {
+			if !sess.closed {
+				sess.srv.SendIPv4(wire)
+			}
+		})
+	}))
+
+	sess.srv = ppp.NewServer(ppp.ServerConfig{
+		Name: "nas/" + term.imsi, Loop: loop, Channel: sess.srvCh,
+		Auth: op.cfg.Auth, Secrets: op.cfg.Secrets,
+		LocalAddr: op.cfg.GGSNAddr,
+		Assign:    func(string) netip.Addr { return addr },
+		OnIPv4: func(b []byte) {
+			pkt, err := netsim.Unmarshal(b)
+			if err != nil {
+				return
+			}
+			loop.After(op.cfg.CoreDelay, func() {
+				if !sess.closed {
+					sess.iface.Deliver(pkt)
+				}
+			})
+		},
+		OnDown: func(reason string) {
+			op.closeSession(sess, "ppp: "+reason, true)
+		},
+	})
+	sess.srv.Start()
+
+	if op.cfg.Adaptation.Enabled && op.cfg.Adaptation.SampleInterval > 0 {
+		sess.adapt = loop.NewTicker(op.cfg.Adaptation.SampleInterval, sess.sampleAdaptation)
+	}
+	if op.cfg.Fades.MeanInterval > 0 {
+		sess.scheduleFade(rng)
+	}
+
+	op.sessions[addr] = sess
+	sess.logf("PDP context activated, addr %s", addr)
+	return sess, nil
+}
+
+func (sess *session) logf(format string, args ...any) {
+	sess.events = append(sess.events,
+		fmt.Sprintf("[%8.3fs] %s", sess.op.loop.Now().Seconds(), fmt.Sprintf(format, args...)))
+}
+
+// Events returns the session's bearer event log.
+func (sess *session) Events() []string { return append([]string(nil), sess.events...) }
+
+func (sess *session) sampleAdaptation() {
+	if sess.closed {
+		return
+	}
+	cfg := sess.op.cfg
+	limit := cfg.Uplink.QueueBytes
+	if limit == 0 {
+		return
+	}
+	occupancy := float64(sess.ul.QueuedBytes()) / float64(limit)
+	if occupancy >= cfg.Adaptation.OccupancyThreshold {
+		sess.sustain += cfg.Adaptation.SampleInterval
+		sess.idle = 0
+	} else {
+		sess.sustain = 0
+		if sess.ul.QueuedBytes() == 0 {
+			sess.idle += cfg.Adaptation.SampleInterval
+		} else {
+			sess.idle = 0
+		}
+	}
+	if sess.sustain >= cfg.Adaptation.HoldTime && sess.rateIdx+1 < len(cfg.ULRateLadder) {
+		sess.rateIdx++
+		sess.sustain = 0
+		ul := cfg.ULRateLadder[sess.rateIdx]
+		sess.ul.setRate(ul)
+		if sess.rateIdx < len(cfg.DLRateLadder) {
+			sess.dl.setRate(cfg.DLRateLadder[sess.rateIdx])
+		}
+		sess.logf("bearer upgraded: uplink %.0f kbps", ul/1000)
+	}
+	if cfg.Adaptation.IdleHoldTime > 0 && sess.idle >= cfg.Adaptation.IdleHoldTime && sess.rateIdx > 0 {
+		sess.rateIdx--
+		sess.idle = 0
+		ul := cfg.ULRateLadder[sess.rateIdx]
+		sess.ul.setRate(ul)
+		if sess.rateIdx < len(cfg.DLRateLadder) {
+			sess.dl.setRate(cfg.DLRateLadder[sess.rateIdx])
+		}
+		sess.logf("bearer released: uplink %.0f kbps", ul/1000)
+	}
+}
+
+func (sess *session) scheduleFade(rng interface{ ExpFloat64() float64 }) {
+	cfg := sess.op.cfg.Fades
+	wait := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterval))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	sess.fade = sess.op.loop.After(wait, func() {
+		if sess.closed {
+			return
+		}
+		span := cfg.MaxDuration - cfg.MinDuration
+		dur := cfg.MinDuration
+		if span > 0 {
+			dur += time.Duration(sess.op.loop.RNG("umts/fade/" + sess.term.imsi).Int63n(int64(span)))
+		}
+		sess.ul.pause()
+		sess.dl.pause()
+		sess.op.loop.After(dur, func() {
+			sess.ul.resume()
+			sess.dl.resume()
+		})
+		sess.scheduleFade(rng)
+	})
+}
+
+// closeSession tears a session down. Safe to call multiple times.
+func (op *Operator) closeSession(sess *session, reason string, notifyTerminal bool) {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	sess.logf("session closed: %s", reason)
+	if sess.adapt != nil {
+		sess.adapt.Stop()
+	}
+	if sess.fade != nil {
+		sess.fade.Cancel()
+	}
+	sess.ul.close()
+	sess.dl.close()
+	op.ggsn.RemoveIface(sess.iface.Name)
+	delete(op.sessions, sess.addr)
+	delete(op.usedAddrs, sess.addr)
+	if sess.term != nil && sess.term.sess == sess {
+		sess.term.sess = nil
+		if notifyTerminal && sess.term.OnCarrierLost != nil {
+			sess.term.OnCarrierLost()
+		}
+	}
+}
+
+// DropAllSessions force-closes every active session (coverage loss,
+// operator maintenance); terminals observe NO CARRIER.
+func (op *Operator) DropAllSessions(reason string) {
+	for _, sess := range op.sessionsSnapshot() {
+		op.closeSession(sess, reason, true)
+	}
+}
+
+func (op *Operator) sessionsSnapshot() []*session {
+	out := make([]*session, 0, len(op.sessions))
+	for _, s := range op.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// bearer is the modem-side endpoint of the radio bearer.
+type bearer struct {
+	sess *session
+	recv func([]byte)
+}
+
+func (b *bearer) Write(p []byte) int {
+	b.sess.ul.send(append([]byte(nil), p...))
+	return len(p)
+}
+func (b *bearer) SetReceiver(fn func([]byte)) { b.recv = fn }
+func (b *bearer) Close()                      { b.sess.op.closeSession(b.sess, "modem hangup", false) }
+
+// srvChannel is the NAS-side byte channel under the PPP server.
+type srvChannel struct {
+	sess *session
+	recv func([]byte)
+}
+
+func (c *srvChannel) Write(p []byte) int {
+	c.sess.dl.send(append([]byte(nil), p...))
+	return len(p)
+}
+func (c *srvChannel) SetReceiver(fn func([]byte)) { c.recv = fn }

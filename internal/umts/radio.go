@@ -1,0 +1,173 @@
+// Package umts simulates the operator-side UMTS network the paper's
+// testbed dialed into: radio bearers with rate ladders and on-demand rate
+// adaptation, TTI-aligned delivery jitter, HARQ-style retransmission
+// delays, channel fades, a drop-tail radio buffer, the packet core
+// (SGSN/GGSN transit), an address pool, and the operator firewall that
+// blocks unsolicited inbound sessions (the reason the paper keeps node
+// control on the wired interface, §2.2).
+//
+// Two calibrated profiles are provided: a commercial operator (matching
+// the ~150 kbps -> ~400 kbps uplink behaviour measured in §3.2) and the
+// Alcatel-Lucent private micro-cell of the OneLab testbed.
+package umts
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// RadioDirConfig describes one direction of a radio bearer.
+type RadioDirConfig struct {
+	// RateBps is the bearer's net data rate in bits per second.
+	RateBps float64
+	// BaseDelay is the fixed radio-interface latency (node B processing,
+	// interleaving, Iub transit).
+	BaseDelay time.Duration
+	// TTI is the transmission time interval; each delivery gets a
+	// uniform extra delay in [0, TTI) modelling frame alignment.
+	TTI time.Duration
+	// HarqProb is the probability a transmission needs HARQ
+	// retransmissions; each adds HarqRetx delay, geometrically up to
+	// HarqMax rounds.
+	HarqProb float64
+	HarqRetx time.Duration
+	HarqMax  int
+	// QueueBytes bounds the buffer (drop-tail). Zero means unbounded.
+	QueueBytes int
+}
+
+// RadioDirStats counts one direction's activity.
+type RadioDirStats struct {
+	TxChunks   uint64
+	TxBytes    uint64
+	QueueDrops uint64
+	DropBytes  uint64
+	HarqEvents uint64
+}
+
+// radioDir is a paced byte-chunk channel: each Write chunk (an HDLC frame
+// from the PPP layer) is serialized at the current rate, buffered
+// drop-tail when the channel is busy, and delivered after radio latency
+// and jitter. The rate can change mid-stream (bearer upgrade) and the
+// channel can be paused (fade).
+type radioDir struct {
+	loop    *sim.Loop
+	rng     *rand.Rand
+	cfg     RadioDirConfig
+	deliver func(p []byte)
+
+	busy        bool
+	paused      bool
+	queue       [][]byte
+	queuedBytes int
+	lastArrival time.Duration
+	stats       RadioDirStats
+	closed      bool
+}
+
+func newRadioDir(loop *sim.Loop, rng *rand.Rand, cfg RadioDirConfig, deliver func([]byte)) *radioDir {
+	return &radioDir{loop: loop, rng: rng, cfg: cfg, deliver: deliver}
+}
+
+// send enqueues one chunk for transmission.
+func (d *radioDir) send(p []byte) {
+	if d.closed {
+		return
+	}
+	if d.busy || d.paused {
+		if d.cfg.QueueBytes > 0 && d.queuedBytes+len(p) > d.cfg.QueueBytes {
+			d.stats.QueueDrops++
+			d.stats.DropBytes += uint64(len(p))
+			return
+		}
+		d.queue = append(d.queue, p)
+		d.queuedBytes += len(p)
+		return
+	}
+	d.transmit(p)
+}
+
+func (d *radioDir) transmit(p []byte) {
+	d.busy = true
+	var txDur time.Duration
+	if d.cfg.RateBps > 0 {
+		txDur = time.Duration(float64(len(p)*8) / d.cfg.RateBps * float64(time.Second))
+	}
+	d.loop.After(txDur, func() {
+		if d.closed {
+			return
+		}
+		d.stats.TxChunks++
+		d.stats.TxBytes += uint64(len(p))
+		extra := d.cfg.BaseDelay
+		if d.cfg.TTI > 0 {
+			extra += time.Duration(d.rng.Int63n(int64(d.cfg.TTI)))
+		}
+		if d.cfg.HarqProb > 0 && d.rng.Float64() < d.cfg.HarqProb {
+			d.stats.HarqEvents++
+			rounds := 1
+			for rounds < d.cfg.HarqMax && d.rng.Float64() < d.cfg.HarqProb {
+				rounds++
+			}
+			extra += time.Duration(rounds) * d.cfg.HarqRetx
+		}
+		arrival := d.loop.Now() + extra
+		if arrival < d.lastArrival {
+			arrival = d.lastArrival
+		}
+		d.lastArrival = arrival
+		d.loop.After(arrival-d.loop.Now(), func() {
+			if !d.closed && d.deliver != nil {
+				d.deliver(p)
+			}
+		})
+		d.next()
+	})
+}
+
+func (d *radioDir) next() {
+	if d.paused || len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	p := d.queue[0]
+	d.queue = d.queue[1:]
+	d.queuedBytes -= len(p)
+	d.transmit(p)
+}
+
+// setRate changes the bearer rate; queued chunks are transmitted at the
+// new rate, the chunk in flight finishes at the old one.
+func (d *radioDir) setRate(bps float64) { d.cfg.RateBps = bps }
+
+// pause suspends new transmissions (channel fade). The chunk in flight
+// completes.
+func (d *radioDir) pause() { d.paused = true }
+
+// resume restarts transmission after a fade.
+func (d *radioDir) resume() {
+	if !d.paused {
+		return
+	}
+	d.paused = false
+	if !d.busy {
+		d.next()
+		// next() sets busy=false when the queue is empty; if it started
+		// a transmit, busy is true.
+	}
+}
+
+// close stops the direction; queued and in-flight chunks are discarded.
+func (d *radioDir) close() {
+	d.closed = true
+	d.queue = nil
+	d.queuedBytes = 0
+}
+
+// Stats returns a copy of the counters.
+func (d *radioDir) Stats() RadioDirStats { return d.stats }
+
+// QueuedBytes returns the current buffer occupancy.
+func (d *radioDir) QueuedBytes() int { return d.queuedBytes }

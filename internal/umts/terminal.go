@@ -1,0 +1,109 @@
+package umts
+
+import (
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Terminal is one subscriber's radio interface: the piece of the modem
+// that talks to the cell. It implements modem.RadioNet.
+type Terminal struct {
+	op   *Operator
+	imsi string
+	reg  modem.RegState
+
+	// OnCarrierLost is invoked when the network drops the bearer; wire
+	// it to Modem.CarrierLost.
+	OnCarrierLost func()
+
+	sess        *session
+	pendingDial *sim.Timer
+}
+
+// NewTerminal powers a subscriber terminal on in this operator's cell.
+// Registration completes after the operator's RegistrationTime.
+func (op *Operator) NewTerminal(imsi string) *Terminal {
+	t := &Terminal{op: op, imsi: imsi, reg: modem.RegSearching}
+	op.loop.After(op.cfg.RegistrationTime, func() { t.reg = modem.RegHome })
+	return t
+}
+
+// IMSI returns the terminal's subscriber identity.
+func (t *Terminal) IMSI() string { return t.imsi }
+
+// Registration implements modem.RadioNet.
+func (t *Terminal) Registration() (modem.RegState, string) {
+	return t.reg, t.op.cfg.Name
+}
+
+// SignalQuality implements modem.RadioNet.
+func (t *Terminal) SignalQuality() int {
+	if t.reg != modem.RegHome && t.reg != modem.RegRoaming {
+		return 99
+	}
+	return t.op.cfg.SignalQuality
+}
+
+// Dial implements modem.RadioNet: activate a PDP context on the APN.
+// Completion is asynchronous after the operator's AttachTime.
+func (t *Terminal) Dial(apn string, done func(modem.DataBearer, error)) {
+	if t.sess != nil {
+		t.op.loop.Post(func() { done(nil, ErrBusySession) })
+		return
+	}
+	t.pendingDial = t.op.loop.After(t.op.cfg.AttachTime, func() {
+		t.pendingDial = nil
+		if apn != "" && apn != t.op.cfg.APN {
+			done(nil, ErrBadAPN)
+			return
+		}
+		sess, err := t.op.newSession(t)
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		t.sess = sess
+		done(sess.bearer, nil)
+	})
+}
+
+// HangUp implements modem.RadioNet: abort a pending dial and deactivate
+// any active context.
+func (t *Terminal) HangUp() {
+	if t.pendingDial != nil {
+		t.pendingDial.Cancel()
+		t.pendingDial = nil
+	}
+	if t.sess != nil {
+		t.op.closeSession(t.sess, "terminal hangup", false)
+	}
+}
+
+// SessionEvents returns the bearer event log of the active session (or
+// nil when idle). Used by `umts status` and the experiment harness.
+func (t *Terminal) SessionEvents() []string {
+	if t.sess == nil {
+		return nil
+	}
+	return t.sess.Events()
+}
+
+// SessionActive reports whether a PDP context is established.
+func (t *Terminal) SessionActive() bool { return t.sess != nil }
+
+// UplinkStats returns the radio uplink counters of the active session.
+func (t *Terminal) UplinkStats() RadioDirStats {
+	if t.sess == nil {
+		return RadioDirStats{}
+	}
+	return t.sess.ul.Stats()
+}
+
+// DownlinkStats returns the radio downlink counters of the active
+// session.
+func (t *Terminal) DownlinkStats() RadioDirStats {
+	if t.sess == nil {
+		return RadioDirStats{}
+	}
+	return t.sess.dl.Stats()
+}

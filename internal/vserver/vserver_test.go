@@ -1,0 +1,166 @@
+package vserver
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+func newHostPair(t *testing.T) (*sim.Loop, *Host, *netsim.Node) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	nw := netsim.NewNetwork(loop)
+	a := nw.AddNode("pl-node")
+	b := nw.AddNode("peer")
+	nw.WireP2P("l", a, "eth0", netsim.MustAddr("10.0.0.1"), b, "eth0", netsim.MustAddr("10.0.0.2"),
+		netsim.LinkConfig{}, netsim.LinkConfig{})
+	b.Bind(netsim.ProtoUDP, 0, func(pkt *netsim.Packet) {})
+	return loop, NewHost(a), b
+}
+
+func TestCreateSlice(t *testing.T) {
+	_, h, _ := newHostPair(t)
+	s1, err := h.CreateSlice("unina_umts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := h.CreateSlice("inria_probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Ctx == s2.Ctx {
+		t.Fatal("slices must have distinct contexts")
+	}
+	if s1.Ctx == RootCtx || s2.Ctx == RootCtx {
+		t.Fatal("slice context must never be the root context")
+	}
+	if _, err := h.CreateSlice("unina_umts"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if h.Slice("unina_umts") != s1 || h.SliceByCtx(s2.Ctx) != s2 {
+		t.Fatal("lookup broken")
+	}
+	names := h.Slices()
+	if len(names) != 2 || names[0] != "inria_probe" {
+		t.Fatalf("Slices() = %v", names)
+	}
+}
+
+func TestSliceSendStampsContext(t *testing.T) {
+	loop, h, peer := newHostPair(t)
+	s, _ := h.CreateSlice("exp")
+	var gotCtx uint32
+	// Observe the stamp on the sending node's output hook (the stamp is
+	// local metadata and must not cross the wire).
+	h.Node().Hooks.Output = func(pkt *netsim.Packet, out *netsim.Iface) netsim.Verdict {
+		gotCtx = pkt.SliceCtx
+		return netsim.VerdictAccept
+	}
+	p := &netsim.Packet{Dst: netsim.MustAddr("10.0.0.2"), Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 5}
+	if err := s.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	loop.Run()
+	if gotCtx != s.Ctx {
+		t.Fatalf("SliceCtx = %d, want %d", gotCtx, s.Ctx)
+	}
+	_ = peer
+	st := s.Stats()
+	if st.TxPackets != 1 || st.TxBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSliceBindReceives(t *testing.T) {
+	loop, h, peer := newHostPair(t)
+	s, _ := h.CreateSlice("exp")
+	got := 0
+	if err := s.Bind(netsim.ProtoUDP, 9000, func(pkt *netsim.Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	p := &netsim.Packet{Src: netsim.MustAddr("10.0.0.2"), Dst: netsim.MustAddr("10.0.0.1"),
+		Proto: netsim.ProtoUDP, SrcPort: 1, DstPort: 9000}
+	peer.Send(p)
+	loop.Run()
+	if got != 1 {
+		t.Fatalf("received %d, want 1", got)
+	}
+	if s.Stats().RxPackets != 1 {
+		t.Fatalf("RxPackets = %d", s.Stats().RxPackets)
+	}
+}
+
+func TestPortConflictAcrossSlices(t *testing.T) {
+	_, h, _ := newHostPair(t)
+	a, _ := h.CreateSlice("a")
+	b, _ := h.CreateSlice("b")
+	if err := a.Bind(netsim.ProtoUDP, 8000, func(*netsim.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(netsim.ProtoUDP, 8000, func(*netsim.Packet) {}); err == nil {
+		t.Fatal("port conflict across slices should fail")
+	}
+}
+
+func TestUnbindOwnership(t *testing.T) {
+	_, h, _ := newHostPair(t)
+	a, _ := h.CreateSlice("a")
+	b, _ := h.CreateSlice("b")
+	a.Bind(netsim.ProtoUDP, 8000, func(*netsim.Packet) {})
+	if err := b.Unbind(netsim.ProtoUDP, 8000); err == nil {
+		t.Fatal("slice must not unbind a port it does not own")
+	}
+	if err := a.Unbind(netsim.ProtoUDP, 8000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteSlice(t *testing.T) {
+	_, h, _ := newHostPair(t)
+	s, _ := h.CreateSlice("gone")
+	s.Bind(netsim.ProtoUDP, 7777, func(*netsim.Packet) {})
+	if err := h.DeleteSlice("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DeleteSlice("gone"); !errors.Is(err, ErrNoSlice) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Send(&netsim.Packet{Dst: netsim.MustAddr("10.0.0.2"), Proto: netsim.ProtoUDP}); !errors.Is(err, ErrNoSlice) {
+		t.Fatalf("send from deleted slice: %v", err)
+	}
+	if err := s.Bind(netsim.ProtoUDP, 7778, func(*netsim.Packet) {}); !errors.Is(err, ErrNoSlice) {
+		t.Fatalf("bind on deleted slice: %v", err)
+	}
+	// Port released: another slice can take it.
+	s2, _ := h.CreateSlice("next")
+	if err := s2.Bind(netsim.ProtoUDP, 7777, func(*netsim.Packet) {}); err != nil {
+		t.Fatalf("port not released on slice deletion: %v", err)
+	}
+}
+
+func TestRequireCapabilities(t *testing.T) {
+	if err := Require(RootCtx, CapNetAdmin); err != nil {
+		t.Fatalf("root must hold all capabilities: %v", err)
+	}
+	for _, c := range []Capability{CapNetAdmin, CapSysModule, CapRawIO} {
+		if err := Require(1234, c); !errors.Is(err, ErrPermission) {
+			t.Fatalf("slice ctx must be denied %s, got %v", c, err)
+		}
+	}
+}
+
+func TestSendErrorCounted(t *testing.T) {
+	loop := sim.NewLoop(1)
+	n := netsim.NewNode(loop, "lonely") // no interfaces: nothing routable
+	h := NewHost(n)
+	s, _ := h.CreateSlice("x")
+	err := s.Send(&netsim.Packet{Dst: netsim.MustAddr("10.0.0.2"), Proto: netsim.ProtoUDP})
+	if err == nil {
+		t.Fatal("send should fail with no route")
+	}
+	if s.Stats().TxErrors != 1 {
+		t.Fatalf("TxErrors = %d, want 1", s.Stats().TxErrors)
+	}
+}

@@ -1,0 +1,232 @@
+package vsys
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/vserver"
+)
+
+func newVsys(t *testing.T) (*sim.Loop, *Manager, *vserver.Slice) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	node := netsim.NewNode(loop, "pl")
+	host := vserver.NewHost(node)
+	slice, err := host.CreateSlice("unina_umts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, NewManager(loop, host), slice
+}
+
+func TestInvokeEcho(t *testing.T) {
+	loop, m, slice := newVsys(t)
+	m.Register("echo", func(inv *Invocation) {
+		for _, a := range inv.Args {
+			inv.Printf("%s", a)
+		}
+		inv.Exit(0)
+	})
+	m.Allow("echo", slice.Name)
+	conn, err := m.Open(slice, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := conn.Invoke([]string{"hello", "umts world", `weird "quoted" arg`}, func(r Result) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	loop.Run()
+	want := []string{"hello", "umts world", `weird "quoted" arg`}
+	if !got.Ok() || !reflect.DeepEqual(got.Output, want) {
+		t.Fatalf("result = %+v, want output %v", got, want)
+	}
+}
+
+func TestACLDenied(t *testing.T) {
+	_, m, slice := newVsys(t)
+	m.Register("umts", func(inv *Invocation) { inv.Exit(0) })
+	if _, err := m.Open(slice, "umts"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	m.Allow("umts", slice.Name)
+	if _, err := m.Open(slice, "umts"); err != nil {
+		t.Fatalf("allowed open failed: %v", err)
+	}
+	m.Revoke("umts", slice.Name)
+	if _, err := m.Open(slice, "umts"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("revoked open: %v", err)
+	}
+}
+
+func TestUnknownScript(t *testing.T) {
+	_, m, slice := newVsys(t)
+	if _, err := m.Open(slice, "nope"); !errors.Is(err, ErrNoScript) {
+		t.Fatalf("err = %v, want ErrNoScript", err)
+	}
+}
+
+func TestScriptsListing(t *testing.T) {
+	_, m, slice := newVsys(t)
+	m.Register("umts", func(inv *Invocation) { inv.Exit(0) })
+	m.Register("reboot", func(inv *Invocation) { inv.Exit(0) })
+	m.Allow("umts", slice.Name)
+	got := m.Scripts(slice.Name)
+	if len(got) != 1 || got[0] != "umts" {
+		t.Fatalf("Scripts = %v, want [umts]", got)
+	}
+}
+
+func TestAsyncBackendCompletion(t *testing.T) {
+	// Backend holds the invocation for 5 virtual seconds (like a PPP
+	// dial) before exiting.
+	loop, m, slice := newVsys(t)
+	m.Register("dial", func(inv *Invocation) {
+		loop.After(5*time.Second, func() {
+			inv.Printf("connected")
+			inv.Exit(0)
+		})
+	})
+	m.Allow("dial", slice.Name)
+	conn, _ := m.Open(slice, "dial")
+	var doneAt time.Duration
+	conn.Invoke(nil, func(r Result) { doneAt = loop.Now() })
+	loop.Run()
+	if doneAt < 5*time.Second {
+		t.Fatalf("completed at %v, want >= 5s", doneAt)
+	}
+}
+
+func TestBusyConnection(t *testing.T) {
+	loop, m, slice := newVsys(t)
+	m.Register("slow", func(inv *Invocation) {
+		loop.After(time.Second, func() { inv.Exit(0) })
+	})
+	m.Allow("slow", slice.Name)
+	conn, _ := m.Open(slice, "slow")
+	conn.Invoke(nil, func(Result) {})
+	if err := conn.Invoke(nil, func(Result) {}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	loop.Run()
+	// After completion the connection is reusable.
+	if err := conn.Invoke(nil, func(Result) {}); err != nil {
+		t.Fatalf("reuse after completion: %v", err)
+	}
+	loop.Run()
+}
+
+func TestFailHelper(t *testing.T) {
+	loop, m, slice := newVsys(t)
+	m.Register("f", func(inv *Invocation) { inv.Fail("device %s missing", "ppp0") })
+	m.Allow("f", slice.Name)
+	conn, _ := m.Open(slice, "f")
+	var got Result
+	conn.Invoke(nil, func(r Result) { got = r })
+	loop.Run()
+	if got.Ok() || len(got.Errs) != 1 || got.Errs[0] != "device ppp0 missing" {
+		t.Fatalf("result = %+v", got)
+	}
+}
+
+func TestDoubleExitPanics(t *testing.T) {
+	loop, m, slice := newVsys(t)
+	m.Register("bad", func(inv *Invocation) {
+		inv.Exit(0)
+		defer func() {
+			if recover() == nil {
+				t.Error("second Exit should panic")
+			}
+		}()
+		inv.Exit(0)
+	})
+	m.Allow("bad", slice.Name)
+	conn, _ := m.Open(slice, "bad")
+	conn.Invoke(nil, func(Result) {})
+	loop.Run()
+}
+
+func TestCloseDiscardsResponse(t *testing.T) {
+	loop, m, slice := newVsys(t)
+	m.Register("x", func(inv *Invocation) { inv.Exit(0) })
+	m.Allow("x", slice.Name)
+	conn, _ := m.Open(slice, "x")
+	called := false
+	conn.Invoke(nil, func(Result) { called = true })
+	conn.Close()
+	loop.Run()
+	if called {
+		t.Fatal("callback ran after Close")
+	}
+	if err := conn.Invoke(nil, func(Result) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("invoke on closed conn: %v", err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Code: 1, Output: []string{"a"}, Errs: []string{"b"}}
+	s := r.String()
+	if s == "" || r.Ok() {
+		t.Fatalf("String/Ok broken: %q", s)
+	}
+}
+
+func TestRequestCodecKnownCases(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"start"},
+		{"add", "192.0.2.1"},
+		{"arg with spaces", "", "tab\tand\nnewline", `back\slash "quote"`},
+	}
+	for _, args := range cases {
+		got, err := decodeRequest(encodeRequest(args))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", args, err)
+		}
+		if len(got) != len(args) {
+			t.Fatalf("roundtrip %v -> %v", args, got)
+		}
+		for i := range args {
+			if got[i] != args[i] {
+				t.Fatalf("arg %d: %q != %q", i, got[i], args[i])
+			}
+		}
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	for _, bad := range []string{"unquoted", `"unterminated`, `"a" junk`} {
+		if _, err := decodeRequest(bad); err == nil {
+			t.Fatalf("decode(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: the FIFO request codec round-trips arbitrary argument vectors.
+func TestPropertyRequestCodec(t *testing.T) {
+	f := func(args []string) bool {
+		got, err := decodeRequest(encodeRequest(args))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(args) {
+			return false
+		}
+		for i := range args {
+			if got[i] != args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

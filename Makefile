@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build verify test race vet bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify: everything must stay green (see ROADMAP.md).
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench times the sequential vs. pooled repetition schedule of Figure 1
+# (5 reps) and records the comparison, including the core count, in
+# BENCH_parallel.json.
+bench:
+	$(GO) run ./cmd/experiments -figure 1 -reps 5 -dur 60s -bench-parallel BENCH_parallel.json

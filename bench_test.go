@@ -13,6 +13,7 @@
 package umtslab_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -439,4 +440,43 @@ func tcpUploadRun(b *testing.B, seed int64) (goodputKbps, srttMs float64) {
 	}
 	el := (doneAt - start).Seconds()
 	return float64(len(payload)) * 8 / el / 1000, client.SRTT().Seconds() * 1000
+}
+
+// --- PR: parallel runner & metrics overhead ---
+
+// benchRepRuns builds a 8-rep VoIP/UMTS schedule with short flows, so
+// the benchmark measures scheduling overhead rather than one long run.
+func benchRepRuns() []testbed.RepRun {
+	runs := make([]testbed.RepRun, 8)
+	for i := range runs {
+		runs[i] = testbed.RepRun{
+			Seed: 1, Path: testbed.PathUMTS, Workload: testbed.WorkloadVoIP,
+			Rep: i, Duration: 15 * time.Second,
+		}
+	}
+	return runs
+}
+
+// BenchmarkRepsSequential is the baseline: the same schedule the pool
+// runs, through a single worker.
+func BenchmarkRepsSequential(b *testing.B) {
+	runs := benchRepRuns()
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.RunParallel(runs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepsParallel fans the same schedule across GOMAXPROCS
+// workers; compare ns/op against BenchmarkRepsSequential for the
+// speedup on this machine.
+func BenchmarkRepsParallel(b *testing.B) {
+	runs := benchRepRuns()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := testbed.RunParallel(runs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

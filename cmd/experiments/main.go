@@ -8,23 +8,37 @@
 // Usage:
 //
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
-//	            [-every 5] [-series] [-v]
+//	            [-workers N] [-every 5] [-series] [-metrics file]
+//	            [-bench-parallel file] [-v]
 //
 // With -reps N each experiment is repeated on N independently seeded
 // testbeds (the paper ran each experiment 20 times) and the summary
 // reports mean ± std across repetitions; series are printed for the
 // first repetition.
+//
+// Repetitions fan out across a bounded worker pool (-workers, default
+// GOMAXPROCS); every repetition owns a private simulation loop and
+// metrics registry, and results merge by repetition index, so the
+// output is byte-identical to a sequential run of the same seeds.
+// -metrics dumps each cell's rep-0 metrics snapshot as JSON ("-" for
+// stdout); -bench-parallel times the sequential vs. pooled schedule and
+// writes the comparison as JSON instead of running the normal report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/stats"
 	"github.com/onelab/umtslab/internal/testbed"
 )
@@ -64,12 +78,63 @@ func run(seed int64, wl testbed.Workload, path testbed.Path, rep int) (*testbed.
 	if r, ok := cache[k]; ok {
 		return r, nil
 	}
-	r, err := testbed.RunPaperExperiment(seed+int64(rep)*1000, path, wl, dur)
+	r, err := testbed.RunPaperExperiment(testbed.RepSeed(seed, rep), path, wl, dur)
 	if err != nil {
 		return nil, err
 	}
 	cache[k] = r
 	return r, nil
+}
+
+// cellList enumerates every (workload, path, rep) cell the report will
+// consult, deduplicated in a stable order: the selected figures' cells
+// plus rep 0 of all four paper cells used by the §3.2 shape checks.
+func cellList(sel []figure, reps int) []cellKey {
+	seen := map[cellKey]bool{}
+	var keys []cellKey
+	add := func(k cellKey) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, fig := range sel {
+		for _, path := range []testbed.Path{testbed.PathUMTS, testbed.PathEthernet} {
+			for rep := 0; rep < reps; rep++ {
+				add(cellKey{fig.workload, path, rep})
+			}
+		}
+	}
+	for _, wl := range []testbed.Workload{testbed.WorkloadVoIP, testbed.WorkloadCBR1M} {
+		for _, path := range []testbed.Path{testbed.PathUMTS, testbed.PathEthernet} {
+			add(cellKey{wl, path, 0})
+		}
+	}
+	return keys
+}
+
+func toRuns(keys []cellKey, seed int64) []testbed.RepRun {
+	runs := make([]testbed.RepRun, len(keys))
+	for i, k := range keys {
+		runs[i] = testbed.RepRun{Seed: seed, Path: k.path, Workload: k.wl, Rep: k.rep, Duration: dur}
+	}
+	return runs
+}
+
+// prefetch executes every needed cell across the worker pool and fills
+// the cache, so the (sequential, deterministic) printing code below hits
+// the cache on every lookup. Each rep runs with RepSeed(seed, rep) on a
+// private loop, so the report is byte-identical to a sequential run.
+func prefetch(seed int64, sel []figure, reps, workers int) error {
+	keys := cellList(sel, reps)
+	results, err := testbed.RunParallel(toRuns(keys, seed), workers)
+	if err != nil {
+		return err
+	}
+	for i, k := range keys {
+		cache[k] = results[i]
+	}
+	return nil
 }
 
 func seriesOf(r *testbed.ExperimentResult, name string) stats.Series {
@@ -95,6 +160,9 @@ func main() {
 	every := flag.Int("every", 5, "print every Nth window of each series")
 	noSeries := flag.Bool("summary-only", false, "suppress the series, print summaries only")
 	csvDir := flag.String("csv", "", "also write each series as <dir>/figN-<path>.csv (plot-ready)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for repetitions (<=0: GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", `write rep-0 metrics snapshots as JSON to this file ("-" for stdout)`)
+	benchOut := flag.String("bench-parallel", "", "time sequential vs parallel schedules, write JSON to this file, and exit")
 	flag.Parse()
 	dur = *durFlag
 
@@ -108,6 +176,19 @@ func main() {
 			os.Exit(2)
 		}
 		selected = figures[n-1 : n]
+	}
+
+	if *benchOut != "" {
+		if err := benchParallel(*benchOut, *seed, selected, *reps, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-parallel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := prefetch(*seed, selected, *reps, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("Reproduction of 'Providing UMTS connectivity to PlanetLab nodes' (ROADS'08)\n")
@@ -141,8 +222,11 @@ func main() {
 			if *reps > 1 {
 				fmt.Printf(" (std across %d reps: %.3g)", *reps, sums.Std())
 			}
-			smax := first.Max()
-			fmt.Printf("; max in rep 0: %.4g %s\n", smax, fig.unit)
+			if smax := first.Max(); math.IsNaN(smax) {
+				fmt.Printf("; no samples in rep 0\n")
+			} else {
+				fmt.Printf("; max in rep 0: %.4g %s\n", smax, fig.unit)
+			}
 			if !*noSeries {
 				fmt.Printf("# t(s)  %s (%s), every %d windows\n", fig.series, fig.unit, *every)
 				for i, p := range first {
@@ -159,6 +243,99 @@ func main() {
 	}
 
 	printChecks(*seed)
+
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the rep-0 metrics snapshot of every cell the run
+// touched, keyed "workload|path", as indented JSON.
+func dumpMetrics(path string) error {
+	out := map[string]metrics.Snapshot{}
+	for k, r := range cache {
+		if k.rep != 0 {
+			continue
+		}
+		out[fmt.Sprintf("%v|%v", k.wl, k.path)] = r.Metrics
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+type benchReport struct {
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	Reps        int     `json:"reps"`
+	FlowS       float64 `json:"flow_duration_s"`
+	SequentialS float64 `json:"sequential_wall_s"`
+	ParallelS   float64 `json:"parallel_wall_s"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"results_identical"`
+}
+
+// benchParallel times the same schedule of runs through a 1-worker pool
+// and an N-worker pool, verifies the decoded results are identical, and
+// writes the comparison as JSON (the `make bench` artifact).
+func benchParallel(path string, seed int64, sel []figure, reps, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runs := toRuns(cellList(sel, reps), seed)
+	t0 := time.Now()
+	seq, err := testbed.RunParallel(runs, 1)
+	if err != nil {
+		return err
+	}
+	seqWall := time.Since(t0)
+	t0 = time.Now()
+	par, err := testbed.RunParallel(runs, workers)
+	if err != nil {
+		return err
+	}
+	parWall := time.Since(t0)
+	identical := true
+	for i := range runs {
+		if !reflect.DeepEqual(seq[i].Decoded, par[i].Decoded) {
+			identical = false
+		}
+	}
+	rep := benchReport{
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Runs:        len(runs),
+		Reps:        reps,
+		FlowS:       dur.Seconds(),
+		SequentialS: seqWall.Seconds(),
+		ParallelS:   parWall.Seconds(),
+		Speedup:     seqWall.Seconds() / parWall.Seconds(),
+		Identical:   identical,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-parallel: %d runs, sequential %.2f s, parallel(%d workers) %.2f s, speedup %.2fx, identical=%v -> %s\n",
+		len(runs), seqWall.Seconds(), workers, parWall.Seconds(), rep.Speedup, identical, path)
+	return nil
 }
 
 // writeCSV emits one figure curve as "t_seconds,value" rows.

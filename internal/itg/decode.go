@@ -51,6 +51,14 @@ type Result struct {
 	MaxJitter      time.Duration
 	AvgRTT         time.Duration
 	MaxRTT         time.Duration
+
+	// Tail percentiles over per-packet samples (zero when no samples):
+	// P95/P99 one-way delay over received packets and P95/P99 RTT over
+	// echoes, computed with one sort each (stats.Percentiles).
+	P95Delay time.Duration
+	P99Delay time.Duration
+	P95RTT   time.Duration
+	P99RTT   time.Duration
 }
 
 // Decode correlates a sender log, receiver log, and (optionally) the
@@ -126,6 +134,7 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 		seq  uint32
 	}
 	received := make(map[flowSeq]bool, len(arrivals))
+	delaySamples := make([]float64, 0, len(arrivals))
 	for _, r := range arrivals {
 		received[flowSeq{r.FlowID, r.Seq}] = true
 		i := widx(r.RxTime)
@@ -133,6 +142,7 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 		w.Packets++
 		w.Bytes += r.Size
 		delay := r.RxTime - r.TxTime
+		delaySamples = append(delaySamples, float64(delay))
 		accs[i].delaySum += delay
 		totalDelay += delay
 		if delay > res.MaxDelay {
@@ -164,9 +174,11 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 		n   int
 	}
 	rtts := make([]rttAcc, nWin)
+	rttSamples := make([]float64, 0, len(echo.Records))
 	var totalRTT time.Duration
 	for _, r := range echo.Records {
 		rtt := r.RxTime - r.TxTime
+		rttSamples = append(rttSamples, float64(rtt))
 		i := widx(r.RxTime)
 		rtts[i].sum += rtt
 		rtts[i].n++
@@ -213,6 +225,14 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 	}
 	if echo.Len() > 0 {
 		res.AvgRTT = totalRTT / time.Duration(echo.Len())
+	}
+	if len(delaySamples) > 0 {
+		ps := stats.Percentiles(delaySamples, 95, 99)
+		res.P95Delay, res.P99Delay = time.Duration(ps[0]), time.Duration(ps[1])
+	}
+	if len(rttSamples) > 0 {
+		ps := stats.Percentiles(rttSamples, 95, 99)
+		res.P95RTT, res.P99RTT = time.Duration(ps[0]), time.Duration(ps[1])
 	}
 	return res
 }
@@ -277,13 +297,15 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "packets: sent=%d received=%d lost=%d (%.2f%%)\n",
 		r.Sent, r.Received, r.Lost, 100*float64(r.Lost)/max1(float64(r.Sent)))
 	fmt.Fprintf(&b, "bitrate: avg=%.1f kbps\n", r.AvgBitrateKbps)
-	fmt.Fprintf(&b, "delay:   avg=%.1f ms max=%.1f ms\n",
-		r.AvgDelay.Seconds()*1000, r.MaxDelay.Seconds()*1000)
+	fmt.Fprintf(&b, "delay:   avg=%.1f ms p95=%.1f ms p99=%.1f ms max=%.1f ms\n",
+		r.AvgDelay.Seconds()*1000, r.P95Delay.Seconds()*1000,
+		r.P99Delay.Seconds()*1000, r.MaxDelay.Seconds()*1000)
 	fmt.Fprintf(&b, "jitter:  avg=%.2f ms max=%.2f ms\n",
 		r.AvgJitter.Seconds()*1000, r.MaxJitter.Seconds()*1000)
 	if r.AvgRTT > 0 {
-		fmt.Fprintf(&b, "rtt:     avg=%.1f ms max=%.1f ms\n",
-			r.AvgRTT.Seconds()*1000, r.MaxRTT.Seconds()*1000)
+		fmt.Fprintf(&b, "rtt:     avg=%.1f ms p95=%.1f ms p99=%.1f ms max=%.1f ms\n",
+			r.AvgRTT.Seconds()*1000, r.P95RTT.Seconds()*1000,
+			r.P99RTT.Seconds()*1000, r.MaxRTT.Seconds()*1000)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/netsim"
 	"github.com/onelab/umtslab/internal/sim"
 )
@@ -99,6 +100,10 @@ type Sender struct {
 	spec FlowSpec
 	send SendFunc
 
+	mSent   *metrics.Counter
+	mEchoed *metrics.Counter
+	mErrors *metrics.Counter
+
 	// SentLog records every transmitted data packet.
 	SentLog Log
 	// EchoLog records reflected packets (MeterRTT): TxTime is the
@@ -118,11 +123,15 @@ type Sender struct {
 
 // NewSender creates a sender for spec; name salts the RNG stream.
 func NewSender(loop *sim.Loop, name string, spec FlowSpec, send SendFunc) *Sender {
+	reg := loop.Metrics()
 	return &Sender{
-		loop: loop,
-		rng:  loop.RNG("itg/" + name),
-		spec: spec,
-		send: send,
+		loop:    loop,
+		rng:     loop.RNG("itg/" + name),
+		spec:    spec,
+		send:    send,
+		mSent:   reg.Counter("itg/packets_sent"),
+		mEchoed: reg.Counter("itg/echoes_received"),
+		mErrors: reg.Counter("itg/send_errors"),
 	}
 }
 
@@ -176,8 +185,10 @@ func (s *Sender) emit() {
 	}
 	if err := s.send(pkt); err != nil {
 		s.SendErrors++
+		s.mErrors.Inc()
 	}
 	s.SentLog.Add(Record{FlowID: s.spec.FlowID, Seq: s.seq, Size: size, TxTime: now})
+	s.mSent.Inc()
 	s.seq++
 
 	idt := s.spec.IDT.Sample(s.rng)
@@ -206,6 +217,7 @@ func (s *Sender) HandleEcho(pkt *netsim.Packet) {
 		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
 		TxTime: txTime, RxTime: s.loop.Now(),
 	})
+	s.mEchoed.Inc()
 }
 
 // Receiver logs one or more flows' arrivals and reflects echo-requested
@@ -218,12 +230,20 @@ type Receiver struct {
 	RecvLog Log
 	// Malformed counts packets that did not carry an ITG header.
 	Malformed uint64
+
+	mRecv   *metrics.Counter
+	mEchoed *metrics.Counter
 }
 
 // NewReceiver creates a receiver; reply (may be nil) is used to send
 // reflections back to the sender.
 func NewReceiver(loop *sim.Loop, reply SendFunc) *Receiver {
-	return &Receiver{loop: loop, reply: reply}
+	reg := loop.Metrics()
+	return &Receiver{
+		loop: loop, reply: reply,
+		mRecv:   reg.Counter("itg/packets_received"),
+		mEchoed: reg.Counter("itg/packets_echoed"),
+	}
 }
 
 // Handle processes one received packet; bind it to the flow's
@@ -241,6 +261,7 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
 		TxTime: txTime, RxTime: r.loop.Now(),
 	})
+	r.mRecv.Inc()
 	if kind&flagEchoRequest != 0 && r.reply != nil {
 		echo := &netsim.Packet{
 			Src:     pkt.Dst,
@@ -251,6 +272,7 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 			Payload: EncodePayload(KindEcho, flowID, seq, txTime, len(pkt.Payload)),
 		}
 		r.reply(echo)
+		r.mEchoed.Inc()
 	}
 }
 

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a/b")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("a/b") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	if got := r.Snapshot().Counter("a/b"); got != 42 {
+		t.Fatalf("snapshot counter = %d, want 42", got)
+	}
+	if got := r.Snapshot().Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Set(10)
+	g.Set(4)
+	if g.Value() != 4 || g.Max() != 10 {
+		t.Fatalf("gauge = (%g, max %g), want (4, max 10)", g.Value(), g.Max())
+	}
+	g.Add(-2)
+	if g.Value() != 2 || g.Max() != 10 {
+		t.Fatalf("after Add: (%g, max %g), want (2, max 10)", g.Value(), g.Max())
+	}
+	snap := r.Snapshot().Gauges["depth"]
+	if snap.Value != 2 || snap.Max != 10 {
+		t.Fatalf("snapshot gauge = %+v", snap)
+	}
+}
+
+func TestGaugeNegativeMax(t *testing.T) {
+	var g Gauge
+	g.Set(-5)
+	g.Set(-7)
+	if g.Max() != -5 {
+		t.Fatalf("max of all-negative gauge = %g, want -5", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i holds v in (2^(i-1), 2^i]; bucket 0 holds v <= 1.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11}, {-3, 0},
+	}
+	for _, c := range cases {
+		before := h.counts[c.bucket]
+		h.Observe(c.v)
+		if h.counts[c.bucket] != before+1 {
+			t.Fatalf("Observe(%d): bucket %d not incremented", c.v, c.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram mean must be NaN")
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if h.Mean() != 15 {
+		t.Fatalf("mean = %g, want 15", h.Mean())
+	}
+}
+
+func TestSnapshotJSONAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(100)
+
+	b1, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(r.Snapshot())
+	if string(b1) != string(b2) {
+		t.Fatal("snapshot JSON not stable across calls")
+	}
+	s1, s2 := r.Snapshot().String(), r.Snapshot().String()
+	if s1 != s2 || s1 == "" {
+		t.Fatalf("snapshot String not stable: %q vs %q", s1, s2)
+	}
+}
+
+func TestCounterSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("netsim/link/a/tx_packets").Add(3)
+	r.Counter("netsim/link/b/tx_packets").Add(4)
+	r.Counter("netsim/link/a/queue_drops").Add(9)
+	got := r.Snapshot().CounterSum("netsim/link/", "/tx_packets")
+	if got != 7 {
+		t.Fatalf("CounterSum = %d, want 7", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

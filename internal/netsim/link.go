@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
 )
 
@@ -59,8 +60,17 @@ type P2PLink struct {
 // and b2a the reverse. Attach the ends with Attach before sending.
 func NewP2PLink(loop *sim.Loop, name string, a2b, b2a LinkConfig) *P2PLink {
 	l := &P2PLink{loop: loop, name: name, rng: loop.RNG("link/" + name)}
+	reg := loop.Metrics()
+	prefix := "netsim/link/" + name + "/"
 	l.dirs[0] = &linkDir{link: l, cfg: a2b}
 	l.dirs[1] = &linkDir{link: l, cfg: b2a}
+	for _, d := range l.dirs {
+		d.mTxPackets = reg.Counter(prefix + "tx_packets")
+		d.mTxBytes = reg.Counter(prefix + "tx_bytes")
+		d.mQueueDrops = reg.Counter(prefix + "queue_drops")
+		d.mLossDrops = reg.Counter(prefix + "loss_drops")
+		d.mQueueOcc = reg.Histogram(prefix + "queue_occupancy_pkts")
+	}
 	return l
 }
 
@@ -109,6 +119,13 @@ type linkDir struct {
 	queuedBytes int
 	lastArrival time.Duration // monotone arrival guard against reordering
 	stats       DirStats
+
+	// Registry instruments, shared by both directions of the link.
+	mTxPackets  *metrics.Counter
+	mTxBytes    *metrics.Counter
+	mQueueDrops *metrics.Counter
+	mLossDrops  *metrics.Counter
+	mQueueOcc   *metrics.Histogram
 }
 
 type queued struct {
@@ -119,16 +136,19 @@ type queued struct {
 func (d *linkDir) send(to *Iface, pkt *Packet) {
 	if d.cfg.LossProb > 0 && d.link.rng.Float64() < d.cfg.LossProb {
 		d.stats.LossDrops++
+		d.mLossDrops.Inc()
 		return
 	}
 	if d.busy {
 		if (d.cfg.QueuePackets > 0 && len(d.queue) >= d.cfg.QueuePackets) ||
 			(d.cfg.QueueBytes > 0 && d.queuedBytes+pkt.Length() > d.cfg.QueueBytes) {
 			d.stats.QueueDrops++
+			d.mQueueDrops.Inc()
 			return
 		}
 		d.queue = append(d.queue, queued{pkt, to})
 		d.queuedBytes += pkt.Length()
+		d.mQueueOcc.Observe(int64(len(d.queue)))
 		return
 	}
 	d.transmit(to, pkt)
@@ -144,6 +164,8 @@ func (d *linkDir) transmit(to *Iface, pkt *Packet) {
 	loop.After(txDur, func() {
 		d.stats.TxPackets++
 		d.stats.TxBytes += uint64(pkt.Length())
+		d.mTxPackets.Inc()
+		d.mTxBytes.Add(int64(pkt.Length()))
 		extra := d.cfg.Delay
 		if d.cfg.Jitter > 0 {
 			extra += time.Duration(d.link.rng.Int63n(int64(d.cfg.Jitter)))

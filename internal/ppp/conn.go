@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
 )
 
@@ -66,11 +67,19 @@ type link struct {
 
 	TxFrames uint64
 	RxFrames uint64
+
+	mTx, mRx *metrics.Counter
 }
 
 func newLink(loop *sim.Loop, ch ByteChannel) *link {
-	l := &link{loop: loop, ch: ch, handler: make(map[uint16]func([]byte))}
+	reg := loop.Metrics()
+	l := &link{
+		loop: loop, ch: ch, handler: make(map[uint16]func([]byte)),
+		mTx: reg.Counter("ppp/tx_frames"),
+		mRx: reg.Counter("ppp/rx_frames"),
+	}
 	l.deframe.OnFrame = l.dispatch
+	l.deframe.OnFCSError = reg.Counter("ppp/fcs_errors").Inc
 	ch.SetReceiver(func(p []byte) { l.deframe.Feed(p) })
 	return l
 }
@@ -81,6 +90,7 @@ func (l *link) dispatch(payload []byte) {
 		return
 	}
 	l.RxFrames++
+	l.mRx.Inc()
 	if h, ok := l.handler[proto]; ok {
 		h(info)
 		return
@@ -97,6 +107,7 @@ func (l *link) sendControl(proto uint16, p ControlPacket) {
 
 func (l *link) sendPPP(proto uint16, info []byte) {
 	l.TxFrames++
+	l.mTx.Inc()
 	payload := EncapsulatePPP(proto, info)
 	// LCP always uses the default ACCM (RFC 1662 §7); everything else
 	// may use the negotiated map once LCP has opened.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
 )
 
@@ -96,16 +97,21 @@ const (
 // automaton is the option-negotiation state machine shared by LCP and
 // IPCP.
 type automaton struct {
-	cfg     automatonConfig
-	state   cpState
-	id      byte
-	restart *sim.Timer
-	retries int
-	lastReq []Option // options in our outstanding Configure-Request
+	cfg      automatonConfig
+	state    cpState
+	id       byte
+	restart  *sim.Timer
+	retries  int
+	lastReq  []Option // options in our outstanding Configure-Request
+	mRetrans *metrics.Counter
 }
 
 func newAutomaton(cfg automatonConfig) *automaton {
-	return &automaton{cfg: cfg, state: cpInitial}
+	return &automaton{
+		cfg:      cfg,
+		state:    cpInitial,
+		mRetrans: cfg.Loop.Metrics().Counter("ppp/retransmits"),
+	}
 }
 
 func (a *automaton) tracef(format string, args ...any) {
@@ -189,6 +195,7 @@ func (a *automaton) termTimeout(reason string) {
 		a.finished(reason)
 		return
 	}
+	a.mRetrans.Inc()
 	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeTermReq, ID: a.id, Data: []byte(reason)})
 	a.armTimer(func() { a.termTimeout(reason) })
 }
@@ -234,6 +241,7 @@ func (a *automaton) confReqTimeout() {
 	}
 	switch a.state {
 	case cpReqSent, cpAckRcvd, cpAckSent:
+		a.mRetrans.Inc()
 		a.transmitConfReq()
 	}
 }

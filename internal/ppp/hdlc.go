@@ -94,6 +94,9 @@ type Deframer struct {
 	// OnFrame receives each valid frame's PPP payload (protocol +
 	// information, without address/control/FCS).
 	OnFrame func(pppPayload []byte)
+	// OnFCSError, if set, is invoked for each frame discarded on an FCS
+	// mismatch (observability hook; the frame is dropped either way).
+	OnFCSError func()
 
 	buf     []byte
 	escaped bool
@@ -153,6 +156,9 @@ func (d *Deframer) finish() {
 	}
 	if fcs16(fcsInit, d.buf) != fcsGood {
 		d.FCSErrors++
+		if d.OnFCSError != nil {
+			d.OnFCSError()
+		}
 		return
 	}
 	payload := d.buf[:len(d.buf)-2] // strip FCS

@@ -18,29 +18,49 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"time"
+
+	"github.com/onelab/umtslab/internal/metrics"
 )
 
 // Loop is a discrete-event scheduler with a virtual clock.
 //
 // The zero value is not usable; construct with NewLoop.
 type Loop struct {
-	now     time.Duration
-	seq     uint64
-	pq      eventHeap
-	seed    int64
-	rngs    map[string]*rand.Rand
-	stopped bool
-	idleFns []func()
+	now       time.Duration
+	seq       uint64
+	pq        eventHeap
+	cancelled int // cancelled events still sitting in pq
+	seed      int64
+	rngs      map[string]*rand.Rand
+	stopped   bool
+	idleFns   []func()
+
+	reg          *metrics.Registry
+	mFired       *metrics.Counter
+	mCancelled   *metrics.Counter
+	mCompactions *metrics.Counter
+	mHeapPeak    *metrics.Gauge
 }
 
 // NewLoop returns a Loop whose clock starts at zero and whose named RNG
 // streams are derived from seed.
 func NewLoop(seed int64) *Loop {
+	reg := metrics.NewRegistry()
 	return &Loop{
-		seed: seed,
-		rngs: make(map[string]*rand.Rand),
+		seed:         seed,
+		rngs:         make(map[string]*rand.Rand),
+		reg:          reg,
+		mFired:       reg.Counter("sim/events_fired"),
+		mCancelled:   reg.Counter("sim/events_cancelled"),
+		mCompactions: reg.Counter("sim/heap_compactions"),
+		mHeapPeak:    reg.Gauge("sim/heap_depth"),
 	}
 }
+
+// Metrics returns the loop's metrics registry. Every model component
+// running on this loop registers its instruments here, so one snapshot
+// covers the whole simulation.
+func (l *Loop) Metrics() *metrics.Registry { return l.reg }
 
 // Now returns the current virtual time, measured from the start of the
 // simulation.
@@ -67,14 +87,56 @@ func (l *Loop) RNG(name string) *rand.Rand {
 // Timer is a handle to a scheduled event. It may be cancelled before it
 // fires; cancelling an already-fired or already-cancelled timer is a no-op.
 type Timer struct {
-	ev *event
+	ev   *event
+	loop *Loop
 }
 
 // Cancel prevents the timer's function from running if it has not fired.
+//
+// The event entry stays in the queue (removing from the middle of a heap
+// is O(log n) per removal and most timers never get cancelled), but the
+// loop tracks how many dead entries it holds and rebuilds the heap once
+// they outnumber the live ones — so workloads that cancel timers en
+// masse (TCP RTOs, LCP keepalives) cannot grow the heap without bound.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.fn = nil
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return
 	}
+	t.ev.fn = nil
+	l := t.loop
+	if l == nil {
+		return
+	}
+	l.mCancelled.Inc()
+	l.cancelled++
+	if l.cancelled > l.pq.Len()/2 && l.pq.Len() >= compactMinLen {
+		l.compact()
+	}
+}
+
+// compactMinLen is the heap size below which compaction is not worth the
+// rebuild; small heaps self-clean as events pop.
+const compactMinLen = 64
+
+// compact rebuilds the event heap keeping only live events. O(n), run
+// only when cancelled entries exceed half the queue, so the amortized
+// cost per cancellation is O(1) and heap length stays within 2x the live
+// event count.
+func (l *Loop) compact() {
+	live := l.pq[:0]
+	for _, ev := range l.pq {
+		if ev.fn != nil {
+			live = append(live, ev)
+		}
+	}
+	// Zero the tail so dropped events are collectable.
+	for i := len(live); i < len(l.pq); i++ {
+		l.pq[i] = nil
+	}
+	l.pq = live
+	heap.Init(&l.pq)
+	l.cancelled = 0
+	l.mCompactions.Inc()
 }
 
 // Pending reports whether the timer has been scheduled and not yet fired
@@ -91,7 +153,10 @@ func (l *Loop) At(at time.Duration, fn func()) *Timer {
 	ev := &event{at: at, seq: l.seq, fn: fn}
 	l.seq++
 	heap.Push(&l.pq, ev)
-	return &Timer{ev: ev}
+	if d := float64(l.pq.Len()); d > l.mHeapPeak.Max() {
+		l.mHeapPeak.Set(d)
+	}
+	return &Timer{ev: ev, loop: l}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -131,9 +196,22 @@ func (l *Loop) Run() time.Duration {
 
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to exactly t. Events scheduled for later remain queued.
+//
+// Like Run, RunUntil consults the OnIdle callbacks whenever no event at
+// or before t remains, so lazy sources registered with OnIdle keep
+// producing work up to the horizon instead of starving.
 func (l *Loop) RunUntil(t time.Duration) {
 	l.stopped = false
-	for !l.stopped && l.pq.Len() > 0 && l.pq[0].at <= t {
+	for !l.stopped {
+		if l.pq.Len() == 0 || l.pq[0].at > t {
+			for _, fn := range l.idleFns {
+				fn()
+			}
+			if l.pq.Len() == 0 || l.pq[0].at > t {
+				break
+			}
+			continue
+		}
 		l.step()
 	}
 	if l.now < t {
@@ -153,8 +231,12 @@ func (l *Loop) RunWhile(cond func() bool) {
 func (l *Loop) step() {
 	ev := heap.Pop(&l.pq).(*event)
 	if ev.fn == nil { // cancelled
+		if l.cancelled > 0 {
+			l.cancelled--
+		}
 		return
 	}
+	l.mFired.Inc()
 	if ev.at > l.now {
 		l.now = ev.at
 	}

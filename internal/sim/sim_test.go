@@ -268,3 +268,115 @@ func TestPropertyEventOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCancelCompactionSoak cancels 100k timers and checks the heap never
+// grows beyond 2x the live event count (the lazy-compaction bound).
+func TestCancelCompactionSoak(t *testing.T) {
+	l := NewLoop(1)
+	const live = 100
+	for i := 0; i < live; i++ {
+		l.After(time.Duration(i+1)*time.Hour, func() {})
+	}
+	for i := 0; i < 100000; i++ {
+		tm := l.After(time.Duration(i+1)*time.Millisecond, func() {})
+		tm.Cancel()
+		if l.Len() > 2*(live+1) {
+			t.Fatalf("heap grew to %d with %d live events after %d cancellations",
+				l.Len(), live, i+1)
+		}
+	}
+	snap := l.Metrics().Snapshot()
+	if got := snap.Counter("sim/events_cancelled"); got != 100000 {
+		t.Fatalf("events_cancelled = %d, want 100000", got)
+	}
+	if snap.Counter("sim/heap_compactions") == 0 {
+		t.Fatal("expected at least one heap compaction")
+	}
+	fired := 0
+	// The live events must all still fire, in order, despite compactions.
+	prev := time.Duration(-1)
+	l.OnIdle(func() {})
+	for l.Len() > 0 {
+		l.RunUntil(l.Now() + time.Hour)
+		if l.Now() <= prev {
+			t.Fatal("clock went backwards")
+		}
+		prev = l.Now()
+		fired++
+		if fired > live+1 {
+			break
+		}
+	}
+	if got := l.Metrics().Snapshot().Counter("sim/events_fired"); got != live {
+		t.Fatalf("events_fired = %d, want %d", got, live)
+	}
+}
+
+// TestCancelAfterCompaction checks that a Timer handle stays valid (and
+// Cancel remains a no-op or effective as appropriate) across a heap
+// rebuild that moved its event.
+func TestCancelAfterCompaction(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	keep := l.After(time.Hour, func() { fired = true })
+	var doomed []*Timer
+	for i := 0; i < 200; i++ {
+		doomed = append(doomed, l.After(time.Minute, func() { t.Fatal("cancelled timer fired") }))
+	}
+	for _, tm := range doomed {
+		tm.Cancel()
+	}
+	if !keep.Pending() {
+		t.Fatal("live timer lost across compaction")
+	}
+	keep.Cancel()
+	l.Run()
+	if fired {
+		t.Fatal("cancelled timer fired after compaction")
+	}
+}
+
+// TestRunUntilPollsIdle is the regression test for the idle-starvation
+// bug: lazy sources registered with OnIdle must be consulted when the
+// queue drains before the horizon, exactly as Run consults them.
+func TestRunUntilPollsIdle(t *testing.T) {
+	l := NewLoop(1)
+	produced := 0
+	l.OnIdle(func() {
+		if produced < 3 {
+			produced++
+			l.After(time.Second, func() {})
+		}
+	})
+	l.RunUntil(10 * time.Second)
+	if produced != 3 {
+		t.Fatalf("idle source produced %d events under RunUntil, want 3", produced)
+	}
+	if l.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", l.Now())
+	}
+}
+
+// TestRunUntilIdleBeyondHorizon: an idle source that schedules past the
+// horizon must not prevent RunUntil from returning, and the late event
+// must stay queued.
+func TestRunUntilIdleBeyondHorizon(t *testing.T) {
+	l := NewLoop(1)
+	calls := 0
+	l.OnIdle(func() {
+		if calls == 0 {
+			l.After(time.Minute, func() {})
+		}
+		calls++
+	})
+	l.RunUntil(time.Second)
+	if calls == 0 {
+		t.Fatal("idle callbacks never polled by RunUntil")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("late event not retained: len=%d", l.Len())
+	}
+	if l.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", l.Now())
+	}
+}

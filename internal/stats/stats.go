@@ -55,24 +55,64 @@ func (s *Summary) Var() float64 {
 // Std returns the sample standard deviation.
 func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
 
-// Min returns the smallest sample (0 if empty).
-func (s *Summary) Min() float64 { return s.min }
+// Min returns the smallest sample. An empty summary yields NaN, so "no
+// samples" is distinguishable from a genuine 0 (and correct for
+// all-negative series).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest sample (0 if empty).
-func (s *Summary) Max() float64 { return s.max }
+// Max returns the largest sample (NaN if empty, like Min).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
 func (s *Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Std(), s.min, s.max)
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Std(), s.Min(), s.Max())
 }
 
 // Percentile returns the p-th percentile (0..100) of values using linear
 // interpolation. values need not be sorted; the slice is not modified.
+// An empty input yields 0 (historical behaviour; prefer Percentiles,
+// which yields NaN, when "empty" must be detectable).
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles (0..100) of values,
+// sorting the input once — use this instead of repeated Percentile calls
+// when extracting several quantiles from the same slice. values is not
+// modified. An empty input yields NaN for every requested percentile.
+func Percentiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted interpolates the p-th percentile of an already-sorted
+// non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -31,8 +31,13 @@ func TestSummaryBasics(t *testing.T) {
 
 func TestSummaryEmpty(t *testing.T) {
 	var s Summary
-	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
-		t.Fatal("empty summary should be all zeros")
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty summary mean/std/n should be zero")
+	}
+	// Min/Max of an empty summary are NaN: "no samples" must be
+	// distinguishable from a genuine 0.
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary Min/Max = (%v, %v), want NaN", s.Min(), s.Max())
 	}
 }
 
@@ -154,5 +159,40 @@ func TestPropertyPercentileMonotone(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEmptySummaryMinMaxNaN(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary Min/Max = (%v, %v), want NaN", s.Min(), s.Max())
+	}
+	// All-negative series must report a negative max, not 0.
+	s.Add(-5)
+	s.Add(-2)
+	if s.Min() != -5 || s.Max() != -2 {
+		t.Fatalf("negative series Min/Max = (%v, %v), want (-5, -2)", s.Min(), s.Max())
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	vals := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 10}
+	ps := []float64{0, 25, 50, 90, 100}
+	got := Percentiles(vals, ps...)
+	for i, p := range ps {
+		if want := Percentile(vals, p); math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("Percentiles P%v = %v, want %v", p, got[i], want)
+		}
+	}
+	// Input must not be mutated.
+	if vals[0] != 9 || vals[9] != 10 {
+		t.Fatal("Percentiles mutated its input")
+	}
+}
+
+func TestPercentilesEmpty(t *testing.T) {
+	got := Percentiles(nil, 50, 95)
+	if len(got) != 2 || !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Fatalf("empty Percentiles = %v, want NaNs", got)
 	}
 }

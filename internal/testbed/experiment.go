@@ -6,6 +6,7 @@ import (
 
 	"github.com/onelab/umtslab/internal/core"
 	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/netsim"
 	"github.com/onelab/umtslab/internal/vsys"
 )
@@ -92,6 +93,10 @@ type ExperimentResult struct {
 	SetupTime time.Duration
 	// SenderErrors counts packets refused on the send path.
 	SenderErrors uint64
+	// Metrics is the simulation-wide metrics snapshot taken when the run
+	// finished: every instrument the sim kernel, links, radio, PPP, and
+	// traffic generator registered on this run's loop.
+	Metrics metrics.Snapshot
 }
 
 // RunExperiment reproduces one cell of the paper's evaluation on this
@@ -187,8 +192,13 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 		}
 	}
 	fe.Close()
+	res.Metrics = tb.Loop.Metrics().Snapshot()
 	return res, nil
 }
+
+// Metrics returns the registry shared by every component on this
+// testbed's loop.
+func (tb *Testbed) Metrics() *metrics.Registry { return tb.Loop.Metrics() }
 
 // RunPaperExperiment builds a fresh testbed with the given seed and runs
 // one (path, workload) cell with paper parameters — the entry point the

@@ -1,0 +1,75 @@
+package testbed
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RepSeed derives the simulation seed of repetition rep from a base
+// seed. Both the sequential and the parallel paths use this derivation,
+// so a rep produces bit-identical results regardless of how it is
+// scheduled.
+func RepSeed(base int64, rep int) int64 { return base + int64(rep)*1000 }
+
+// RepRun identifies one repetition of one experiment cell: the (path,
+// workload) pair of a paper figure plus the repetition index.
+type RepRun struct {
+	Seed     int64 // base seed; the run executes with RepSeed(Seed, Rep)
+	Path     Path
+	Workload Workload
+	Rep      int
+	Duration time.Duration
+}
+
+// RunParallel executes the given repetitions across a bounded worker
+// pool and returns the results in input order.
+//
+// Each repetition builds a private testbed — its own sim.Loop, RNG
+// streams, and metrics registry — so workers share no mutable state and
+// the per-rep results are bit-identical to a sequential run of the same
+// seeds. Only the scheduling is concurrent; the merge is deterministic
+// because results land at their input index.
+//
+// workers <= 0 selects GOMAXPROCS. The first error (by input order, not
+// completion order, so error reporting is deterministic too) is
+// returned; results for runs that errored are nil.
+func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	results := make([]*ExperimentResult, len(runs))
+	errs := make([]error, len(runs))
+	if len(runs) == 0 {
+		return results, nil
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := runs[i]
+				results[i], errs[i] = RunPaperExperiment(
+					RepSeed(r.Seed, r.Rep), r.Path, r.Workload, r.Duration)
+			}
+		}()
+	}
+	for i := 0; i < len(runs); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

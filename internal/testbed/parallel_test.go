@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+const parTestDur = 12 * time.Second // virtual seconds; runs in ~ms real time
+
+// TestConcurrentReproductionsNoSharedState runs two figure reproductions
+// concurrently on separate loops. Under -race this guards the worker-
+// pool design against accidental shared state (package-level RNGs,
+// registries, caches); without -race it still checks both complete.
+func TestConcurrentReproductionsNoSharedState(t *testing.T) {
+	var wg sync.WaitGroup
+	cells := []struct {
+		path Path
+		wl   Workload
+	}{
+		{PathUMTS, WorkloadVoIP},
+		{PathEthernet, WorkloadCBR1M},
+	}
+	results := make([]*ExperimentResult, len(cells))
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, path Path, wl Workload) {
+			defer wg.Done()
+			r, err := RunPaperExperiment(int64(100+i), path, wl, parTestDur)
+			if err != nil {
+				t.Errorf("cell %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i, c.path, c.wl)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			continue // error already reported
+		}
+		if r.Decoded.Received == 0 {
+			t.Errorf("cell %d received no packets", i)
+		}
+	}
+}
+
+// TestRunParallelDeterminism: the worker pool must produce results
+// identical to sequential execution of the same seeds — the merge is by
+// rep index, and each rep owns a private loop and registry.
+func TestRunParallelDeterminism(t *testing.T) {
+	const base, reps = 7, 3
+	var runs []RepRun
+	for rep := 0; rep < reps; rep++ {
+		runs = append(runs, RepRun{Seed: base, Path: PathUMTS, Workload: WorkloadVoIP, Rep: rep, Duration: parTestDur})
+	}
+	par, err := RunParallel(runs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < reps; rep++ {
+		seq, err := RunPaperExperiment(RepSeed(base, rep), PathUMTS, WorkloadVoIP, parTestDur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par[rep].Decoded, seq.Decoded) {
+			t.Errorf("rep %d: parallel decode differs from sequential", rep)
+		}
+		if !reflect.DeepEqual(par[rep].Metrics, seq.Metrics) {
+			t.Errorf("rep %d: parallel metrics snapshot differs from sequential", rep)
+		}
+	}
+}
+
+// TestRunParallelOrderAndBounds: results land at their input index even
+// with more runs than workers, and workers <= 0 picks a sane default.
+func TestRunParallelOrderAndBounds(t *testing.T) {
+	runs := []RepRun{
+		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 0, Duration: parTestDur},
+		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 1, Duration: parTestDur},
+		{Seed: 1, Path: PathEthernet, Workload: WorkloadCBR1M, Rep: 0, Duration: parTestDur},
+	}
+	res, err := RunParallel(runs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(runs) {
+		t.Fatalf("got %d results for %d runs", len(res), len(runs))
+	}
+	if res[2].Spec.Workload != WorkloadCBR1M {
+		t.Fatal("results not merged by input index")
+	}
+	// Reps 0 and 1 of the same cell must differ (different seeds).
+	if reflect.DeepEqual(res[0].Decoded.Windows, res[1].Decoded.Windows) {
+		t.Fatal("distinct reps produced identical series; rep seeding broken")
+	}
+}
+
+// TestExperimentMetricsSnapshot asserts the observability layer against
+// ground truth the decoder already computes: the ITG counters must match
+// the logs, and the radio/PPP layers must have been exercised on the
+// UMTS path.
+func TestExperimentMetricsSnapshot(t *testing.T) {
+	r, err := RunPaperExperiment(3, PathUMTS, WorkloadVoIP, parTestDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	if got := m.Counter("itg/packets_sent"); got != int64(r.Decoded.Sent) {
+		t.Errorf("itg/packets_sent = %d, decoder saw %d", got, r.Decoded.Sent)
+	}
+	if got := m.Counter("itg/packets_received"); got != int64(r.Decoded.Received) {
+		t.Errorf("itg/packets_received = %d, decoder saw %d", got, r.Decoded.Received)
+	}
+	if m.Counter("ppp/tx_frames") == 0 || m.Counter("ppp/rx_frames") == 0 {
+		t.Error("PPP frame counters not populated on the UMTS path")
+	}
+	if m.Counter("umts/ul/tx_chunks") == 0 {
+		t.Error("radio uplink counters not populated")
+	}
+	if m.Counter("sim/events_fired") == 0 {
+		t.Error("sim kernel counters not populated")
+	}
+	if m.CounterSum("netsim/link/", "/tx_packets") == 0 {
+		t.Error("per-link tx counters not populated")
+	}
+	if g := m.Gauges["sim/heap_depth"]; g.Max <= 0 {
+		t.Error("heap depth peak not tracked")
+	}
+}

@@ -281,12 +281,12 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 	rng := loop.RNG("umts/radio/" + term.imsi)
 	sess.srvCh = &srvChannel{sess: sess}
 	sess.bearer = &bearer{sess: sess}
-	sess.ul = newRadioDir(loop, rng, op.cfg.Uplink, func(p []byte) {
+	sess.ul = newRadioDir(loop, rng, "umts/ul", op.cfg.Uplink, func(p []byte) {
 		if sess.srvCh.recv != nil {
 			sess.srvCh.recv(p)
 		}
 	})
-	sess.dl = newRadioDir(loop, rng, op.cfg.Downlink, func(p []byte) {
+	sess.dl = newRadioDir(loop, rng, "umts/dl", op.cfg.Downlink, func(p []byte) {
 		if sess.bearer.recv != nil {
 			sess.bearer.recv(p)
 		}
@@ -377,6 +377,7 @@ func (sess *session) sampleAdaptation() {
 		if sess.rateIdx < len(cfg.DLRateLadder) {
 			sess.dl.setRate(cfg.DLRateLadder[sess.rateIdx])
 		}
+		sess.op.loop.Metrics().Counter("umts/rab_upgrades").Inc()
 		sess.logf("bearer upgraded: uplink %.0f kbps", ul/1000)
 	}
 	if cfg.Adaptation.IdleHoldTime > 0 && sess.idle >= cfg.Adaptation.IdleHoldTime && sess.rateIdx > 0 {
@@ -387,6 +388,7 @@ func (sess *session) sampleAdaptation() {
 		if sess.rateIdx < len(cfg.DLRateLadder) {
 			sess.dl.setRate(cfg.DLRateLadder[sess.rateIdx])
 		}
+		sess.op.loop.Metrics().Counter("umts/rab_downgrades").Inc()
 		sess.logf("bearer released: uplink %.0f kbps", ul/1000)
 	}
 }

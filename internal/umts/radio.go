@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
 )
 
@@ -65,10 +66,33 @@ type radioDir struct {
 	lastArrival time.Duration
 	stats       RadioDirStats
 	closed      bool
+
+	// Registry instruments; name carries the direction ("umts/ul/...").
+	mTxChunks  *metrics.Counter
+	mTxBytes   *metrics.Counter
+	mDrops     *metrics.Counter
+	mDropBytes *metrics.Counter
+	mHarq      *metrics.Counter
+	mTTIStalls *metrics.Counter
+	mStallNs   *metrics.Histogram
+	mQueueOcc  *metrics.Histogram
 }
 
-func newRadioDir(loop *sim.Loop, rng *rand.Rand, cfg RadioDirConfig, deliver func([]byte)) *radioDir {
-	return &radioDir{loop: loop, rng: rng, cfg: cfg, deliver: deliver}
+// newRadioDir creates one bearer direction; name prefixes its metric
+// names (e.g. "umts/ul").
+func newRadioDir(loop *sim.Loop, rng *rand.Rand, name string, cfg RadioDirConfig, deliver func([]byte)) *radioDir {
+	reg := loop.Metrics()
+	return &radioDir{
+		loop: loop, rng: rng, cfg: cfg, deliver: deliver,
+		mTxChunks:  reg.Counter(name + "/tx_chunks"),
+		mTxBytes:   reg.Counter(name + "/tx_bytes"),
+		mDrops:     reg.Counter(name + "/queue_drops"),
+		mDropBytes: reg.Counter(name + "/drop_bytes"),
+		mHarq:      reg.Counter(name + "/harq_events"),
+		mTTIStalls: reg.Counter(name + "/tti_stalls"),
+		mStallNs:   reg.Histogram(name + "/stall_ns"),
+		mQueueOcc:  reg.Histogram(name + "/queue_occupancy_bytes"),
+	}
 }
 
 // send enqueues one chunk for transmission.
@@ -80,10 +104,13 @@ func (d *radioDir) send(p []byte) {
 		if d.cfg.QueueBytes > 0 && d.queuedBytes+len(p) > d.cfg.QueueBytes {
 			d.stats.QueueDrops++
 			d.stats.DropBytes += uint64(len(p))
+			d.mDrops.Inc()
+			d.mDropBytes.Add(int64(len(p)))
 			return
 		}
 		d.queue = append(d.queue, p)
 		d.queuedBytes += len(p)
+		d.mQueueOcc.Observe(int64(d.queuedBytes))
 		return
 	}
 	d.transmit(p)
@@ -101,12 +128,21 @@ func (d *radioDir) transmit(p []byte) {
 		}
 		d.stats.TxChunks++
 		d.stats.TxBytes += uint64(len(p))
+		d.mTxChunks.Inc()
+		d.mTxBytes.Add(int64(len(p)))
 		extra := d.cfg.BaseDelay
 		if d.cfg.TTI > 0 {
-			extra += time.Duration(d.rng.Int63n(int64(d.cfg.TTI)))
+			// Frame-alignment wait: the chunk stalls until its TTI slot.
+			stall := time.Duration(d.rng.Int63n(int64(d.cfg.TTI)))
+			if stall > 0 {
+				d.mTTIStalls.Inc()
+				d.mStallNs.Observe(int64(stall))
+			}
+			extra += stall
 		}
 		if d.cfg.HarqProb > 0 && d.rng.Float64() < d.cfg.HarqProb {
 			d.stats.HarqEvents++
+			d.mHarq.Inc()
 			rounds := 1
 			for rounds < d.cfg.HarqMax && d.rng.Float64() < d.cfg.HarqProb {
 				rounds++

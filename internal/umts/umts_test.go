@@ -18,7 +18,7 @@ func newDir(t *testing.T, cfg RadioDirConfig) (*sim.Loop, *radioDir, *[]time.Dur
 	t.Helper()
 	loop := sim.NewLoop(1)
 	arrivals := &[]time.Duration{}
-	d := newRadioDir(loop, loop.RNG("t"), cfg, func(p []byte) {
+	d := newRadioDir(loop, loop.RNG("t"), "umts/test", cfg, func(p []byte) {
 		*arrivals = append(*arrivals, loop.Now())
 	})
 	return loop, d, arrivals
@@ -89,7 +89,7 @@ func TestRadioDirPauseQueuesDuringFade(t *testing.T) {
 func TestRadioDirTTIJitterBounded(t *testing.T) {
 	loop := sim.NewLoop(2)
 	var arrivals []time.Duration
-	d := newRadioDir(loop, loop.RNG("t"), RadioDirConfig{
+	d := newRadioDir(loop, loop.RNG("t"), "umts/test", RadioDirConfig{
 		RateBps: 1e6, BaseDelay: 50 * time.Millisecond, TTI: 10 * time.Millisecond,
 	}, func(p []byte) { arrivals = append(arrivals, loop.Now()) })
 	var sendTimes []time.Duration
@@ -120,7 +120,7 @@ func TestRadioDirTTIJitterBounded(t *testing.T) {
 func TestRadioDirNoReordering(t *testing.T) {
 	loop := sim.NewLoop(3)
 	var order []byte
-	d := newRadioDir(loop, loop.RNG("t"), RadioDirConfig{
+	d := newRadioDir(loop, loop.RNG("t"), "umts/test", RadioDirConfig{
 		RateBps: 1e6, BaseDelay: 20 * time.Millisecond, TTI: 10 * time.Millisecond,
 		HarqProb: 0.5, HarqRetx: 15 * time.Millisecond, HarqMax: 3,
 	}, func(p []byte) { order = append(order, p[0]) })

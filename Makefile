@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench
+.PHONY: all build verify test race vet bench bench-sched bench-smoke
 
 all: build
 
@@ -8,7 +8,10 @@ build:
 	$(GO) build ./...
 
 # Tier-1 verify: everything must stay green (see ROADMAP.md).
-verify: vet build test race
+# bench-smoke compiles and runs every benchmark once so a broken
+# benchmark (or a perf-path regression that panics) fails the gate
+# without paying for real measurement runs.
+verify: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +22,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
 # bench times the sequential vs. pooled repetition schedule of Figure 1
 # (5 reps) and records the comparison, including the core count, in
 # BENCH_parallel.json.
 bench:
 	$(GO) run ./cmd/experiments -figure 1 -reps 5 -dur 60s -bench-parallel BENCH_parallel.json
+
+# bench-sched times the sim-kernel configurations on the paper's
+# VoIP/UMTS cell — reference heap without buffer pooling (the
+# pre-optimization baseline), heap with pooling, timer wheel with
+# pooling — verifies all three decode identically, and records the
+# comparison in BENCH_sched.json.
+bench-sched:
+	$(GO) run ./cmd/experiments -bench-sched BENCH_sched.json -dur 30s -reps 3

@@ -480,3 +480,33 @@ func BenchmarkRepsParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPaperExperimentScheduler runs the complete §3 VoIP cell
+// (dial-up, 30 s of traffic, decode) on each sim-scheduler backend with
+// allocation reporting — the end-to-end acceptance benchmark for the
+// timer wheel and the zero-allocation packet path. The two backends
+// produce byte-identical reports (see internal/testbed's
+// TestSchedulerByteIdenticalExperiment); this measures only cost.
+func BenchmarkPaperExperimentScheduler(b *testing.B) {
+	for _, sc := range []struct {
+		name  string
+		sched sim.Scheduler
+	}{
+		{"wheel", sim.SchedulerWheel},
+		{"heap", sim.SchedulerHeap},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := testbed.RunPaperExperimentScheduler(1, sc.sched,
+					testbed.PathUMTS, testbed.WorkloadVoIP, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Decoded.Received == 0 {
+					b.Fatal("no traffic")
+				}
+			}
+		})
+	}
+}

@@ -9,7 +9,8 @@
 //
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
-//	            [-bench-parallel file] [-v]
+//	            [-bench-parallel file] [-bench-sched file]
+//	            [-cpuprofile file] [-memprofile file] [-v]
 //
 // With -reps N each experiment is repeated on N independently seeded
 // testbeds (the paper ran each experiment 20 times) and the summary
@@ -22,7 +23,11 @@
 // output is byte-identical to a sequential run of the same seeds.
 // -metrics dumps each cell's rep-0 metrics snapshot as JSON ("-" for
 // stdout); -bench-parallel times the sequential vs. pooled schedule and
-// writes the comparison as JSON instead of running the normal report.
+// writes the comparison as JSON instead of running the normal report;
+// -bench-sched times the sim-kernel configurations (reference heap
+// without buffer pooling, heap with pooling, timer wheel with pooling)
+// on one paper cell and writes wall time and allocation counts as JSON.
+// -cpuprofile/-memprofile write pprof profiles of whichever mode ran.
 package main
 
 import (
@@ -34,11 +39,14 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/onelab/umtslab/internal/bufpool"
 	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/sim"
 	"github.com/onelab/umtslab/internal/stats"
 	"github.com/onelab/umtslab/internal/testbed"
 )
@@ -163,8 +171,38 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for repetitions (<=0: GOMAXPROCS)")
 	metricsOut := flag.String("metrics", "", `write rep-0 metrics snapshots as JSON to this file ("-" for stdout)`)
 	benchOut := flag.String("bench-parallel", "", "time sequential vs parallel schedules, write JSON to this file, and exit")
+	benchSchedOut := flag.String("bench-sched", "", "time the heap/wheel scheduler and pooling configurations, write JSON to this file, and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 	dur = *durFlag
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var selected []figure
 	if *figSel == "all" {
@@ -181,6 +219,14 @@ func main() {
 	if *benchOut != "" {
 		if err := benchParallel(*benchOut, *seed, selected, *reps, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-parallel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchSchedOut != "" {
+		if err := benchSched(*benchSchedOut, *seed, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-sched: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -335,6 +381,114 @@ func benchParallel(path string, seed int64, sel []figure, reps, workers int) err
 	}
 	fmt.Printf("bench-parallel: %d runs, sequential %.2f s, parallel(%d workers) %.2f s, speedup %.2fx, identical=%v -> %s\n",
 		len(runs), seqWall.Seconds(), workers, parWall.Seconds(), rep.Speedup, identical, path)
+	return nil
+}
+
+// schedBenchConfig is one measured sim-kernel configuration.
+type schedBenchConfig struct {
+	WallSPerRun  float64 `json:"wall_s_per_run"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	BytesPerRun  uint64  `json:"bytes_per_run"`
+}
+
+type schedBenchReport struct {
+	Workload string  `json:"workload"`
+	Path     string  `json:"path"`
+	FlowS    float64 `json:"flow_duration_s"`
+	Reps     int     `json:"reps"`
+	// Baseline is the pre-optimization kernel: the reference binary-heap
+	// scheduler with buffer pooling disabled, i.e. every packet buffer
+	// freshly allocated, as the seed tree behaved.
+	Baseline schedBenchConfig `json:"baseline_heap_nopool"`
+	// HeapPool isolates the pooling win (same scheduler as baseline).
+	HeapPool schedBenchConfig `json:"heap_pool"`
+	// WheelPool is the shipping configuration.
+	WheelPool schedBenchConfig `json:"wheel_pool"`
+	// AllocImprovement is baseline allocs per run over wheel+pool allocs
+	// per run (higher is better; the acceptance bar is 1.5).
+	AllocImprovement float64 `json:"alloc_improvement"`
+	WallImprovement  float64 `json:"wall_improvement"`
+	// Identical reports whether all three configurations decoded the
+	// same QoS result — recycling and the wheel are optimizations, never
+	// semantics.
+	Identical bool `json:"results_identical"`
+}
+
+// benchSched times the paper's VoIP/UMTS cell under three sim-kernel
+// configurations — reference heap without pooling (the pre-optimization
+// baseline), heap with pooling, timer wheel with pooling — verifies all
+// three decode identically, and writes the comparison as JSON (the
+// `make bench-sched` artifact).
+func benchSched(path string, seed int64, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	type config struct {
+		name  string
+		sched sim.Scheduler
+		pool  bool
+	}
+	configs := []config{
+		{"baseline_heap_nopool", sim.SchedulerHeap, false},
+		{"heap_pool", sim.SchedulerHeap, true},
+		{"wheel_pool", sim.SchedulerWheel, true},
+	}
+	measured := make([]schedBenchConfig, len(configs))
+	firsts := make([]*testbed.ExperimentResult, len(configs))
+	for i, cfg := range configs {
+		bufpool.SetDisabled(!cfg.pool)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			r, err := testbed.RunPaperExperimentScheduler(
+				testbed.RepSeed(seed, rep), cfg.sched, testbed.PathUMTS, testbed.WorkloadVoIP, dur)
+			if err != nil {
+				bufpool.SetDisabled(false)
+				return fmt.Errorf("%s rep %d: %w", cfg.name, rep, err)
+			}
+			if rep == 0 {
+				firsts[i] = r
+			}
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		measured[i] = schedBenchConfig{
+			WallSPerRun:  wall.Seconds() / float64(reps),
+			AllocsPerRun: (after.Mallocs - before.Mallocs) / uint64(reps),
+			BytesPerRun:  (after.TotalAlloc - before.TotalAlloc) / uint64(reps),
+		}
+	}
+	bufpool.SetDisabled(false)
+	identical := reflect.DeepEqual(firsts[0].Decoded, firsts[1].Decoded) &&
+		reflect.DeepEqual(firsts[0].Decoded, firsts[2].Decoded)
+	rep := schedBenchReport{
+		Workload:         testbed.WorkloadVoIP.String(),
+		Path:             testbed.PathUMTS.String(),
+		FlowS:            dur.Seconds(),
+		Reps:             reps,
+		Baseline:         measured[0],
+		HeapPool:         measured[1],
+		WheelPool:        measured[2],
+		AllocImprovement: float64(measured[0].AllocsPerRun) / float64(measured[2].AllocsPerRun),
+		WallImprovement:  measured[0].WallSPerRun / measured[2].WallSPerRun,
+		Identical:        identical,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-sched: %d rep(s) of %v VoIP/UMTS: heap+nopool %.3f s %.0f allocs, heap+pool %.3f s %.0f allocs, wheel+pool %.3f s %.0f allocs; alloc x%.2f, wall x%.2f, identical=%v -> %s\n",
+		reps, dur,
+		measured[0].WallSPerRun, float64(measured[0].AllocsPerRun),
+		measured[1].WallSPerRun, float64(measured[1].AllocsPerRun),
+		measured[2].WallSPerRun, float64(measured[2].AllocsPerRun),
+		rep.AllocImprovement, rep.WallImprovement, identical, path)
 	return nil
 }
 

@@ -1,0 +1,65 @@
+package bufpool
+
+import (
+	"testing"
+
+	"github.com/onelab/umtslab/internal/metrics"
+)
+
+func TestClassSizing(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1500, 4096, 65536} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if c := cap(b); c&(c-1) != 0 || c < 64 || c < n {
+			t.Fatalf("Get(%d) cap = %d, want pool class >= n", n, c)
+		}
+		p.Put(b)
+	}
+	// Oversized requests fall through and are not retained.
+	big := p.Get(1 << 20)
+	if len(big) != 1<<20 {
+		t.Fatalf("oversized Get len = %d", len(big))
+	}
+	p.Put(big)
+}
+
+func TestReuse(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(reg)
+	a := p.Get(1500)
+	a[0] = 0xab
+	p.Put(a)
+	b := p.Get(2000) // same 2048-byte class
+	if &a[:1][0] != &b[:1][0] {
+		t.Fatal("expected Get after Put to reuse the buffer")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("bufpool/gets") != 2 || snap.Counter("bufpool/puts") != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Counter("bufpool/misses") != 1 {
+		t.Fatalf("misses = %d, want 1 (first Get only)", snap.Counter("bufpool/misses"))
+	}
+}
+
+func TestPutForeignBuffer(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	p.Put(nil)
+	p.Put(make([]byte, 100)) // cap 100: not a class, must be ignored
+	b := p.Get(100)
+	if cap(b) != 128 {
+		t.Fatalf("foreign buffer entered the pool: cap = %d", cap(b))
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	p := New(metrics.NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(1500)
+		p.Put(buf)
+	}
+}

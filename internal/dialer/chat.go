@@ -36,7 +36,7 @@ type chat struct {
 	waiting  bool
 	expect   []string
 	abort    []string
-	timer    *sim.Timer
+	timer    sim.Timer
 	callback func(matched string, err error)
 	trace    func(format string, args ...any)
 }
@@ -117,9 +117,7 @@ func (c *chat) check() {
 
 func (c *chat) finish(matched string, err error) {
 	c.waiting = false
-	if c.timer != nil {
-		c.timer.Cancel()
-	}
+	c.timer.Cancel()
 	cb := c.callback
 	c.callback = nil
 	if err == nil {

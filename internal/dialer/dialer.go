@@ -260,7 +260,15 @@ func (d *Dialer) startPPP(done func(*Connection, error)) {
 			conn.iface = d.cfg.Node.AddIface(d.cfg.IfaceName, local, netip.Prefix{})
 			conn.iface.Peer = peer
 			conn.iface.SetLink(netsim.FuncLink(func(_ *netsim.Iface, pkt *netsim.Packet) {
-				conn.client.SendIPv4(pkt.Marshal())
+				// The link owns pkt: marshal into a recycled wire buffer
+				// (SendIPv4 frames and copies it synchronously) and recycle
+				// the payload too.
+				pool := d.cfg.Loop.Buffers()
+				wire := pkt.AppendMarshal(pool.Get(pkt.Length())[:0])
+				conn.client.SendIPv4(wire)
+				pool.Put(wire)
+				pool.Put(pkt.Payload)
+				pkt.Payload = nil
 			}))
 			completed = true
 			d.busy = false
@@ -275,7 +283,7 @@ func (d *Dialer) startPPP(done func(*Connection, error)) {
 			conn.down(reason)
 		},
 		OnIPv4: func(b []byte) {
-			pkt, err := netsim.Unmarshal(b)
+			pkt, err := netsim.UnmarshalPooled(b, d.cfg.Loop.Buffers())
 			if err != nil || conn.iface == nil {
 				return
 			}

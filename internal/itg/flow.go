@@ -117,14 +117,15 @@ type Sender struct {
 	started    bool
 	stopped    bool
 	deadline   time.Duration
-	timer      *sim.Timer
+	timer      sim.Timer
+	emitFn     func() // bound once; a per-packet method value would allocate
 	SendErrors uint64
 }
 
 // NewSender creates a sender for spec; name salts the RNG stream.
 func NewSender(loop *sim.Loop, name string, spec FlowSpec, send SendFunc) *Sender {
 	reg := loop.Metrics()
-	return &Sender{
+	s := &Sender{
 		loop:    loop,
 		rng:     loop.RNG("itg/" + name),
 		spec:    spec,
@@ -133,6 +134,8 @@ func NewSender(loop *sim.Loop, name string, spec FlowSpec, send SendFunc) *Sende
 		mEchoed: reg.Counter("itg/echoes_received"),
 		mErrors: reg.Counter("itg/send_errors"),
 	}
+	s.emitFn = s.emit
+	return s
 }
 
 // Spec returns the flow specification.
@@ -152,9 +155,7 @@ func (s *Sender) Start() {
 // Stop aborts generation early.
 func (s *Sender) Stop() {
 	s.stopped = true
-	if s.timer != nil {
-		s.timer.Cancel()
-	}
+	s.timer.Cancel()
 }
 
 func (s *Sender) emit() {
@@ -174,6 +175,9 @@ func (s *Sender) emit() {
 	if s.spec.Meter == MeterRTT {
 		kind |= flagEchoRequest
 	}
+	// Draw the payload from the loop's pool; the stack recycles it at
+	// the point of consumption (marshal onto a byte path, drop, or the
+	// receiver's Handle).
 	pkt := &netsim.Packet{
 		Src:     s.spec.SrcAddr,
 		Dst:     s.spec.DstAddr,
@@ -181,7 +185,7 @@ func (s *Sender) emit() {
 		TOS:     s.spec.TOS,
 		SrcPort: s.spec.SrcPort,
 		DstPort: s.spec.DstPort,
-		Payload: EncodePayload(kind, s.spec.FlowID, s.seq, now, size),
+		Payload: EncodePayloadInto(s.loop.Buffers().Get(size), kind, s.spec.FlowID, s.seq, now),
 	}
 	if err := s.send(pkt); err != nil {
 		s.SendErrors++
@@ -195,7 +199,7 @@ func (s *Sender) emit() {
 	if idt <= 0 {
 		idt = 1e-6 // degenerate IDT: avoid a zero-delay storm
 	}
-	s.timer = s.loop.After(time.Duration(idt*float64(time.Second)), s.emit)
+	s.timer = s.loop.After(time.Duration(idt*float64(time.Second)), s.emitFn)
 }
 
 func (s *Sender) finish() {
@@ -218,6 +222,10 @@ func (s *Sender) HandleEcho(pkt *netsim.Packet) {
 		TxTime: txTime, RxTime: s.loop.Now(),
 	})
 	s.mEchoed.Inc()
+	// The sender terminates the echo: recycle its payload (Put ignores
+	// buffers that did not come from the pool).
+	s.loop.Buffers().Put(pkt.Payload)
+	pkt.Payload = nil
 }
 
 // Receiver logs one or more flows' arrivals and reflects echo-requested
@@ -262,6 +270,7 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 		TxTime: txTime, RxTime: r.loop.Now(),
 	})
 	r.mRecv.Inc()
+	size := len(pkt.Payload)
 	if kind&flagEchoRequest != 0 && r.reply != nil {
 		echo := &netsim.Packet{
 			Src:     pkt.Dst,
@@ -269,11 +278,14 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 			Proto:   netsim.ProtoUDP,
 			SrcPort: pkt.DstPort,
 			DstPort: pkt.SrcPort,
-			Payload: EncodePayload(KindEcho, flowID, seq, txTime, len(pkt.Payload)),
+			Payload: EncodePayloadInto(r.loop.Buffers().Get(size), KindEcho, flowID, seq, txTime),
 		}
 		r.reply(echo)
 		r.mEchoed.Inc()
 	}
+	// The receiver terminates the data packet: recycle its payload.
+	r.loop.Buffers().Put(pkt.Payload)
+	pkt.Payload = nil
 }
 
 func (m Meter) String() string {

@@ -34,11 +34,22 @@ func EncodePayload(kind byte, flowID, seq uint32, txTime time.Duration, size int
 	if size < MinPayload {
 		size = MinPayload
 	}
-	b := make([]byte, size)
+	return EncodePayloadInto(make([]byte, size), kind, flowID, seq, txTime)
+}
+
+// EncodePayloadInto writes the application header into b and zeroes the
+// padding after it. b may be a recycled buffer: the padding must be
+// cleared explicitly because HDLC escaping is content-dependent — stale
+// bytes would change the on-wire frame size and therefore the timing of
+// every later event. len(b) must be >= MinPayload.
+func EncodePayloadInto(b []byte, kind byte, flowID, seq uint32, txTime time.Duration) []byte {
 	b[0] = kind
 	binary.BigEndian.PutUint32(b[1:], flowID)
 	binary.BigEndian.PutUint32(b[5:], seq)
 	binary.BigEndian.PutUint64(b[9:], uint64(txTime))
+	for i := MinPayload; i < len(b); i++ {
+		b[i] = 0
+	}
 	return b
 }
 

@@ -77,7 +77,7 @@ type Pinger struct {
 type pingWait struct {
 	tx    time.Duration
 	cb    func(rtt time.Duration, err error)
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // ErrPingTimeout reports an unanswered echo request.

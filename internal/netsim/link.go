@@ -65,6 +65,10 @@ func NewP2PLink(loop *sim.Loop, name string, a2b, b2a LinkConfig) *P2PLink {
 	l.dirs[0] = &linkDir{link: l, cfg: a2b}
 	l.dirs[1] = &linkDir{link: l, cfg: b2a}
 	for _, d := range l.dirs {
+		// Bind the event callbacks once: scheduling a stored func()
+		// does not allocate, unlike a per-packet closure.
+		d.txDoneFn = d.txDone
+		d.deliverFn = d.deliverHead
 		d.mTxPackets = reg.Counter(prefix + "tx_packets")
 		d.mTxBytes = reg.Counter(prefix + "tx_bytes")
 		d.mQueueDrops = reg.Counter(prefix + "queue_drops")
@@ -115,10 +119,23 @@ type linkDir struct {
 	link        *P2PLink
 	cfg         LinkConfig
 	busy        bool
-	queue       []queued
+	queue       []queued // ring: waiting packets are queue[head:]
+	head        int
 	queuedBytes int
 	lastArrival time.Duration // monotone arrival guard against reordering
 	stats       DirStats
+
+	// Allocation-free event plumbing: the packet being serialized, the
+	// FIFO of packets whose delivery events are already scheduled, and
+	// the two callbacks bound once at construction. The pending ring
+	// works because arrivals are forced monotone (lastArrival) and
+	// same-timestamp events fire in scheduling order, so deliveries pop
+	// in exactly the order their events fire.
+	inflight  queued
+	pending   []queued // ring: scheduled deliveries are pending[pendHead:]
+	pendHead  int
+	txDoneFn  func()
+	deliverFn func()
 
 	// Registry instruments, shared by both directions of the link.
 	mTxPackets  *metrics.Counter
@@ -137,21 +154,34 @@ func (d *linkDir) send(to *Iface, pkt *Packet) {
 	if d.cfg.LossProb > 0 && d.link.rng.Float64() < d.cfg.LossProb {
 		d.stats.LossDrops++
 		d.mLossDrops.Inc()
+		d.recycle(pkt)
 		return
 	}
 	if d.busy {
-		if (d.cfg.QueuePackets > 0 && len(d.queue) >= d.cfg.QueuePackets) ||
+		if (d.cfg.QueuePackets > 0 && d.qlen() >= d.cfg.QueuePackets) ||
 			(d.cfg.QueueBytes > 0 && d.queuedBytes+pkt.Length() > d.cfg.QueueBytes) {
 			d.stats.QueueDrops++
 			d.mQueueDrops.Inc()
+			d.recycle(pkt)
 			return
 		}
 		d.queue = append(d.queue, queued{pkt, to})
 		d.queuedBytes += pkt.Length()
-		d.mQueueOcc.Observe(int64(len(d.queue)))
+		d.mQueueOcc.Observe(int64(d.qlen()))
 		return
 	}
 	d.transmit(to, pkt)
+}
+
+func (d *linkDir) qlen() int { return len(d.queue) - d.head }
+
+// recycle returns a dropped packet's payload to the loop's buffer pool.
+// The link owns pkt at this point, and payload ownership is exclusive
+// throughout the repo (producers copy), so the buffer cannot be live
+// elsewhere; Put ignores buffers that did not come from the pool.
+func (d *linkDir) recycle(pkt *Packet) {
+	d.link.loop.Buffers().Put(pkt.Payload)
+	pkt.Payload = nil
 }
 
 func (d *linkDir) transmit(to *Iface, pkt *Packet) {
@@ -160,41 +190,66 @@ func (d *linkDir) transmit(to *Iface, pkt *Packet) {
 	if d.cfg.RateBps > 0 {
 		txDur = time.Duration(float64(pkt.Length()*8) / d.cfg.RateBps * float64(time.Second))
 	}
+	d.inflight = queued{pkt, to}
+	d.link.loop.After(txDur, d.txDoneFn)
+}
+
+// txDone fires when the in-flight packet finishes serializing: schedule
+// its delivery after propagation delay and start the next queued packet.
+func (d *linkDir) txDone() {
+	pkt, to := d.inflight.pkt, d.inflight.to
+	d.inflight = queued{}
 	loop := d.link.loop
-	loop.After(txDur, func() {
-		d.stats.TxPackets++
-		d.stats.TxBytes += uint64(pkt.Length())
-		d.mTxPackets.Inc()
-		d.mTxBytes.Add(int64(pkt.Length()))
-		extra := d.cfg.Delay
-		if d.cfg.Jitter > 0 {
-			extra += time.Duration(d.link.rng.Int63n(int64(d.cfg.Jitter)))
+	d.stats.TxPackets++
+	d.stats.TxBytes += uint64(pkt.Length())
+	d.mTxPackets.Inc()
+	d.mTxBytes.Add(int64(pkt.Length()))
+	extra := d.cfg.Delay
+	if d.cfg.Jitter > 0 {
+		extra += time.Duration(d.link.rng.Int63n(int64(d.cfg.Jitter)))
+	}
+	arrival := loop.Now() + extra
+	if arrival < d.lastArrival {
+		arrival = d.lastArrival
+	}
+	d.lastArrival = arrival
+	d.pending = append(d.pending, queued{pkt, to})
+	loop.At(arrival, d.deliverFn)
+	// Start the next queued packet, if any.
+	if d.head < len(d.queue) {
+		next := d.queue[d.head]
+		d.queue[d.head] = queued{}
+		d.head++
+		if d.head == len(d.queue) {
+			// Drained: reuse the slice backing from the start.
+			d.queue = d.queue[:0]
+			d.head = 0
 		}
-		arrival := loop.Now() + extra
-		if arrival < d.lastArrival {
-			arrival = d.lastArrival
-		}
-		d.lastArrival = arrival
-		loop.At(arrival, func() {
-			if to != nil {
-				to.Deliver(pkt)
-			}
-		})
-		// Start the next queued packet, if any.
-		if len(d.queue) > 0 {
-			next := d.queue[0]
-			d.queue = d.queue[1:]
-			d.queuedBytes -= next.pkt.Length()
-			d.transmit(next.to, next.pkt)
-		} else {
-			d.busy = false
-		}
-	})
+		d.queuedBytes -= next.pkt.Length()
+		d.transmit(next.to, next.pkt)
+	} else {
+		d.busy = false
+	}
+}
+
+// deliverHead fires at a scheduled arrival time and hands the oldest
+// pending packet to its destination interface.
+func (d *linkDir) deliverHead() {
+	q := d.pending[d.pendHead]
+	d.pending[d.pendHead] = queued{}
+	d.pendHead++
+	if d.pendHead == len(d.pending) {
+		d.pending = d.pending[:0]
+		d.pendHead = 0
+	}
+	if q.to != nil {
+		q.to.Deliver(q.pkt)
+	}
 }
 
 // QueueLen returns the number of packets waiting (not counting the one in
 // serialization) in the direction out of end.
-func (l *P2PLink) QueueLen(end int) int { return len(l.dirs[end].queue) }
+func (l *P2PLink) QueueLen(end int) int { return l.dirs[end].qlen() }
 
 // QueueBytes returns the bytes waiting in the direction out of end.
 func (l *P2PLink) QueueBytes(end int) int { return l.dirs[end].queuedBytes }

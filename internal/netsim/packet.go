@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+
+	"github.com/onelab/umtslab/internal/bufpool"
 )
 
 // Proto is an IPv4 protocol number.
@@ -113,8 +115,21 @@ var (
 // Marshal serializes the packet to real IPv4 (+UDP) wire format. This is
 // the representation carried over byte-level paths (the PPP link).
 func (p *Packet) Marshal() []byte {
+	return p.AppendMarshal(make([]byte, 0, p.Length()))
+}
+
+// AppendMarshal appends the wire format to dst and returns the extended
+// slice. dst is typically the empty slice of a recycled buffer; every
+// wire byte is written explicitly (including the zero UDP checksum), so
+// recycled garbage never leaks onto the wire.
+func (p *Packet) AppendMarshal(dst []byte) []byte {
 	total := p.Length()
-	b := make([]byte, total)
+	start := len(dst)
+	for cap(dst) < start+total {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	dst = dst[:start+total]
+	b := dst[start:]
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = p.TOS
 	binary.BigEndian.PutUint16(b[2:], uint16(total))
@@ -123,10 +138,14 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint16(b[6:], 0x4000)
 	b[8] = p.TTL
 	b[9] = uint8(p.Proto)
-	src := p.Src.As4()
-	dst := p.Dst.As4()
-	copy(b[12:16], src[:])
-	copy(b[16:20], dst[:])
+	// Zero the checksum field before summing: a recycled buffer carries
+	// whatever the previous user left there.
+	b[10] = 0
+	b[11] = 0
+	srcA := p.Src.As4()
+	dstA := p.Dst.As4()
+	copy(b[12:16], srcA[:])
+	copy(b[16:20], dstA[:])
 	binary.BigEndian.PutUint16(b[10:], ipChecksum(b[:IPv4HeaderLen]))
 
 	off := IPv4HeaderLen
@@ -134,17 +153,25 @@ func (p *Packet) Marshal() []byte {
 		binary.BigEndian.PutUint16(b[off:], p.SrcPort)
 		binary.BigEndian.PutUint16(b[off+2:], p.DstPort)
 		binary.BigEndian.PutUint16(b[off+4:], uint16(UDPHeaderLen+len(p.Payload)))
-		// UDP checksum left zero (legal for IPv4); the simulated radio
-		// link delivers frames intact or not at all.
+		// UDP checksum zero (legal for IPv4); the simulated radio link
+		// delivers frames intact or not at all. Written explicitly: a
+		// recycled buffer is not pre-zeroed.
+		b[off+6] = 0
+		b[off+7] = 0
 		off += UDPHeaderLen
 	}
 	copy(b[off:], p.Payload)
-	return b
+	return dst
 }
 
 // Unmarshal parses wire bytes into a Packet. Local metadata fields are
 // zero: attribution does not cross a wire.
-func Unmarshal(b []byte) (*Packet, error) {
+func Unmarshal(b []byte) (*Packet, error) { return UnmarshalPooled(b, nil) }
+
+// UnmarshalPooled is Unmarshal drawing the payload copy from pool (when
+// non-nil) instead of the allocator. The consumer that terminates the
+// packet may hand the payload back with pool.Put — itg receivers do.
+func UnmarshalPooled(b []byte, pool *bufpool.Pool) (*Packet, error) {
 	if len(b) < IPv4HeaderLen {
 		return nil, ErrTruncated
 	}
@@ -181,11 +208,22 @@ func Unmarshal(b []byte) (*Packet, error) {
 		if ulen < UDPHeaderLen || ulen > len(rest) {
 			return nil, ErrBadLength
 		}
-		p.Payload = append([]byte(nil), rest[UDPHeaderLen:ulen]...)
+		p.Payload = copyPayload(rest[UDPHeaderLen:ulen], pool)
 	} else {
-		p.Payload = append([]byte(nil), rest...)
+		p.Payload = copyPayload(rest, pool)
 	}
 	return p, nil
+}
+
+func copyPayload(src []byte, pool *bufpool.Pool) []byte {
+	var dst []byte
+	if pool != nil {
+		dst = pool.Get(len(src))
+	} else {
+		dst = make([]byte, len(src))
+	}
+	copy(dst, src)
+	return dst
 }
 
 // ipChecksum computes the RFC 791 header checksum. Computing it over a

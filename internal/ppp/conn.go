@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"time"
 
@@ -14,6 +15,11 @@ import (
 // ByteChannel is the transport under a PPP connection: the host's serial
 // port to the modem, or the operator side's radio-bearer termination.
 // serial.Port satisfies it.
+//
+// Write must not retain p past the call (implementations copy into
+// their own queues); the PPP layer recycles frame buffers as soon as
+// Write returns. Conversely, slices passed to the receiver callback are
+// only valid for the duration of the call.
 type ByteChannel interface {
 	Write(p []byte) int
 	SetReceiver(fn func(p []byte))
@@ -79,6 +85,10 @@ func newLink(loop *sim.Loop, ch ByteChannel) *link {
 		mRx: reg.Counter("ppp/rx_frames"),
 	}
 	l.deframe.OnFrame = l.dispatch
+	// Every protocol handler below consumes its frame synchronously
+	// (control packets are parsed and re-marshalled, IP payloads are
+	// unmarshalled), so the deframer can lend out its internal buffer.
+	l.deframe.Borrow = true
 	l.deframe.OnFCSError = reg.Counter("ppp/fcs_errors").Inc
 	ch.SetReceiver(func(p []byte) { l.deframe.Feed(p) })
 	return l
@@ -108,14 +118,17 @@ func (l *link) sendControl(proto uint16, p ControlPacket) {
 func (l *link) sendPPP(proto uint16, info []byte) {
 	l.TxFrames++
 	l.mTx.Inc()
-	payload := EncapsulatePPP(proto, info)
 	// LCP always uses the default ACCM (RFC 1662 §7); everything else
 	// may use the negotiated map once LCP has opened.
-	if proto != ProtoLCP && l.accm0 && l.lcp != nil && l.lcp.Opened() {
-		l.ch.Write(EncodeFrameACCM0(payload))
-		return
-	}
-	l.ch.Write(EncodeFrame(payload))
+	escapeCtl := proto == ProtoLCP || !l.accm0 || l.lcp == nil || !l.lcp.Opened()
+	// Worst case every octet is escaped: 2*(len(info)+6) plus two flags.
+	buf := l.loop.Buffers().Get(2*len(info) + 16)[:0]
+	frame := appendFrameProto(buf, proto, info, escapeCtl)
+	// ByteChannel implementations (serial line, UMTS bearer) do not
+	// retain the written slice past the call, so the frame buffer can
+	// be recycled immediately.
+	l.ch.Write(frame)
+	l.loop.Buffers().Put(frame)
 }
 
 // --- LCP option policies ---
@@ -340,7 +353,7 @@ type Client struct {
 	ipcpP *ipcpPolicy
 	phase Phase
 
-	papTimer   *sim.Timer
+	papTimer   sim.Timer
 	papRetries int
 
 	echoTicker *sim.Ticker
@@ -467,9 +480,7 @@ func (c *Client) papInput(info []byte) {
 	if err != nil || c.phase != PhaseAuthenticate {
 		return
 	}
-	if c.papTimer != nil {
-		c.papTimer.Cancel()
-	}
+	c.papTimer.Cancel()
 	switch p.Code {
 	case PapAuthAck:
 		c.networkPhase()
@@ -621,9 +632,10 @@ type Server struct {
 
 	user      string
 	assigned  netip.Addr
-	challenge []byte
+	challenge [16]byte // reused across authentications; see sendChallenge
+	chapRNG   *rand.Rand
 	chapID    byte
-	authTimer *sim.Timer
+	authTimer sim.Timer
 	authTries int
 }
 
@@ -707,10 +719,12 @@ func (s *Server) lcpUp() {
 
 func (s *Server) sendChallenge() {
 	s.chapID++
-	s.challenge = make([]byte, 16)
-	s.cfg.Loop.RNG("ppp/chap/" + s.cfg.Name).Read(s.challenge)
+	if s.chapRNG == nil {
+		s.chapRNG = s.cfg.Loop.RNG("ppp/chap/" + s.cfg.Name)
+	}
+	s.chapRNG.Read(s.challenge[:])
 	s.link.sendControl(ProtoCHAP, ControlPacket{
-		Code: ChapChallenge, ID: s.chapID, Data: marshalChapValue(s.challenge, s.cfg.Name),
+		Code: ChapChallenge, ID: s.chapID, Data: marshalChapValue(s.challenge[:], s.cfg.Name),
 	})
 	s.authTimer = s.cfg.Loop.After(restartInterval, func() {
 		s.authTries--
@@ -732,15 +746,13 @@ func (s *Server) chapInput(info []byte) {
 	if p.ID != s.chapID {
 		return
 	}
-	if s.authTimer != nil {
-		s.authTimer.Cancel()
-	}
+	s.authTimer.Cancel()
 	resp, user, err := parseChapValue(p.Data)
 	if err != nil {
 		return
 	}
 	secret, ok := s.cfg.Secrets[user]
-	if !ok || !chapVerify(p.ID, secret, s.challenge, resp) {
+	if !ok || !chapVerify(p.ID, secret, s.challenge[:], resp) {
 		s.link.sendControl(ProtoCHAP, ControlPacket{Code: ChapFailure, ID: p.ID, Data: []byte("bad secret")})
 		s.Terminate("authentication failed")
 		return

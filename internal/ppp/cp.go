@@ -100,9 +100,10 @@ type automaton struct {
 	cfg      automatonConfig
 	state    cpState
 	id       byte
-	restart  *sim.Timer
+	restart  sim.Timer
 	retries  int
 	lastReq  []Option // options in our outstanding Configure-Request
+	echoData [4]byte  // reused Echo-Request magic buffer
 	mRetrans *metrics.Counter
 }
 
@@ -212,10 +213,7 @@ func (a *automaton) armTimer(fn func()) {
 }
 
 func (a *automaton) stopTimer() {
-	if a.restart != nil {
-		a.restart.Cancel()
-		a.restart = nil
-	}
+	a.restart.Cancel()
 }
 
 func (a *automaton) sendConfReq() {
@@ -252,12 +250,13 @@ func (a *automaton) SendEcho(magic uint32) {
 		return
 	}
 	a.id++
-	d := make([]byte, 4)
-	d[0] = byte(magic >> 24)
-	d[1] = byte(magic >> 16)
-	d[2] = byte(magic >> 8)
-	d[3] = byte(magic)
-	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeEchoReq, ID: a.id, Data: d})
+	a.echoData[0] = byte(magic >> 24)
+	a.echoData[1] = byte(magic >> 16)
+	a.echoData[2] = byte(magic >> 8)
+	a.echoData[3] = byte(magic)
+	// Send marshals the packet (copying Data) before returning, so the
+	// reused array never escapes.
+	a.cfg.Send(a.cfg.Proto, ControlPacket{Code: CodeEchoReq, ID: a.id, Data: a.echoData[:]})
 }
 
 // Input processes a received control packet for this protocol.

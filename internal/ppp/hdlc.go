@@ -69,23 +69,59 @@ func EncodeFrameACCM0(pppPayload []byte) []byte {
 }
 
 func encodeFrame(pppPayload []byte, escapeCtl bool) []byte {
-	raw := make([]byte, 0, len(pppPayload)+4)
-	raw = append(raw, hdlcAddress, hdlcControl)
-	raw = append(raw, pppPayload...)
-	fcs := ^fcs16(fcsInit, raw)
-	raw = append(raw, byte(fcs&0xff), byte(fcs>>8))
+	return appendFrame(make([]byte, 0, len(pppPayload)+12), pppPayload, escapeCtl)
+}
 
-	out := make([]byte, 0, len(raw)+8)
-	out = append(out, hdlcFlag)
-	for _, b := range raw {
-		if b == hdlcFlag || b == hdlcEscape || (escapeCtl && b < 0x20) {
-			out = append(out, hdlcEscape, b^hdlcXOR)
-		} else {
-			out = append(out, b)
-		}
+// AppendFrame is EncodeFrame appending into dst (which may be an empty
+// slice of a recycled buffer), returning the extended slice.
+func AppendFrame(dst, pppPayload []byte) []byte {
+	return appendFrame(dst, pppPayload, true)
+}
+
+// AppendFrameACCM0 is EncodeFrameACCM0 appending into dst.
+func AppendFrameACCM0(dst, pppPayload []byte) []byte {
+	return appendFrame(dst, pppPayload, false)
+}
+
+// appendFrame streams the frame out byte by byte, folding each octet
+// into the running FCS as it is escaped, so no intermediate "raw"
+// buffer is built. appendFrameProto additionally splices the protocol
+// field in front of info, sparing callers the EncapsulatePPP copy.
+//
+// The worst-case encoded size (every octet escaped) is
+// 2*(len(info)+6)+2 bytes: address, control, protocol, FCS and both
+// flags on top of the information field.
+func appendFrame(dst, pppPayload []byte, escapeCtl bool) []byte {
+	if len(pppPayload) < 2 {
+		return dst
 	}
-	out = append(out, hdlcFlag)
-	return out
+	proto := uint16(pppPayload[0])<<8 | uint16(pppPayload[1])
+	return appendFrameProto(dst, proto, pppPayload[2:], escapeCtl)
+}
+
+func appendFrameProto(dst []byte, proto uint16, info []byte, escapeCtl bool) []byte {
+	dst = append(dst, hdlcFlag)
+	fcs := uint16(fcsInit)
+	for _, b := range [4]byte{hdlcAddress, hdlcControl, byte(proto >> 8), byte(proto)} {
+		fcs = (fcs >> 8) ^ fcsTable[byte(fcs)^b]
+		dst = appendEscaped(dst, b, escapeCtl)
+	}
+	for _, b := range info {
+		fcs = (fcs >> 8) ^ fcsTable[byte(fcs)^b]
+		dst = appendEscaped(dst, b, escapeCtl)
+	}
+	// The FCS octets are escaped like data but do not update the FCS.
+	fin := ^fcs
+	dst = appendEscaped(dst, byte(fin&0xff), escapeCtl)
+	dst = appendEscaped(dst, byte(fin>>8), escapeCtl)
+	return append(dst, hdlcFlag)
+}
+
+func appendEscaped(dst []byte, b byte, escapeCtl bool) []byte {
+	if b == hdlcFlag || b == hdlcEscape || (escapeCtl && b < 0x20) {
+		return append(dst, hdlcEscape, b^hdlcXOR)
+	}
+	return append(dst, b)
 }
 
 // Deframer is a streaming HDLC decoder: feed it arbitrary byte chunks and
@@ -97,6 +133,12 @@ type Deframer struct {
 	// OnFCSError, if set, is invoked for each frame discarded on an FCS
 	// mismatch (observability hook; the frame is dropped either way).
 	OnFCSError func()
+	// Borrow makes OnFrame receive a slice of the deframer's internal
+	// buffer instead of a fresh copy. The payload is only valid for the
+	// duration of the callback; handlers that keep the bytes must copy.
+	// The PPP link layer sets this — all its protocol handlers consume
+	// frames synchronously — to keep the receive path allocation-free.
+	Borrow bool
 
 	buf     []byte
 	escaped bool
@@ -170,7 +212,10 @@ func (d *Deframer) finish() {
 	}
 	d.Frames++
 	if d.OnFrame != nil {
-		out := append([]byte(nil), payload[2:]...)
-		d.OnFrame(out)
+		if d.Borrow {
+			d.OnFrame(payload[2:])
+		} else {
+			d.OnFrame(append([]byte(nil), payload[2:]...))
+		}
 	}
 }

@@ -321,3 +321,60 @@ func TestPropertyAutomatonRobust(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendFrameMatchesEncodeFrame locks the streaming append encoder
+// to the reference EncodeFrame byte for byte, on both ACCM variants and
+// across payloads that exercise escaping (control bytes, flag, escape).
+func TestAppendFrameMatchesEncodeFrame(t *testing.T) {
+	payloads := [][]byte{
+		EncapsulatePPP(ProtoIPv4, []byte{}),
+		EncapsulatePPP(ProtoIPv4, []byte("plain ascii payload")),
+		EncapsulatePPP(ProtoLCP, []byte{0x00, 0x01, 0x7e, 0x7d, 0x1f, 0x20, 0xff}),
+		EncapsulatePPP(ProtoIPv4, bytes.Repeat([]byte{0x7e}, 64)),
+		EncapsulatePPP(ProtoCHAP, bytes.Repeat([]byte{0x00}, 300)),
+	}
+	for i, p := range payloads {
+		if got, want := AppendFrame(nil, p), EncodeFrame(p); !bytes.Equal(got, want) {
+			t.Errorf("payload %d: AppendFrame != EncodeFrame\n got %x\nwant %x", i, got, want)
+		}
+		if got, want := AppendFrameACCM0(nil, p), EncodeFrameACCM0(p); !bytes.Equal(got, want) {
+			t.Errorf("payload %d: AppendFrameACCM0 != EncodeFrameACCM0\n got %x\nwant %x", i, got, want)
+		}
+		// Appending after existing content must leave the prefix alone.
+		prefix := []byte("prefix")
+		ext := AppendFrame(append([]byte(nil), prefix...), p)
+		if !bytes.Equal(ext[:len(prefix)], prefix) || !bytes.Equal(ext[len(prefix):], EncodeFrame(p)) {
+			t.Errorf("payload %d: AppendFrame clobbered the prefix or frame", i)
+		}
+		// And the frame must deframe back to the payload.
+		var got []byte
+		d := Deframer{OnFrame: func(b []byte) { got = append([]byte(nil), b...) }}
+		if err := d.Feed(AppendFrame(nil, p)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("payload %d: deframe mismatch", i)
+		}
+	}
+}
+
+// BenchmarkEncodeFrame compares the allocating encoder against the
+// append-into-caller-buffer variant on a 1052-byte IPv4 payload.
+func BenchmarkEncodeFrame(b *testing.B) {
+	payload := EncapsulatePPP(ProtoIPv4, make([]byte, 1052))
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			EncodeFrame(payload)
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		buf := make([]byte, 0, 2*len(payload)+16)
+		for i := 0; i < b.N; i++ {
+			buf = AppendFrame(buf[:0], payload)
+		}
+	})
+}

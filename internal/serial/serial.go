@@ -50,6 +50,10 @@ func NewLine(loop *sim.Loop, name string, baud int) *Line {
 	l.b = &port{loop: loop, baud: baud, rng: rng}
 	l.a.peer = l.b
 	l.b.peer = l.a
+	// Bind the tx-complete callbacks once; scheduling a stored func()
+	// does not allocate, unlike a per-chunk closure.
+	l.a.txDoneFn = l.a.txDone
+	l.b.txDoneFn = l.b.txDone
 	return l
 }
 
@@ -76,9 +80,12 @@ type port struct {
 	errRate  float64
 	peer     *port
 	recv     func([]byte)
-	txQueue  [][]byte
+	txQueue  [][]byte // ring: live chunks are txQueue[txHead:]
+	txHead   int
 	txBytes  int
 	busy     bool
+	inflight []byte // chunk being serialized
+	txDoneFn func() // bound once; see NewLine
 	TxTotal  uint64
 	RxTotal  uint64
 	ErrBytes uint64
@@ -88,7 +95,10 @@ func (p *port) Write(data []byte) int {
 	if len(data) == 0 {
 		return 0
 	}
-	cp := append([]byte(nil), data...)
+	// The caller keeps ownership of data; copy into a recycled chunk
+	// that travels the line and returns to the pool after delivery.
+	cp := p.loop.Buffers().Get(len(data))
+	copy(cp, data)
 	if p.busy {
 		p.txQueue = append(p.txQueue, cp)
 		p.txBytes += len(cp)
@@ -104,18 +114,34 @@ func (p *port) transmit(data []byte) {
 	if p.baud > 0 {
 		dur = time.Duration(float64(len(data)*bitsPerByte) / float64(p.baud) * float64(time.Second))
 	}
-	p.loop.After(dur, func() {
-		p.TxTotal += uint64(len(data))
-		p.peer.deliver(data)
-		if len(p.txQueue) > 0 {
-			next := p.txQueue[0]
-			p.txQueue = p.txQueue[1:]
-			p.txBytes -= len(next)
-			p.transmit(next)
-		} else {
-			p.busy = false
+	p.inflight = data
+	p.loop.After(dur, p.txDoneFn)
+}
+
+// txDone fires when the in-flight chunk finishes serializing: deliver it
+// to the peer and start the next queued chunk.
+func (p *port) txDone() {
+	data := p.inflight
+	p.inflight = nil
+	p.TxTotal += uint64(len(data))
+	// Receivers consume delivered chunks synchronously (deframer,
+	// modem parser), so the chunk can be recycled right after.
+	p.peer.deliver(data)
+	p.loop.Buffers().Put(data)
+	if p.txHead < len(p.txQueue) {
+		next := p.txQueue[p.txHead]
+		p.txQueue[p.txHead] = nil
+		p.txHead++
+		if p.txHead == len(p.txQueue) {
+			// Drained: reuse the slice backing from the start.
+			p.txQueue = p.txQueue[:0]
+			p.txHead = 0
 		}
-	})
+		p.txBytes -= len(next)
+		p.transmit(next)
+	} else {
+		p.busy = false
+	}
 }
 
 func (p *port) deliver(data []byte) {

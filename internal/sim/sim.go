@@ -2,10 +2,16 @@
 //
 // All model code in this repository (links, modems, PPP state machines,
 // traffic generators) runs inside a single Loop. Time is virtual: the loop
-// holds a priority queue of timed events and advances its clock to the
-// timestamp of each event as it fires. Within a single timestamp, events
-// fire in scheduling order, which makes every run bit-for-bit reproducible
-// for a given seed.
+// holds a queue of timed events and advances its clock to the timestamp of
+// each event as it fires. Within a single timestamp, events fire in
+// scheduling order, which makes every run bit-for-bit reproducible for a
+// given seed.
+//
+// Two interchangeable scheduler backends exist: a hierarchical timer
+// wheel (the default — O(1) schedule and cancel) and the original binary
+// heap, kept as a reference implementation. Both produce the identical
+// (at, seq) firing order, so experiment output does not depend on the
+// choice; see wheel.go for the determinism argument.
 //
 // The kernel is intentionally single-threaded: model code never needs
 // locks, and an entire 120-second paper experiment executes in a few
@@ -13,54 +19,80 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"time"
 
+	"github.com/onelab/umtslab/internal/bufpool"
 	"github.com/onelab/umtslab/internal/metrics"
+)
+
+// Scheduler selects the event-queue backend for a Loop.
+type Scheduler int
+
+const (
+	// SchedulerWheel is the hierarchical timer wheel (default).
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the reference binary heap with lazy cancellation.
+	SchedulerHeap
 )
 
 // Loop is a discrete-event scheduler with a virtual clock.
 //
 // The zero value is not usable; construct with NewLoop.
 type Loop struct {
-	now       time.Duration
-	seq       uint64
-	pq        eventHeap
-	cancelled int // cancelled events still sitting in pq
-	seed      int64
-	rngs      map[string]*rand.Rand
-	stopped   bool
-	idleFns   []func()
+	now     time.Duration
+	seq     uint64
+	q       eventQueue
+	free    *event // freelist of recycled event entries
+	seed    int64
+	rngs    map[string]*rand.Rand
+	stopped bool
+	idleFns []func()
 
 	reg          *metrics.Registry
+	buffers      *bufpool.Pool
 	mFired       *metrics.Counter
 	mCancelled   *metrics.Counter
 	mCompactions *metrics.Counter
-	mHeapPeak    *metrics.Gauge
+	mDepthPeak   *metrics.Gauge
 }
 
-// NewLoop returns a Loop whose clock starts at zero and whose named RNG
-// streams are derived from seed.
-func NewLoop(seed int64) *Loop {
+// NewLoop returns a wheel-backed Loop whose clock starts at zero and
+// whose named RNG streams are derived from seed.
+func NewLoop(seed int64) *Loop { return NewLoopScheduler(seed, SchedulerWheel) }
+
+// NewLoopScheduler is NewLoop with an explicit scheduler backend.
+func NewLoopScheduler(seed int64, s Scheduler) *Loop {
 	reg := metrics.NewRegistry()
-	return &Loop{
+	l := &Loop{
 		seed:         seed,
 		rngs:         make(map[string]*rand.Rand),
 		reg:          reg,
+		buffers:      bufpool.New(reg),
 		mFired:       reg.Counter("sim/events_fired"),
 		mCancelled:   reg.Counter("sim/events_cancelled"),
 		mCompactions: reg.Counter("sim/heap_compactions"),
-		mHeapPeak:    reg.Gauge("sim/heap_depth"),
+		mDepthPeak:   reg.Gauge("sim/heap_depth"),
 	}
+	switch s {
+	case SchedulerHeap:
+		l.q = &heapQueue{loop: l}
+	default:
+		l.q = newWheelQueue(l, reg)
+	}
+	return l
 }
 
 // Metrics returns the loop's metrics registry. Every model component
 // running on this loop registers its instruments here, so one snapshot
 // covers the whole simulation.
 func (l *Loop) Metrics() *metrics.Registry { return l.reg }
+
+// Buffers returns the loop's packet-buffer pool, shared by the model
+// components on the hot path (HDLC framing, link and radio chunks, ITG
+// payloads).
+func (l *Loop) Buffers() *bufpool.Pool { return l.buffers }
 
 // Now returns the current virtual time, measured from the start of the
 // simulation.
@@ -77,96 +109,111 @@ func (l *Loop) RNG(name string) *rand.Rand {
 	if r, ok := l.rngs[name]; ok {
 		return r
 	}
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	r := rand.New(rand.NewSource(l.seed ^ int64(h.Sum64())))
+	r := rand.New(rand.NewSource(l.seed ^ int64(hashName(name))))
 	l.rngs[name] = r
 	return r
 }
 
+// hashName is FNV-1a over name — bit-identical to hash/fnv's New64a +
+// Write, without allocating the hasher or converting the string.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// allocEvent takes an entry off the freelist (or allocates one) and
+// stamps it with the next sequence number.
+func (l *Loop) allocEvent(at time.Duration, fn func()) *event {
+	ev := l.free
+	if ev != nil {
+		l.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = l.seq
+	ev.fn = fn
+	l.seq++
+	return ev
+}
+
+// freeEvent recycles an event no longer owned by the queue. The gen
+// bump invalidates any Timer still holding the entry.
+func (l *Loop) freeEvent(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.where = evFree
+	ev.prev = nil
+	ev.next = l.free
+	l.free = ev
+}
+
 // Timer is a handle to a scheduled event. It may be cancelled before it
 // fires; cancelling an already-fired or already-cancelled timer is a no-op.
+//
+// Timer is a small value, not a pointer: At/After/Post hand one back
+// without allocating, and the zero Timer is an inert handle on which
+// Cancel and Pending are safe no-ops. Copies of a Timer all name the
+// same event — the (event, generation) pair inside detects staleness, so
+// cancelling through any copy after the event fired does nothing.
 type Timer struct {
-	ev   *event
 	loop *Loop
+	ev   *event
+	gen  uint32 // matches ev.gen while the handle is current
 }
 
 // Cancel prevents the timer's function from running if it has not fired.
 //
-// The event entry stays in the queue (removing from the middle of a heap
-// is O(log n) per removal and most timers never get cancelled), but the
-// loop tracks how many dead entries it holds and rebuilds the heap once
-// they outnumber the live ones — so workloads that cancel timers en
-// masse (TCP RTOs, LCP keepalives) cannot grow the heap without bound.
-func (t *Timer) Cancel() {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+// On the wheel backend the event is unlinked immediately (O(1) on a
+// wheel level, O(log n) in the due/overflow heaps). The heap backend
+// cancels lazily and compacts once dead entries outnumber live ones.
+func (t Timer) Cancel() {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.fn == nil {
 		return
 	}
-	t.ev.fn = nil
 	l := t.loop
 	if l == nil {
 		return
 	}
 	l.mCancelled.Inc()
-	l.cancelled++
-	if l.cancelled > l.pq.Len()/2 && l.pq.Len() >= compactMinLen {
-		l.compact()
-	}
-}
-
-// compactMinLen is the heap size below which compaction is not worth the
-// rebuild; small heaps self-clean as events pop.
-const compactMinLen = 64
-
-// compact rebuilds the event heap keeping only live events. O(n), run
-// only when cancelled entries exceed half the queue, so the amortized
-// cost per cancellation is O(1) and heap length stays within 2x the live
-// event count.
-func (l *Loop) compact() {
-	live := l.pq[:0]
-	for _, ev := range l.pq {
-		if ev.fn != nil {
-			live = append(live, ev)
-		}
-	}
-	// Zero the tail so dropped events are collectable.
-	for i := len(live); i < len(l.pq); i++ {
-		l.pq[i] = nil
-	}
-	l.pq = live
-	heap.Init(&l.pq)
-	l.cancelled = 0
-	l.mCompactions.Inc()
+	l.q.cancel(ev)
 }
 
 // Pending reports whether the timer has been scheduled and not yet fired
 // or cancelled.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.fn != nil
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) is an error in the model; the event fires immediately
 // at the current time instead, preserving clock monotonicity.
-func (l *Loop) At(at time.Duration, fn func()) *Timer {
+func (l *Loop) At(at time.Duration, fn func()) Timer {
 	if at < l.now {
 		at = l.now
 	}
-	ev := &event{at: at, seq: l.seq, fn: fn}
-	l.seq++
-	heap.Push(&l.pq, ev)
-	if d := float64(l.pq.Len()); d > l.mHeapPeak.Max() {
-		l.mHeapPeak.Set(d)
+	ev := l.allocEvent(at, fn)
+	l.q.push(ev)
+	if d := float64(l.q.len()); d > l.mDepthPeak.Max() {
+		l.mDepthPeak.Set(d)
 	}
-	return &Timer{ev: ev, loop: l}
+	return Timer{loop: l, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
-func (l *Loop) After(d time.Duration, fn func()) *Timer {
+func (l *Loop) After(d time.Duration, fn func()) Timer {
 	return l.At(l.now+d, fn)
 }
 
 // Post schedules fn to run at the current virtual time, after all events
 // already scheduled for this instant.
-func (l *Loop) Post(fn func()) *Timer { return l.At(l.now, fn) }
+func (l *Loop) Post(fn func()) Timer { return l.At(l.now, fn) }
 
 // OnIdle registers fn to be consulted when the event queue drains during
 // Run. This is used by sources that generate work lazily.
@@ -181,11 +228,11 @@ func (l *Loop) Stop() { l.stopped = true }
 func (l *Loop) Run() time.Duration {
 	l.stopped = false
 	for !l.stopped {
-		if l.pq.Len() == 0 {
+		if l.q.peek() == nil {
 			for _, fn := range l.idleFns {
 				fn()
 			}
-			if l.pq.Len() == 0 {
+			if l.q.peek() == nil {
 				break
 			}
 		}
@@ -203,11 +250,13 @@ func (l *Loop) Run() time.Duration {
 func (l *Loop) RunUntil(t time.Duration) {
 	l.stopped = false
 	for !l.stopped {
-		if l.pq.Len() == 0 || l.pq[0].at > t {
+		ev := l.q.peek()
+		if ev == nil || ev.at > t {
 			for _, fn := range l.idleFns {
 				fn()
 			}
-			if l.pq.Len() == 0 || l.pq[0].at > t {
+			ev = l.q.peek()
+			if ev == nil || ev.at > t {
 				break
 			}
 			continue
@@ -223,17 +272,14 @@ func (l *Loop) RunUntil(t time.Duration) {
 // cond is evaluated before each event.
 func (l *Loop) RunWhile(cond func() bool) {
 	l.stopped = false
-	for !l.stopped && l.pq.Len() > 0 && cond() {
+	for !l.stopped && l.q.peek() != nil && cond() {
 		l.step()
 	}
 }
 
 func (l *Loop) step() {
-	ev := heap.Pop(&l.pq).(*event)
-	if ev.fn == nil { // cancelled
-		if l.cancelled > 0 {
-			l.cancelled--
-		}
+	ev := l.q.pop()
+	if ev == nil {
 		return
 	}
 	l.mFired.Inc()
@@ -241,57 +287,20 @@ func (l *Loop) step() {
 		l.now = ev.at
 	}
 	fn := ev.fn
-	ev.fn = nil
+	l.freeEvent(ev)
 	fn()
 }
 
-// Len returns the number of queued (possibly cancelled) events; useful in
-// tests.
-func (l *Loop) Len() int { return l.pq.Len() }
-
-// event is a queue entry. seq breaks ties between events scheduled for the
-// same instant, guaranteeing FIFO order and determinism.
-type event struct {
-	at    time.Duration
-	seq   uint64
-	fn    func()
-	index int
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// Len returns the number of queued events (for the heap backend this
+// includes cancelled entries not yet compacted away); useful in tests.
+func (l *Loop) Len() int { return l.q.len() }
 
 // Ticker invokes a function at a fixed virtual-time period until stopped.
 type Ticker struct {
 	loop   *Loop
 	period time.Duration
 	fn     func()
-	timer  *Timer
+	timer  Timer
 	active bool
 }
 

@@ -72,11 +72,11 @@ func TestCancel(t *testing.T) {
 	tm.Cancel() // idempotent
 }
 
-func TestCancelNil(t *testing.T) {
-	var tm *Timer
-	tm.Cancel() // must not panic
+func TestCancelZero(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // the zero handle is inert: must not panic
 	if tm.Pending() {
-		t.Fatal("nil timer pending")
+		t.Fatal("zero timer pending")
 	}
 }
 
@@ -271,8 +271,10 @@ func TestPropertyEventOrder(t *testing.T) {
 
 // TestCancelCompactionSoak cancels 100k timers and checks the heap never
 // grows beyond 2x the live event count (the lazy-compaction bound).
+// Lazy cancellation is specific to the heap backend; the wheel unlinks
+// immediately (see TestWheelCancelImmediate).
 func TestCancelCompactionSoak(t *testing.T) {
-	l := NewLoop(1)
+	l := NewLoopScheduler(1, SchedulerHeap)
 	const live = 100
 	for i := 0; i < live; i++ {
 		l.After(time.Duration(i+1)*time.Hour, func() {})
@@ -316,10 +318,10 @@ func TestCancelCompactionSoak(t *testing.T) {
 // Cancel remains a no-op or effective as appropriate) across a heap
 // rebuild that moved its event.
 func TestCancelAfterCompaction(t *testing.T) {
-	l := NewLoop(1)
+	l := NewLoopScheduler(1, SchedulerHeap)
 	fired := false
 	keep := l.After(time.Hour, func() { fired = true })
-	var doomed []*Timer
+	var doomed []Timer
 	for i := 0; i < 200; i++ {
 		doomed = append(doomed, l.After(time.Minute, func() { t.Fatal("cancelled timer fired") }))
 	}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomDelay spreads delays across every wheel level: sub-tick, level
+// 0/1 (µs..ms), level 2/3 (s..min), and beyond the ~73-minute horizon
+// so the overflow heap is exercised too.
+func randomDelay(rng *rand.Rand) time.Duration {
+	switch rng.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return time.Duration(rng.Intn(1024))
+	case 2:
+		return time.Duration(rng.Intn(int(time.Millisecond)))
+	case 3:
+		return time.Duration(rng.Intn(int(time.Second)))
+	case 4:
+		return time.Duration(rng.Intn(int(10 * time.Minute)))
+	default:
+		return time.Duration(rng.Intn(int(3 * time.Hour)))
+	}
+}
+
+// TestDifferentialWheelVsHeap drives the wheel and the reference heap
+// with an identical randomized stream of 100k schedule/cancel/advance
+// operations (including chained events scheduled from inside callbacks)
+// and requires the exact same firing order and timestamps from both.
+func TestDifferentialWheelVsHeap(t *testing.T) {
+	const ops = 100000
+	type firing struct {
+		id int
+		at time.Duration
+	}
+	wheel := NewLoopScheduler(1, SchedulerWheel)
+	hp := NewLoopScheduler(1, SchedulerHeap)
+	var wOrder, hOrder []firing
+	var wTimers, hTimers []Timer
+
+	// schedule registers event id on one loop; a tenth of the events
+	// chain a follow-up from inside the callback, with a delay derived
+	// from the id so both loops chain identically.
+	schedule := func(l *Loop, order *[]firing, id int, delay time.Duration) Timer {
+		var fn func(id int) func()
+		fn = func(id int) func() {
+			return func() {
+				*order = append(*order, firing{id, l.Now()})
+				if id%10 == 3 && id < 1000000 {
+					chained := id + 1000000
+					d := time.Duration(uint64(id)*2654435761%uint64(2*time.Second)) + 1
+					l.After(d, fn(chained))
+				}
+			}
+		}
+		return l.At(l.Now()+delay, fn(id))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < ops; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			d := randomDelay(rng)
+			wTimers = append(wTimers, schedule(wheel, &wOrder, i, d))
+			hTimers = append(hTimers, schedule(hp, &hOrder, i, d))
+		case r < 0.75:
+			if len(wTimers) > 0 {
+				j := rng.Intn(len(wTimers))
+				wTimers[j].Cancel()
+				hTimers[j].Cancel()
+			}
+		default:
+			d := randomDelay(rng) / 16
+			wheel.RunUntil(wheel.Now() + d)
+			hp.RunUntil(hp.Now() + d)
+			if wheel.Now() != hp.Now() {
+				t.Fatalf("clocks diverged after op %d: wheel %v heap %v", i, wheel.Now(), hp.Now())
+			}
+		}
+	}
+	wheel.Run()
+	hp.Run()
+	if wheel.Now() != hp.Now() {
+		t.Fatalf("final clocks diverged: wheel %v heap %v", wheel.Now(), hp.Now())
+	}
+	if len(wOrder) != len(hOrder) {
+		t.Fatalf("fired %d events on wheel, %d on heap", len(wOrder), len(hOrder))
+	}
+	for i := range wOrder {
+		if wOrder[i] != hOrder[i] {
+			t.Fatalf("firing %d diverged: wheel %+v heap %+v", i, wOrder[i], hOrder[i])
+		}
+	}
+	if len(wOrder) == 0 {
+		t.Fatal("no events fired; workload generator broken")
+	}
+}
+
+// TestWheelEventAtNow covers scheduling at the current instant,
+// including after RunUntil has peeked (and advanced the wheel position)
+// past the clock: such events go straight to the ready heap and must
+// still fire in global (at, seq) order.
+func TestWheelEventAtNow(t *testing.T) {
+	l := NewLoop(1)
+	var order []int
+	l.Post(func() { order = append(order, 1) })
+	l.Post(func() { order = append(order, 2) })
+	l.RunUntil(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("Post order = %v, want [1 2]", order)
+	}
+
+	// Force the wheel position ahead of the clock: the only event sits
+	// at 1h, so peeking inside RunUntil(30m) advances the wheel all the
+	// way to it before breaking at the horizon.
+	far := 0
+	l.After(time.Hour, func() { far++ })
+	l.RunUntil(30 * time.Minute)
+	if l.Now() != 30*time.Minute {
+		t.Fatalf("Now = %v, want 30m", l.Now())
+	}
+	// These land "behind" the wheel position and must be re-sorted by
+	// the ready heap: scheduled out of timestamp order.
+	order = nil
+	l.At(35*time.Minute, func() { order = append(order, 35) })
+	l.At(32*time.Minute, func() { order = append(order, 32) })
+	l.Post(func() { order = append(order, 30) })
+	l.RunUntil(40 * time.Minute)
+	if len(order) != 3 || order[0] != 30 || order[1] != 32 || order[2] != 35 {
+		t.Fatalf("order = %v, want [30 32 35]", order)
+	}
+	if far != 0 {
+		t.Fatal("1h event fired early")
+	}
+	l.Run()
+	if far != 1 {
+		t.Fatal("1h event lost")
+	}
+}
+
+// TestWheelOverflowCancel cancels events parked beyond the wheel
+// horizon, both while still in the overflow heap and after an epoch
+// migration moved them into the wheel.
+func TestWheelOverflowCancel(t *testing.T) {
+	l := NewLoop(1)
+	fired := 0
+	doomed := l.After(2*time.Hour, func() { t.Fatal("cancelled overflow event fired") })
+	kept := l.After(150*time.Minute, func() { fired++ })
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	doomed.Cancel()
+	if l.Len() != 1 || doomed.Pending() {
+		t.Fatalf("Len = %d after overflow cancel, want 1", l.Len())
+	}
+	// Migrate the survivor into the wheel (epoch jump), then cancel a
+	// second far event after migration.
+	doomed2 := l.After(160*time.Minute, func() { t.Fatal("cancelled migrated event fired") })
+	l.RunUntil(140 * time.Minute) // peeks: drains the epoch into the wheel
+	doomed2.Cancel()
+	l.Run()
+	if fired != 1 {
+		t.Fatalf("kept event fired %d times, want 1", fired)
+	}
+	if kept.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+// TestWheelCascadeLevelBoundary schedules events exactly on level
+// boundaries (tick = 256^k) plus their neighbours and checks firing
+// order and that cascades were counted.
+func TestWheelCascadeLevelBoundary(t *testing.T) {
+	l := NewLoop(1)
+	tick := func(n uint64) time.Duration { return time.Duration(n << tickShift) }
+	var ats []time.Duration
+	for _, base := range []uint64{1 << levelBits, 1 << (2 * levelBits), 1 << (3 * levelBits)} {
+		ats = append(ats, tick(base-1), tick(base), tick(base)+1, tick(base+1))
+	}
+	var got []time.Duration
+	// Schedule in reverse to rule out insertion-order luck.
+	for i := len(ats) - 1; i >= 0; i-- {
+		at := ats[i]
+		l.At(at, func() { got = append(got, at) })
+	}
+	l.Run()
+	if len(got) != len(ats) {
+		t.Fatalf("fired %d events, want %d", len(got), len(ats))
+	}
+	for i, at := range ats {
+		if got[i] != at {
+			t.Fatalf("firing %d at %v, want %v (full order %v)", i, got[i], at, got)
+		}
+	}
+	if l.Metrics().Snapshot().Counter("sim/wheel_cascades") == 0 {
+		t.Fatal("expected level cascades for multi-level schedule")
+	}
+}
+
+// TestWheelRunUntilSlotEdge puts the RunUntil horizon exactly on a tick
+// boundary: an event on the boundary fires when the horizon equals its
+// timestamp and not one nanosecond earlier.
+func TestWheelRunUntilSlotEdge(t *testing.T) {
+	l := NewLoop(1)
+	edge := time.Duration(5 << tickShift) // exactly on a level-0 slot edge
+	fired := false
+	l.At(edge, func() { fired = true })
+	l.RunUntil(edge - 1)
+	if fired {
+		t.Fatal("event fired before its slot-edge timestamp")
+	}
+	if l.Now() != edge-1 {
+		t.Fatalf("Now = %v, want %v", l.Now(), edge-1)
+	}
+	l.RunUntil(edge)
+	if !fired {
+		t.Fatal("event on slot edge did not fire at its exact horizon")
+	}
+}
+
+// TestWheelCancelImmediate is the wheel counterpart of the heap's
+// compaction soak: cancellation unlinks immediately, so the queue length
+// tracks the live event count exactly through 100k cancel cycles.
+func TestWheelCancelImmediate(t *testing.T) {
+	l := NewLoop(1)
+	const live = 100
+	for i := 0; i < live; i++ {
+		l.After(time.Duration(i+1)*time.Hour, func() {})
+	}
+	for i := 0; i < 100000; i++ {
+		tm := l.After(time.Duration(i+1)*time.Millisecond, func() {})
+		tm.Cancel()
+		if l.Len() != live {
+			t.Fatalf("Len = %d after %d cancel cycles, want exactly %d", l.Len(), i+1, live)
+		}
+	}
+	snap := l.Metrics().Snapshot()
+	if got := snap.Counter("sim/events_cancelled"); got != 100000 {
+		t.Fatalf("events_cancelled = %d, want 100000", got)
+	}
+	l.Run()
+	if got := l.Metrics().Snapshot().Counter("sim/events_fired"); got != live {
+		t.Fatalf("events_fired = %d, want %d", got, live)
+	}
+}
+
+// TestWheelSameTickOrdering checks that events sharing a 1024 ns tick
+// but scheduled out of timestamp order are re-sorted when their slot
+// drains into the ready heap.
+func TestWheelSameTickOrdering(t *testing.T) {
+	l := NewLoop(1)
+	base := time.Duration(7 << tickShift)
+	var order []int
+	l.At(base+1000, func() { order = append(order, 2) }) // scheduled first, fires second
+	l.At(base+100, func() { order = append(order, 1) })
+	l.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("same-tick order = %v, want [1 2]", order)
+	}
+}
+
+// TestHashNameMatchesFNV locks the allocation-free RNG hash to the
+// hash/fnv implementation it replaced, so every named stream keeps its
+// historical sequence.
+func TestHashNameMatchesFNV(t *testing.T) {
+	for _, name := range []string{"", "x", "umts/radio/001010123456789", "ppp/chap/srv", "itg/flow/7"} {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		if got, want := hashName(name), h.Sum64(); got != want {
+			t.Fatalf("hashName(%q) = %#x, want %#x", name, got, want)
+		}
+	}
+}
+
+// TestRNGHitPathNoAlloc guards the satellite fix: looking up an
+// existing stream must not allocate.
+func TestRNGHitPathNoAlloc(t *testing.T) {
+	l := NewLoop(1)
+	l.RNG("hot/stream")
+	allocs := testing.AllocsPerRun(1000, func() { _ = l.RNG("hot/stream") })
+	if allocs != 0 {
+		t.Fatalf("RNG hit path allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func BenchmarkRNGHit(b *testing.B) {
+	l := NewLoop(1)
+	l.RNG("hot/stream")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.RNG("hot/stream")
+	}
+}
+
+// BenchmarkSchedule measures schedule+fire churn with ~1k outstanding
+// timers, the regime the paper experiments run in.
+func BenchmarkSchedule(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		sched Scheduler
+	}{{"wheel", SchedulerWheel}, {"heap", SchedulerHeap}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			l := NewLoopScheduler(1, cfg.sched)
+			sink := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.After(time.Duration(i%1000+1)*time.Microsecond, func() { sink++ })
+				if l.Len() >= 1024 {
+					l.RunUntil(l.Now() + time.Millisecond)
+				}
+			}
+			l.Run()
+		})
+	}
+}
+
+// BenchmarkScheduleCancel measures the cancel-heavy regime (keepalive
+// timers that almost never fire).
+func BenchmarkScheduleCancel(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		sched Scheduler
+	}{{"wheel", SchedulerWheel}, {"heap", SchedulerHeap}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			l := NewLoopScheduler(1, cfg.sched)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm := l.After(time.Duration(i%97+1)*time.Second, func() {})
+				tm.Cancel()
+				if i%64 == 0 {
+					l.RunUntil(l.Now() + time.Microsecond)
+				}
+			}
+			l.Run()
+		})
+	}
+}

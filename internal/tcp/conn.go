@@ -104,7 +104,7 @@ type Conn struct {
 	rtSeq        uint32        // sequence being timed
 	rtStart      time.Duration // when it was sent
 	rtValid      bool
-	rexmitTimer  *sim.Timer
+	rexmitTimer  sim.Timer
 	rexmitCount  int
 
 	// Receive state.
@@ -272,17 +272,12 @@ func (c *Conn) output() {
 }
 
 func (c *Conn) armRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Cancel()
-	}
+	c.rexmitTimer.Cancel()
 	c.rexmitTimer = c.loop.After(c.rto, c.rexmitTimeout)
 }
 
 func (c *Conn) disarmRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Cancel()
-		c.rexmitTimer = nil
-	}
+	c.rexmitTimer.Cancel()
 }
 
 // rexmitTimeout is the RTO expiry: back off, shrink to one segment, and

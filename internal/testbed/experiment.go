@@ -8,6 +8,7 @@ import (
 	"github.com/onelab/umtslab/internal/itg"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/sim"
 	"github.com/onelab/umtslab/internal/vsys"
 )
 
@@ -204,7 +205,13 @@ func (tb *Testbed) Metrics() *metrics.Registry { return tb.Loop.Metrics() }
 // one (path, workload) cell with paper parameters — the entry point the
 // benches and cmd/experiments share.
 func RunPaperExperiment(seed int64, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
-	tb, err := New(Options{Seed: seed})
+	return RunPaperExperimentScheduler(seed, sim.SchedulerWheel, path, wl, dur)
+}
+
+// RunPaperExperimentScheduler is RunPaperExperiment with an explicit sim
+// scheduler backend, for differential tests and the scheduler benchmark.
+func RunPaperExperimentScheduler(seed int64, sched sim.Scheduler, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
+	tb, err := New(Options{Seed: seed, Scheduler: sched})
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,11 @@ type Options struct {
 	EthDelay time.Duration
 	// EthJitter is the per-hop wired jitter bound (default 300 µs).
 	EthJitter time.Duration
+	// Scheduler selects the sim kernel's event queue (default the timer
+	// wheel; sim.SchedulerHeap restores the reference binary heap). The
+	// two produce byte-identical runs — the knob exists for differential
+	// testing and benchmarking.
+	Scheduler sim.Scheduler
 	// Trace receives verbose progress lines.
 	Trace func(format string, args ...any)
 }
@@ -104,7 +109,7 @@ func New(opts Options) (*Testbed, error) {
 		opts.EthJitter = 300 * time.Microsecond
 	}
 
-	loop := sim.NewLoop(opts.Seed)
+	loop := sim.NewLoopScheduler(opts.Seed, opts.Scheduler)
 	nw := netsim.NewNetwork(loop)
 	tb := &Testbed{Loop: loop, Net: nw, opts: opts}
 

@@ -1,0 +1,5 @@
+package umts
+
+import "github.com/onelab/umtslab/internal/bufpool"
+
+func init() { bufpool.SetDebugDoublePut(true) }

@@ -262,7 +262,7 @@ type session struct {
 	bearer  *bearer
 	iface   *netsim.Iface
 	adapt   *sim.Ticker
-	fade    *sim.Timer
+	fade    sim.Timer
 	rateIdx int
 	sustain time.Duration
 	idle    time.Duration
@@ -298,11 +298,18 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 	op.nextIface++
 	sess.iface = op.ggsn.AddIface(name, netip.Addr{}, netip.Prefix{})
 	sess.iface.SetLink(netsim.FuncLink(func(_ *netsim.Iface, pkt *netsim.Packet) {
-		wire := pkt.Marshal()
+		// The link owns pkt: marshal into a recycled wire buffer and
+		// return the payload to the pool right away. The wire buffer is
+		// recycled once the PPP server has framed it (SendIPv4's channel
+		// write copies into the radio queue).
+		wire := pkt.AppendMarshal(loop.Buffers().Get(pkt.Length())[:0])
+		loop.Buffers().Put(pkt.Payload)
+		pkt.Payload = nil
 		loop.After(op.cfg.CoreDelay, func() {
 			if !sess.closed {
 				sess.srv.SendIPv4(wire)
 			}
+			loop.Buffers().Put(wire)
 		})
 	}))
 
@@ -312,7 +319,7 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 		LocalAddr: op.cfg.GGSNAddr,
 		Assign:    func(string) netip.Addr { return addr },
 		OnIPv4: func(b []byte) {
-			pkt, err := netsim.Unmarshal(b)
+			pkt, err := netsim.UnmarshalPooled(b, loop.Buffers())
 			if err != nil {
 				return
 			}
@@ -428,9 +435,7 @@ func (op *Operator) closeSession(sess *session, reason string, notifyTerminal bo
 	if sess.adapt != nil {
 		sess.adapt.Stop()
 	}
-	if sess.fade != nil {
-		sess.fade.Cancel()
-	}
+	sess.fade.Cancel()
 	sess.ul.close()
 	sess.dl.close()
 	op.ggsn.RemoveIface(sess.iface.Name)
@@ -467,7 +472,12 @@ type bearer struct {
 }
 
 func (b *bearer) Write(p []byte) int {
-	b.sess.ul.send(append([]byte(nil), p...))
+	// Copy into a recycled chunk; the radio returns it to the pool on
+	// delivery or drop.
+	ul := b.sess.ul
+	cp := ul.loop.Buffers().Get(len(p))
+	copy(cp, p)
+	ul.send(cp)
 	return len(p)
 }
 func (b *bearer) SetReceiver(fn func([]byte)) { b.recv = fn }
@@ -480,7 +490,10 @@ type srvChannel struct {
 }
 
 func (c *srvChannel) Write(p []byte) int {
-	c.sess.dl.send(append([]byte(nil), p...))
+	dl := c.sess.dl
+	cp := dl.loop.Buffers().Get(len(p))
+	copy(cp, p)
+	dl.send(cp)
 	return len(p)
 }
 func (c *srvChannel) SetReceiver(fn func([]byte)) { c.recv = fn }

@@ -61,11 +61,23 @@ type radioDir struct {
 
 	busy        bool
 	paused      bool
-	queue       [][]byte
+	queue       [][]byte // ring: waiting chunks are queue[head:]
+	head        int
 	queuedBytes int
 	lastArrival time.Duration
 	stats       RadioDirStats
 	closed      bool
+
+	// Allocation-free event plumbing (same scheme as netsim.linkDir):
+	// the chunk being serialized, the FIFO of chunks whose delivery
+	// events are scheduled, and callbacks bound once. Arrivals are
+	// forced monotone (lastArrival), so deliveries pop in the order
+	// their events fire.
+	inflight  []byte
+	pending   [][]byte // ring: scheduled deliveries are pending[pendHead:]
+	pendHead  int
+	txDoneFn  func()
+	deliverFn func()
 
 	// Registry instruments; name carries the direction ("umts/ul/...").
 	mTxChunks  *metrics.Counter
@@ -82,7 +94,7 @@ type radioDir struct {
 // names (e.g. "umts/ul").
 func newRadioDir(loop *sim.Loop, rng *rand.Rand, name string, cfg RadioDirConfig, deliver func([]byte)) *radioDir {
 	reg := loop.Metrics()
-	return &radioDir{
+	d := &radioDir{
 		loop: loop, rng: rng, cfg: cfg, deliver: deliver,
 		mTxChunks:  reg.Counter(name + "/tx_chunks"),
 		mTxBytes:   reg.Counter(name + "/tx_bytes"),
@@ -93,11 +105,17 @@ func newRadioDir(loop *sim.Loop, rng *rand.Rand, name string, cfg RadioDirConfig
 		mStallNs:   reg.Histogram(name + "/stall_ns"),
 		mQueueOcc:  reg.Histogram(name + "/queue_occupancy_bytes"),
 	}
+	d.txDoneFn = d.txDone
+	d.deliverFn = d.deliverHead
+	return d
 }
 
-// send enqueues one chunk for transmission.
+// send enqueues one chunk for transmission. The radio takes ownership
+// of p: chunks come from the loop's buffer pool (bearer/server writes
+// copy into pooled buffers) and return to it on delivery or drop.
 func (d *radioDir) send(p []byte) {
 	if d.closed {
+		d.loop.Buffers().Put(p)
 		return
 	}
 	if d.busy || d.paused {
@@ -106,6 +124,7 @@ func (d *radioDir) send(p []byte) {
 			d.stats.DropBytes += uint64(len(p))
 			d.mDrops.Inc()
 			d.mDropBytes.Add(int64(len(p)))
+			d.loop.Buffers().Put(p)
 			return
 		}
 		d.queue = append(d.queue, p)
@@ -122,54 +141,83 @@ func (d *radioDir) transmit(p []byte) {
 	if d.cfg.RateBps > 0 {
 		txDur = time.Duration(float64(len(p)*8) / d.cfg.RateBps * float64(time.Second))
 	}
-	d.loop.After(txDur, func() {
-		if d.closed {
-			return
+	d.inflight = p
+	d.loop.After(txDur, d.txDoneFn)
+}
+
+// txDone fires when the in-flight chunk finishes serializing: schedule
+// its delivery after radio latency and start the next queued chunk.
+func (d *radioDir) txDone() {
+	p := d.inflight
+	d.inflight = nil
+	if d.closed {
+		d.loop.Buffers().Put(p)
+		return
+	}
+	d.stats.TxChunks++
+	d.stats.TxBytes += uint64(len(p))
+	d.mTxChunks.Inc()
+	d.mTxBytes.Add(int64(len(p)))
+	extra := d.cfg.BaseDelay
+	if d.cfg.TTI > 0 {
+		// Frame-alignment wait: the chunk stalls until its TTI slot.
+		stall := time.Duration(d.rng.Int63n(int64(d.cfg.TTI)))
+		if stall > 0 {
+			d.mTTIStalls.Inc()
+			d.mStallNs.Observe(int64(stall))
 		}
-		d.stats.TxChunks++
-		d.stats.TxBytes += uint64(len(p))
-		d.mTxChunks.Inc()
-		d.mTxBytes.Add(int64(len(p)))
-		extra := d.cfg.BaseDelay
-		if d.cfg.TTI > 0 {
-			// Frame-alignment wait: the chunk stalls until its TTI slot.
-			stall := time.Duration(d.rng.Int63n(int64(d.cfg.TTI)))
-			if stall > 0 {
-				d.mTTIStalls.Inc()
-				d.mStallNs.Observe(int64(stall))
-			}
-			extra += stall
+		extra += stall
+	}
+	if d.cfg.HarqProb > 0 && d.rng.Float64() < d.cfg.HarqProb {
+		d.stats.HarqEvents++
+		d.mHarq.Inc()
+		rounds := 1
+		for rounds < d.cfg.HarqMax && d.rng.Float64() < d.cfg.HarqProb {
+			rounds++
 		}
-		if d.cfg.HarqProb > 0 && d.rng.Float64() < d.cfg.HarqProb {
-			d.stats.HarqEvents++
-			d.mHarq.Inc()
-			rounds := 1
-			for rounds < d.cfg.HarqMax && d.rng.Float64() < d.cfg.HarqProb {
-				rounds++
-			}
-			extra += time.Duration(rounds) * d.cfg.HarqRetx
-		}
-		arrival := d.loop.Now() + extra
-		if arrival < d.lastArrival {
-			arrival = d.lastArrival
-		}
-		d.lastArrival = arrival
-		d.loop.After(arrival-d.loop.Now(), func() {
-			if !d.closed && d.deliver != nil {
-				d.deliver(p)
-			}
-		})
-		d.next()
-	})
+		extra += time.Duration(rounds) * d.cfg.HarqRetx
+	}
+	arrival := d.loop.Now() + extra
+	if arrival < d.lastArrival {
+		arrival = d.lastArrival
+	}
+	d.lastArrival = arrival
+	d.pending = append(d.pending, p)
+	d.loop.After(arrival-d.loop.Now(), d.deliverFn)
+	d.next()
+}
+
+// deliverHead fires at a scheduled arrival time and hands the oldest
+// pending chunk to the receiver. Receivers (PPP deframer, serial line)
+// consume delivered chunks synchronously, so the chunk is recycled right
+// after; a closed direction still recycles without delivering.
+func (d *radioDir) deliverHead() {
+	p := d.pending[d.pendHead]
+	d.pending[d.pendHead] = nil
+	d.pendHead++
+	if d.pendHead == len(d.pending) {
+		d.pending = d.pending[:0]
+		d.pendHead = 0
+	}
+	if !d.closed && d.deliver != nil {
+		d.deliver(p)
+	}
+	d.loop.Buffers().Put(p)
 }
 
 func (d *radioDir) next() {
-	if d.paused || len(d.queue) == 0 {
+	if d.paused || d.head >= len(d.queue) {
 		d.busy = false
 		return
 	}
-	p := d.queue[0]
-	d.queue = d.queue[1:]
+	p := d.queue[d.head]
+	d.queue[d.head] = nil
+	d.head++
+	if d.head == len(d.queue) {
+		// Drained: reuse the slice backing from the start.
+		d.queue = d.queue[:0]
+		d.head = 0
+	}
 	d.queuedBytes -= len(p)
 	d.transmit(p)
 }
@@ -195,10 +243,15 @@ func (d *radioDir) resume() {
 	}
 }
 
-// close stops the direction; queued and in-flight chunks are discarded.
+// close stops the direction; queued and in-flight chunks are discarded
+// (queued ones go back to the buffer pool).
 func (d *radioDir) close() {
 	d.closed = true
+	for _, p := range d.queue[d.head:] {
+		d.loop.Buffers().Put(p)
+	}
 	d.queue = nil
+	d.head = 0
 	d.queuedBytes = 0
 }
 

@@ -17,7 +17,7 @@ type Terminal struct {
 	OnCarrierLost func()
 
 	sess        *session
-	pendingDial *sim.Timer
+	pendingDial sim.Timer
 }
 
 // NewTerminal powers a subscriber terminal on in this operator's cell.
@@ -52,7 +52,6 @@ func (t *Terminal) Dial(apn string, done func(modem.DataBearer, error)) {
 		return
 	}
 	t.pendingDial = t.op.loop.After(t.op.cfg.AttachTime, func() {
-		t.pendingDial = nil
 		if apn != "" && apn != t.op.cfg.APN {
 			done(nil, ErrBadAPN)
 			return
@@ -70,10 +69,7 @@ func (t *Terminal) Dial(apn string, done func(modem.DataBearer, error)) {
 // HangUp implements modem.RadioNet: abort a pending dial and deactivate
 // any active context.
 func (t *Terminal) HangUp() {
-	if t.pendingDial != nil {
-		t.pendingDial.Cancel()
-		t.pendingDial = nil
-	}
+	t.pendingDial.Cancel()
 	if t.sess != nil {
 		t.op.closeSession(t.sess, "terminal hangup", false)
 	}

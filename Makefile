@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-compare bench-smoke
 
 all: build
 
@@ -38,3 +38,17 @@ bench:
 # comparison in BENCH_sched.json.
 bench-sched:
 	$(GO) run ./cmd/experiments -bench-sched BENCH_sched.json -dur 30s -reps 3
+
+# bench-shard times the 4-cell scale-out scenario on one loop vs one
+# shard per cell plus the wired core, verifies both partitionings
+# produce byte-identical results, and records the comparison (including
+# the core count — speedup needs real cores) in BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/experiments -bench-shard BENCH_shard.json -cells 4 -terminals 2 -dur 30s
+
+# bench-compare re-measures the scheduler benchmark with the same
+# parameters as bench-sched and fails when the shipping configuration
+# (wheel + pool) is more than 25% slower per run than the committed
+# BENCH_sched.json — run it before committing changes to the sim kernel.
+bench-compare:
+	$(GO) run ./cmd/experiments -bench-sched-compare BENCH_sched.json -dur 30s -reps 3

@@ -9,7 +9,9 @@
 //
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
+//	            [-cells K] [-terminals M] [-shards S]
 //	            [-bench-parallel file] [-bench-sched file]
+//	            [-bench-shard file] [-bench-sched-compare file]
 //	            [-cpuprofile file] [-memprofile file] [-v]
 //
 // With -reps N each experiment is repeated on N independently seeded
@@ -28,6 +30,18 @@
 // without buffer pooling, heap with pooling, timer wheel with pooling)
 // on one paper cell and writes wall time and allocation counts as JSON.
 // -cpuprofile/-memprofile write pprof profiles of whichever mode ran.
+//
+// -cells K switches to the scale-out scenario instead of the paper
+// figures: K cells x M terminals (-terminals) run as one simulation,
+// partitioned over S shards (-shards; default one shard per cell plus
+// one for the wired core) by the conservative parallel engine in
+// internal/sim/shard. The per-flow QoS summary is identical for every
+// shard count. -bench-shard times the same scenario on 1 shard vs S
+// shards, verifies the results match, and writes the comparison as JSON
+// (the `make bench-shard` artifact). -bench-sched-compare re-measures
+// the scheduler benchmark and exits non-zero if the shipping
+// configuration regressed more than 25% against the committed JSON
+// (the `make bench-compare` gate).
 package main
 
 import (
@@ -172,6 +186,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", `write rep-0 metrics snapshots as JSON to this file ("-" for stdout)`)
 	benchOut := flag.String("bench-parallel", "", "time sequential vs parallel schedules, write JSON to this file, and exit")
 	benchSchedOut := flag.String("bench-sched", "", "time the heap/wheel scheduler and pooling configurations, write JSON to this file, and exit")
+	cells := flag.Int("cells", 0, "run the K-cell scale-out scenario instead of the paper figures")
+	terminals := flag.Int("terminals", 1, "terminals per cell for -cells")
+	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
+	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards, write JSON to this file, and exit")
+	benchSchedCmp := flag.String("bench-sched-compare", "", "re-measure the scheduler benchmark and fail if wheel_pool wall time regressed >25% vs this committed JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
@@ -227,6 +246,30 @@ func main() {
 	if *benchSchedOut != "" {
 		if err := benchSched(*benchSchedOut, *seed, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-sched: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchSchedCmp != "" {
+		if err := benchSchedCompare(*benchSchedCmp, *seed, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-sched-compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchShardOut != "" {
+		if err := benchShard(*benchShardOut, *seed, *cells, *terminals, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cells > 0 {
+		if err := runMultiCell(*seed, *cells, *terminals, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: multicell: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -420,6 +463,66 @@ type schedBenchReport struct {
 // three decode identically, and writes the comparison as JSON (the
 // `make bench-sched` artifact).
 func benchSched(path string, seed int64, reps int) error {
+	rep, err := measureSched(seed, reps)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-sched: %d rep(s) of %v VoIP/UMTS: heap+nopool %.3f s %.0f allocs, heap+pool %.3f s %.0f allocs, wheel+pool %.3f s %.0f allocs; alloc x%.2f, wall x%.2f, identical=%v -> %s\n",
+		reps, dur,
+		rep.Baseline.WallSPerRun, float64(rep.Baseline.AllocsPerRun),
+		rep.HeapPool.WallSPerRun, float64(rep.HeapPool.AllocsPerRun),
+		rep.WheelPool.WallSPerRun, float64(rep.WheelPool.AllocsPerRun),
+		rep.AllocImprovement, rep.WallImprovement, rep.Identical, path)
+	return nil
+}
+
+// benchSchedCompare re-measures the scheduler benchmark with the same
+// flags and fails when the shipping configuration (wheel + pool) got
+// more than 25% slower per run than the committed artifact — a cheap
+// regression tripwire for the sim-kernel hot path. Allocation counts
+// are compared too, but only reported: wall time is the gate.
+func benchSchedCompare(path string, seed int64, reps int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed schedBenchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if committed.WheelPool.WallSPerRun <= 0 {
+		return fmt.Errorf("%s: no wheel_pool wall time to compare against", path)
+	}
+	fresh, err := measureSched(seed, reps)
+	if err != nil {
+		return err
+	}
+	ratio := fresh.WheelPool.WallSPerRun / committed.WheelPool.WallSPerRun
+	allocRatio := float64(fresh.WheelPool.AllocsPerRun) / float64(committed.WheelPool.AllocsPerRun)
+	fmt.Printf("bench-sched-compare: wheel+pool %.3f s/run vs committed %.3f s/run (x%.2f wall, x%.2f allocs)\n",
+		fresh.WheelPool.WallSPerRun, committed.WheelPool.WallSPerRun, ratio, allocRatio)
+	if !fresh.Identical {
+		return fmt.Errorf("kernel configurations no longer decode identical results")
+	}
+	if ratio > 1.25 {
+		return fmt.Errorf("wheel+pool wall time regressed x%.2f (>1.25) vs %s", ratio, path)
+	}
+	fmt.Println("bench-sched-compare: within budget")
+	return nil
+}
+
+// measureSched runs the three sim-kernel configurations and fills a
+// schedBenchReport; benchSched writes it, benchSchedCompare diffs it
+// against the committed artifact.
+func measureSched(seed int64, reps int) (schedBenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -446,7 +549,7 @@ func benchSched(path string, seed int64, reps int) error {
 				testbed.RepSeed(seed, rep), cfg.sched, testbed.PathUMTS, testbed.WorkloadVoIP, dur)
 			if err != nil {
 				bufpool.SetDisabled(false)
-				return fmt.Errorf("%s rep %d: %w", cfg.name, rep, err)
+				return schedBenchReport{}, fmt.Errorf("%s rep %d: %w", cfg.name, rep, err)
 			}
 			if rep == 0 {
 				firsts[i] = r
@@ -463,7 +566,7 @@ func benchSched(path string, seed int64, reps int) error {
 	bufpool.SetDisabled(false)
 	identical := reflect.DeepEqual(firsts[0].Decoded, firsts[1].Decoded) &&
 		reflect.DeepEqual(firsts[0].Decoded, firsts[2].Decoded)
-	rep := schedBenchReport{
+	return schedBenchReport{
 		Workload:         testbed.WorkloadVoIP.String(),
 		Path:             testbed.PathUMTS.String(),
 		FlowS:            dur.Seconds(),
@@ -474,6 +577,82 @@ func benchSched(path string, seed int64, reps int) error {
 		AllocImprovement: float64(measured[0].AllocsPerRun) / float64(measured[2].AllocsPerRun),
 		WallImprovement:  measured[0].WallSPerRun / measured[2].WallSPerRun,
 		Identical:        identical,
+	}, nil
+}
+
+// shardBenchReport is the `make bench-shard` artifact: the K-cell
+// scenario timed on one loop vs N shards. The CPU fields are recorded
+// so the schema test can scale its speedup expectation to the machine
+// that produced the artifact — conservative parallelism cannot beat 2x
+// on a single-core runner.
+type shardBenchReport struct {
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Cells       int     `json:"cells"`
+	Terminals   int     `json:"terminals"`
+	Shards      int     `json:"shards"`
+	FlowS       float64 `json:"flow_duration_s"`
+	Wall1S      float64 `json:"wall_1shard_s"`
+	WallNS      float64 `json:"wall_nshard_s"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"results_identical"`
+	Windows     int64   `json:"windows"`
+	LookaheadMs float64 `json:"lookahead_ms"`
+	Messages    int64   `json:"cross_shard_messages"`
+}
+
+// benchShard times the multi-cell scenario on a single loop and on the
+// requested shard count, verifies the sharded run is byte-identical
+// (per-flow QoS, bearer logs, and the placement-independent counters),
+// and writes the comparison as JSON.
+func benchShard(path string, seed int64, cells, terminals, shards int) error {
+	if cells <= 0 {
+		cells = 4
+	}
+	if terminals <= 0 {
+		terminals = 1
+	}
+	opts := testbed.MultiCellOptions{
+		Seed: seed, Cells: cells, Terminals: terminals,
+		Duration: dur, Shards: 1,
+	}
+	t0 := time.Now()
+	single, err := testbed.RunMultiCell(opts)
+	if err != nil {
+		return err
+	}
+	wall1 := time.Since(t0)
+	opts.Shards = shards // 0 resolves to cells+1 inside RunMultiCell
+	t0 = time.Now()
+	sharded, err := testbed.RunMultiCell(opts)
+	if err != nil {
+		return err
+	}
+	wallN := time.Since(t0)
+
+	identical := len(single.Flows) == len(sharded.Flows) &&
+		reflect.DeepEqual(single.Counters, sharded.Counters)
+	for i := 0; identical && i < len(single.Flows); i++ {
+		a, b := single.Flows[i], sharded.Flows[i]
+		identical = reflect.DeepEqual(a.Decoded, b.Decoded) &&
+			reflect.DeepEqual(a.BearerEvents, b.BearerEvents) &&
+			a.SetupTime == b.SetupTime && a.SendErrors == b.SendErrors
+	}
+	msgs := metrics.MergeSnapshots(sharded.Snapshots...).Counters["shard/msgs_out"]
+	rep := shardBenchReport{
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Cells:       cells,
+		Terminals:   terminals,
+		Shards:      sharded.Opts.Shards,
+		FlowS:       dur.Seconds(),
+		Wall1S:      wall1.Seconds(),
+		WallNS:      wallN.Seconds(),
+		Speedup:     wall1.Seconds() / wallN.Seconds(),
+		Identical:   identical,
+		Windows:     sharded.Windows,
+		LookaheadMs: sharded.Lookahead.Seconds() * 1000,
+		Messages:    msgs,
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -483,12 +662,36 @@ func benchSched(path string, seed int64, reps int) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench-sched: %d rep(s) of %v VoIP/UMTS: heap+nopool %.3f s %.0f allocs, heap+pool %.3f s %.0f allocs, wheel+pool %.3f s %.0f allocs; alloc x%.2f, wall x%.2f, identical=%v -> %s\n",
-		reps, dur,
-		measured[0].WallSPerRun, float64(measured[0].AllocsPerRun),
-		measured[1].WallSPerRun, float64(measured[1].AllocsPerRun),
-		measured[2].WallSPerRun, float64(measured[2].AllocsPerRun),
-		rep.AllocImprovement, rep.WallImprovement, identical, path)
+	fmt.Printf("bench-shard: %d cells x %d terminals, %v flows: 1 shard %.2f s, %d shards %.2f s, speedup %.2fx (GOMAXPROCS=%d), %d cross-shard msgs, identical=%v -> %s\n",
+		cells, terminals, dur, rep.Wall1S, rep.Shards, rep.WallNS, rep.Speedup,
+		rep.GOMAXPROCS, msgs, identical, path)
+	return nil
+}
+
+// runMultiCell reproduces the scale-out scenario and prints one QoS
+// line per flow. The report is identical for every -shards value — the
+// flag only changes how the wall-clock work is partitioned.
+func runMultiCell(seed int64, cells, terminals, shards int) error {
+	opts := testbed.MultiCellOptions{
+		Seed: seed, Cells: cells, Terminals: terminals,
+		Shards: shards, Duration: dur,
+	}
+	res, err := testbed.RunMultiCell(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Multi-cell scale-out: %d cells x %d terminals on %d shard(s)\n",
+		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards)
+	fmt.Printf("flows: %v each, lookahead %v, %d synchronization windows\n",
+		res.Opts.Duration, res.Lookahead, res.Windows)
+	fmt.Printf("\n%-6s %-9s %9s %7s %7s %9s %9s %9s\n",
+		"cell", "terminal", "setup(s)", "sent", "recv", "kbps", "jit(ms)", "rtt(ms)")
+	for _, f := range res.Flows {
+		fmt.Printf("%-6d %-9d %9.2f %7d %7d %9.1f %9.2f %9.1f\n",
+			f.Cell, f.Terminal, f.SetupTime.Seconds(),
+			f.Decoded.Sent, f.Decoded.Received, f.Decoded.AvgBitrateKbps,
+			ms(f.Decoded.AvgJitter), ms(f.Decoded.AvgRTT))
+	}
 	return nil
 }
 

@@ -63,3 +63,69 @@ func BenchmarkGetPut(b *testing.B) {
 		p.Put(buf)
 	}
 }
+
+// The mode toggles below mutate package globals, so these tests must
+// not run in parallel with anything in this package; each restores the
+// previous setting before returning.
+
+func TestSetDisabled(t *testing.T) {
+	SetDisabled(true)
+	defer SetDisabled(false)
+
+	reg := metrics.NewRegistry()
+	p := New(reg)
+	a := p.Get(1500)
+	a[0] = 0xab
+	p.Put(a)
+	b := p.Get(1500)
+	if &a[:1][0] == &b[:1][0] {
+		t.Fatal("disabled pool recycled a buffer")
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("disabled pool returned dirty memory at %d", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("bufpool/misses") != 2 {
+		t.Fatalf("misses = %d, want every Get to miss", snap.Counter("bufpool/misses"))
+	}
+	if snap.Counter("bufpool/puts") != 0 {
+		t.Fatalf("puts = %d, want Put to be a no-op", snap.Counter("bufpool/puts"))
+	}
+
+	// Buffers parked before the switch stay parked while disabled.
+	SetDisabled(false)
+	parked := p.Get(1500)
+	p.Put(parked)
+	SetDisabled(true)
+	if c := p.Get(1500); &c[:1][0] == &parked[:1][0] {
+		t.Fatal("disabled pool handed out a parked buffer")
+	}
+}
+
+func TestDebugDoublePutPanics(t *testing.T) {
+	SetDebugDoublePut(true)
+	defer SetDebugDoublePut(false)
+
+	p := New(metrics.NewRegistry())
+	a := p.Get(1500)
+	p.Put(a)
+
+	// A distinct buffer of the same class is fine.
+	p.Put(make([]byte, 2048))
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same buffer did not panic")
+		}
+	}()
+	p.Put(a)
+}
+
+func TestDebugDoublePutOffByDefault(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	a := p.Get(64)
+	p.Put(a)
+	p.Put(a) // corrupts the free list, but must not panic without the detector
+}

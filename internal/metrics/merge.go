@@ -1,0 +1,47 @@
+package metrics
+
+// MergeSnapshots folds per-shard snapshots into one simulation-wide
+// view, as if every instrument had lived on a single registry:
+//
+//   - counters and histograms are additive — the same event is counted
+//     on exactly one shard, so sums are placement-independent for any
+//     instrument that counts virtual-simulation events;
+//   - gauges sum their current values and take the maximum of their
+//     peaks. A gauge's peak is a property of one registry's timeline,
+//     so merged gauge values generally DO depend on how the scenario
+//     was sharded; differential comparisons should restrict themselves
+//     to counters and histograms (see the shard package's determinism
+//     notes for the instruments to exclude even there).
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, g := range s.Gauges {
+			m := out.Gauges[name]
+			m.Value += g.Value
+			if g.Max > m.Max {
+				m.Max = g.Max
+			}
+			out.Gauges[name] = m
+		}
+		for name, h := range s.Histograms {
+			m := out.Histograms[name]
+			m.Count += h.Count
+			m.Sum += h.Sum
+			if len(h.Buckets) > 0 && m.Buckets == nil {
+				m.Buckets = make(map[string]int64)
+			}
+			for b, n := range h.Buckets {
+				m.Buckets[b] += n
+			}
+			out.Histograms[name] = m
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotEmptyRegistry(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("empty registry snapshot not empty: %+v", s)
+	}
+	if s.Counter("anything") != 0 {
+		t.Error("absent counter must read 0")
+	}
+	if s.CounterSum("a/", "/b") != 0 {
+		t.Error("CounterSum on empty snapshot must be 0")
+	}
+	if s.String() != "" {
+		t.Errorf("empty snapshot String = %q", s.String())
+	}
+}
+
+func TestSnapshotSingleSampleHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h").Observe(100)
+	hs := reg.Snapshot().Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 100 {
+		t.Fatalf("single-sample histogram = %+v", hs)
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets["le_128"] != 1 {
+		t.Fatalf("buckets = %v, want one sample in le_128", hs.Buckets)
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	m := MergeSnapshots()
+	if len(m.Counters) != 0 || len(m.Gauges) != 0 || len(m.Histograms) != 0 {
+		t.Fatalf("merge of nothing = %+v, want empty", m)
+	}
+	// Merging empty snapshots is equally empty.
+	m = MergeSnapshots(NewRegistry().Snapshot(), NewRegistry().Snapshot())
+	if len(m.Counters) != 0 {
+		t.Fatalf("merge of empties has counters: %v", m.Counters)
+	}
+}
+
+// TestMergeSnapshots covers the per-kind fold rules: counters and
+// histograms add, gauges sum values and take the max of maxes — the
+// semantics the sharded engine relies on when presenting per-shard
+// registries as one simulation-wide view.
+func TestMergeSnapshots(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+
+	a.Counter("shared").Add(3)
+	b.Counter("shared").Add(4)
+	a.Counter("only_a").Inc()
+
+	ga := a.Gauge("shard/mailbox_backlog")
+	ga.Set(9) // peak 9
+	ga.Set(2)
+	gb := b.Gauge("shard/mailbox_backlog")
+	gb.Set(5)
+
+	a.Histogram("lat").Observe(1)
+	a.Histogram("lat").Observe(100)
+	b.Histogram("lat").Observe(100)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+
+	if m.Counter("shared") != 7 || m.Counter("only_a") != 1 {
+		t.Errorf("merged counters = %v", m.Counters)
+	}
+	g := m.Gauges["shard/mailbox_backlog"]
+	if g.Value != 7 {
+		t.Errorf("merged gauge value = %v, want sum 7", g.Value)
+	}
+	if g.Max != 9 {
+		t.Errorf("merged gauge max = %v, want max-of-maxes 9", g.Max)
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 3 || h.Sum != 201 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	want := map[string]int64{"le_1": 1, "le_128": 2}
+	if !reflect.DeepEqual(h.Buckets, want) {
+		t.Errorf("merged buckets = %v, want %v", h.Buckets, want)
+	}
+}
+
+// TestMergeSingleSnapshot checks merge of one snapshot is a value copy:
+// mutating the merge must not write through to the source maps.
+func TestMergeSingleSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	src := reg.Snapshot()
+	m := MergeSnapshots(src)
+	m.Counters["c"] = 99
+	if src.Counters["c"] != 1 {
+		t.Fatal("MergeSnapshots aliased the input's counter map")
+	}
+}

@@ -1,0 +1,355 @@
+// Package shard is a conservative-lookahead parallel discrete-event
+// engine: it partitions one scenario into N shards, each owning a
+// private sim.Loop (scheduler, RNG streams, buffer pool, metrics
+// registry), and advances all shards in bounded virtual-time windows.
+//
+// Shards interact only through Edges — directed cross-shard channels
+// with a declared minimum propagation delay. The smallest such delay is
+// the engine's lookahead: during a window [t, t+W) no shard can emit a
+// message that another shard must see inside the same window, so every
+// shard may execute the window without synchronizing. At each window
+// barrier the coordinator drains the per-edge FIFO mailboxes and
+// schedules the released messages on their destination loops.
+//
+// Determinism. A run is bit-identical for a given seed regardless of
+// how partitions are mapped onto shards (including all-on-one-shard):
+//
+//   - Every shard loop is created with the same seed, so a named RNG
+//     stream ("link/x", "serial/y", ...) yields the same sequence on
+//     whichever loop hosts it. Model code must keep stream names
+//     globally unique, which the repository already guarantees.
+//   - Partitions placed on the same loop share nothing but the loop
+//     itself; interleaved foreign events cannot change a partition's
+//     own timestamps or draws.
+//   - Released messages are sorted by (At, edge, seq) before being
+//     scheduled, where edges are globally numbered in creation order
+//     and seq counts messages per edge. Both components are properties
+//     of the scenario, not of the placement, so the delivery order —
+//     even between messages that collide on the same nanosecond — is
+//     identical for every shard count. (This strengthens the obvious
+//     (At, source shard, seq) order, which would depend on how sources
+//     are grouped into shards.)
+//
+// Each shard's registry carries the engine's instruments: counters
+// shard/windows, shard/msgs_in, shard/msgs_out, the wall-clock
+// shard/stall_wall_ns (time spent waiting for the slowest shard at
+// barriers — placement-dependent by nature, so excluded from
+// differential comparisons), and the gauge shard/mailbox_backlog (held
+// messages per barrier, with its peak).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Message is one cross-shard delivery: a payload that becomes visible
+// to the destination shard at virtual time At. Edge and Seq identify
+// its provenance and fully determine ordering among same-instant
+// arrivals.
+type Message struct {
+	At      time.Duration
+	Edge    int    // creation index of the carrying Edge
+	Seq     uint64 // per-edge send sequence
+	Payload any
+}
+
+// Shard is one partition of the scenario: a private sim.Loop plus the
+// engine bookkeeping around it.
+type Shard struct {
+	id   int
+	eng  *Engine
+	loop *sim.Loop
+
+	mWindows *metrics.Counter
+	mMsgsIn  *metrics.Counter
+	mMsgsOut *metrics.Counter
+	mStall   *metrics.Counter
+	gBacklog *metrics.Gauge
+
+	runCh chan windowReq
+}
+
+// ID returns the shard's index in the engine.
+func (s *Shard) ID() int { return s.id }
+
+// Loop returns the shard's private simulation loop. Model components of
+// this partition are built on it exactly as on a standalone loop.
+func (s *Shard) Loop() *sim.Loop { return s.loop }
+
+// Edge is a directed cross-shard channel with a minimum propagation
+// delay. The source shard's model code calls Send during its window;
+// the engine releases the accumulated messages at window barriers.
+type Edge struct {
+	id       int
+	src, dst *Shard
+	minDelay time.Duration
+	deliver  func(Message)
+	seq      uint64
+	pending  []Message // mailbox, drained by the coordinator at barriers
+}
+
+// MinDelay returns the edge's declared minimum propagation delay.
+func (ed *Edge) MinDelay() time.Duration { return ed.minDelay }
+
+// Send enqueues payload for delivery at absolute virtual time at. It
+// must be called from the source shard (its loop's event context) and
+// at must honor the declared lookahead: at >= src.Now() + MinDelay.
+func (ed *Edge) Send(at time.Duration, payload any) {
+	if now := ed.src.loop.Now(); at < now+ed.minDelay {
+		panic(fmt.Sprintf("shard: edge %d lookahead violation: send at %v from now %v with min delay %v",
+			ed.id, at, now, ed.minDelay))
+	}
+	ed.seq++
+	ed.pending = append(ed.pending, Message{At: at, Edge: ed.id, Seq: ed.seq, Payload: payload})
+	ed.src.mMsgsOut.Inc()
+}
+
+// Engine coordinates the shards.
+type Engine struct {
+	seed   int64
+	shards []*Shard
+	edges  []*Edge
+	now    time.Duration
+
+	doneCh chan windowDone
+	walls  []time.Duration
+	held   []int // per-shard mailbox backlog, recomputed each flush
+	batch  []flushItem
+	wg     sync.WaitGroup
+}
+
+type windowReq struct {
+	target    time.Duration
+	inclusive bool
+}
+
+type windowDone struct {
+	id   int
+	wall time.Duration
+}
+
+type flushItem struct {
+	edge *Edge
+	msg  Message
+}
+
+// NewEngine creates n shards whose loops all share the given seed and
+// scheduler backend.
+func NewEngine(seed int64, n int, sched sim.Scheduler) *Engine {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: engine needs at least one shard, got %d", n))
+	}
+	e := &Engine{seed: seed, walls: make([]time.Duration, n), held: make([]int, n)}
+	for i := 0; i < n; i++ {
+		loop := sim.NewLoopScheduler(seed, sched)
+		reg := loop.Metrics()
+		e.shards = append(e.shards, &Shard{
+			id:       i,
+			eng:      e,
+			loop:     loop,
+			mWindows: reg.Counter("shard/windows"),
+			mMsgsIn:  reg.Counter("shard/msgs_in"),
+			mMsgsOut: reg.Counter("shard/msgs_out"),
+			mStall:   reg.Counter("shard/stall_wall_ns"),
+			gBacklog: reg.Gauge("shard/mailbox_backlog"),
+		})
+	}
+	return e
+}
+
+// Seed returns the seed every shard loop was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// N returns the number of shards.
+func (e *Engine) N() int { return len(e.shards) }
+
+// Shard returns shard i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Shards returns all shards in index order.
+func (e *Engine) Shards() []*Shard { return e.shards }
+
+// Now returns the engine's virtual time (the last barrier reached).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// NewEdge declares a directed cross-shard channel. minDelay must be
+// positive — it is the time a message spends in flight at minimum, and
+// the smallest minDelay over all edges becomes the engine's lookahead.
+// deliver runs on the destination shard's loop when a message becomes
+// due. Edges must be created before Run; creation order is part of the
+// scenario (it breaks same-instant delivery ties), so builders must
+// create edges in a placement-independent order.
+func (e *Engine) NewEdge(src, dst *Shard, minDelay time.Duration, deliver func(Message)) *Edge {
+	if minDelay <= 0 {
+		panic(fmt.Sprintf("shard: edge needs a positive min delay (lookahead), got %v", minDelay))
+	}
+	if src.eng != e || dst.eng != e {
+		panic("shard: edge endpoints belong to a different engine")
+	}
+	ed := &Edge{id: len(e.edges), src: src, dst: dst, minDelay: minDelay, deliver: deliver}
+	e.edges = append(e.edges, ed)
+	return ed
+}
+
+// Lookahead returns the synchronization window: the minimum MinDelay
+// over all edges, or 0 if the engine has no edges (shards are then
+// fully independent and run the whole span as one window).
+func (e *Engine) Lookahead() time.Duration {
+	var w time.Duration
+	for _, ed := range e.edges {
+		if w == 0 || ed.minDelay < w {
+			w = ed.minDelay
+		}
+	}
+	return w
+}
+
+// Run advances every shard to virtual time until (inclusive, like
+// sim.Loop.RunUntil) in lookahead-sized windows, exchanging cross-shard
+// messages at the window barriers.
+func (e *Engine) Run(until time.Duration) {
+	if until < e.now {
+		return
+	}
+	w := e.Lookahead()
+	e.startWorkers()
+	for t := e.now; w > 0 && t+w < until; {
+		end := t + w
+		e.flush(end)
+		e.runWindow(end, false)
+		t = end
+		e.now = end
+	}
+	// Final, inclusive window: release messages due at exactly until and
+	// execute events at the horizon itself.
+	e.flush(until + 1)
+	e.runWindow(until, true)
+	e.now = until
+	e.stopWorkers()
+}
+
+// startWorkers launches one persistent goroutine per shard (none for a
+// single shard — that case runs inline, keeping the 1-shard baseline
+// free of synchronization overhead).
+func (e *Engine) startWorkers() {
+	if len(e.shards) == 1 {
+		return
+	}
+	e.doneCh = make(chan windowDone)
+	for _, s := range e.shards {
+		s.runCh = make(chan windowReq)
+		e.wg.Add(1)
+		go func(s *Shard) {
+			defer e.wg.Done()
+			for req := range s.runCh {
+				t0 := time.Now()
+				if req.inclusive {
+					s.loop.RunUntil(req.target)
+				} else {
+					s.loop.RunBefore(req.target)
+				}
+				e.doneCh <- windowDone{s.id, time.Since(t0)}
+			}
+		}(s)
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	if len(e.shards) == 1 {
+		return
+	}
+	for _, s := range e.shards {
+		close(s.runCh)
+		s.runCh = nil
+	}
+	e.wg.Wait()
+	e.doneCh = nil
+}
+
+// runWindow executes one window on every shard and waits for all of
+// them (the barrier). The channel handshake also publishes each
+// worker's writes (mailbox appends, loop state) to the coordinator and
+// the coordinator's flush writes back to the workers.
+func (e *Engine) runWindow(target time.Duration, inclusive bool) {
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		if inclusive {
+			s.loop.RunUntil(target)
+		} else {
+			s.loop.RunBefore(target)
+		}
+		s.mWindows.Inc()
+		return
+	}
+	for _, s := range e.shards {
+		s.runCh <- windowReq{target, inclusive}
+	}
+	var maxWall time.Duration
+	for range e.shards {
+		d := <-e.doneCh
+		e.walls[d.id] = d.wall
+		if d.wall > maxWall {
+			maxWall = d.wall
+		}
+	}
+	for _, s := range e.shards {
+		s.mWindows.Inc()
+		s.mStall.Add(int64(maxWall - e.walls[s.id]))
+	}
+}
+
+// flush drains every edge mailbox of messages due before horizon and
+// schedules them on their destination loops in (At, edge, seq) order.
+// Messages due later (sent near the end of the previous window across a
+// long edge) stay in the mailbox for a later barrier.
+func (e *Engine) flush(horizon time.Duration) {
+	batch := e.batch[:0]
+	for i := range e.held {
+		e.held[i] = 0
+	}
+	for _, ed := range e.edges {
+		kept := ed.pending[:0]
+		for _, m := range ed.pending {
+			if m.At < horizon {
+				batch = append(batch, flushItem{ed, m})
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		tail := ed.pending[len(kept):]
+		for i := range tail {
+			tail[i] = Message{}
+		}
+		ed.pending = kept
+		e.held[ed.src.id] += len(kept)
+	}
+	for _, s := range e.shards {
+		s.gBacklog.Set(float64(e.held[s.id]))
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i].msg, batch[j].msg
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range batch {
+		ed, m := batch[i].edge, batch[i].msg
+		ed.dst.mMsgsIn.Inc()
+		deliver := ed.deliver
+		ed.dst.loop.At(m.At, func() { deliver(m) })
+	}
+	for i := range batch {
+		batch[i] = flushItem{}
+	}
+	e.batch = batch[:0]
+}

@@ -1,0 +1,263 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
+)
+
+// pingPong builds a toy scenario on an engine: nParts independent
+// "stations" exchanging tokens over a ring of edges, each station also
+// running local jittered work off its own RNG stream. Each station's
+// event trace (times and token values, in its own observation order) is
+// the scenario's observable output; a station's trace is written only
+// from the shard that hosts it, so the slices need no locking.
+// mapping[i] gives the shard hosting station i.
+func pingPong(t *testing.T, seed int64, nParts int, eng *shard.Engine, mapping []int, until time.Duration) []string {
+	t.Helper()
+	traces := make([]string, nParts)
+	delay := 3 * time.Millisecond
+	type station struct {
+		loop *sim.Loop
+		out  *shard.Edge
+		id   int
+	}
+	stations := make([]*station, nParts)
+	for i := range stations {
+		stations[i] = &station{loop: eng.Shard(mapping[i]).Loop(), id: i}
+	}
+	// Edges form a ring i -> (i+1)%n; creation order is station order,
+	// which is placement-independent. The deliver callback runs on the
+	// destination station's shard, so it may touch that station freely.
+	for i, st := range stations {
+		next := stations[(i+1)%nParts]
+		st.out = eng.NewEdge(eng.Shard(mapping[i]), eng.Shard(mapping[(i+1)%nParts]), delay,
+			func(m shard.Message) {
+				v := m.Payload.(int)
+				traces[next.id] += fmt.Sprintf("recv %d @%v\n", v, next.loop.Now())
+				if v < 40 {
+					next.out.Send(next.loop.Now()+delay, v+1)
+				}
+			})
+	}
+	for i, st := range stations {
+		st := st
+		// Local work: each station draws from its own stream and logs.
+		rng := st.loop.RNG(fmt.Sprintf("station/%d", i))
+		var tick func()
+		tick = func() {
+			d := time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+			traces[st.id] += fmt.Sprintf("tick @%v\n", st.loop.Now())
+			if st.loop.Now() < until {
+				st.loop.After(500*time.Microsecond+d, tick)
+			}
+		}
+		st.loop.After(time.Duration(i+1)*100*time.Microsecond, tick)
+		// Kick the token off station 0.
+		if i == 0 {
+			st.loop.Post(func() { st.out.Send(st.loop.Now()+delay, 1) })
+		}
+	}
+	eng.Run(until)
+	return traces
+}
+
+func TestShardedRunMatchesSingleShard(t *testing.T) {
+	const nParts = 4
+	until := 200 * time.Millisecond
+	for _, sched := range []sim.Scheduler{sim.SchedulerWheel, sim.SchedulerHeap} {
+		single := shard.NewEngine(7, 1, sched)
+		ref := pingPong(t, 7, nParts, single, []int{0, 0, 0, 0}, until)
+
+		four := shard.NewEngine(7, 4, sched)
+		got := pingPong(t, 7, nParts, four, []int{0, 1, 2, 3}, until)
+
+		two := shard.NewEngine(7, 2, sched)
+		got2 := pingPong(t, 7, nParts, two, []int{0, 1, 0, 1}, until)
+
+		for i := 0; i < nParts; i++ {
+			if ref[i] != got[i] {
+				t.Fatalf("sched %v: station %d trace differs 1-shard vs 4-shard:\n--- 1 shard ---\n%s--- 4 shards ---\n%s",
+					sched, i, ref[i], got[i])
+			}
+			if ref[i] != got2[i] {
+				t.Fatalf("sched %v: station %d trace differs 1-shard vs 2-shard", sched, i)
+			}
+		}
+	}
+}
+
+func TestMessageOrderingAcrossEdges(t *testing.T) {
+	// Two edges deliberately deliver at the identical instant; the
+	// delivery order must follow edge creation order regardless of which
+	// source sent first in wall-clock or scheduling terms.
+	eng := shard.NewEngine(1, 3, sim.SchedulerWheel)
+	var order []int
+	d := time.Millisecond
+	e0 := eng.NewEdge(eng.Shard(0), eng.Shard(2), d, func(m shard.Message) { order = append(order, 0) })
+	e1 := eng.NewEdge(eng.Shard(1), eng.Shard(2), d, func(m shard.Message) { order = append(order, 1) })
+	// Send from edge 1 first; both arrive at t = 5ms.
+	eng.Shard(1).Loop().Post(func() { e1.Send(5*time.Millisecond, "b") })
+	eng.Shard(0).Loop().Post(func() { e0.Send(5*time.Millisecond, "a") })
+	eng.Run(10 * time.Millisecond)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("same-instant deliveries out of edge order: %v", order)
+	}
+}
+
+func TestPerEdgeFIFO(t *testing.T) {
+	eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+	var got []int
+	d := time.Millisecond
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(m shard.Message) {
+		got = append(got, m.Payload.(int))
+	})
+	eng.Shard(0).Loop().Post(func() {
+		for i := 0; i < 5; i++ {
+			ed.Send(2*time.Millisecond, i) // identical At: seq must break the tie
+		}
+	})
+	eng.Run(5 * time.Millisecond)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5", len(got))
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), 5*time.Millisecond, func(shard.Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send below the edge's min delay did not panic")
+		}
+	}()
+	// Sending from setup context (source clock at 0) below MinDelay.
+	ed.Send(time.Millisecond, "too soon")
+}
+
+func TestNonPositiveMinDelayPanics(t *testing.T) {
+	eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero min delay did not panic")
+		}
+	}()
+	eng.NewEdge(eng.Shard(0), eng.Shard(1), 0, func(shard.Message) {})
+}
+
+func TestNoEdgesSingleWindow(t *testing.T) {
+	// Independent shards run the whole span as one window each.
+	eng := shard.NewEngine(1, 3, sim.SchedulerWheel)
+	fired := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Shard(i).Loop().At(90*time.Millisecond, func() { fired[i] = true })
+	}
+	eng.Run(100 * time.Millisecond)
+	for i, f := range fired {
+		if !f {
+			t.Fatalf("shard %d event did not fire", i)
+		}
+		if got := eng.Shard(i).Loop().Now(); got != 100*time.Millisecond {
+			t.Fatalf("shard %d clock %v, want 100ms", i, got)
+		}
+	}
+	if w := eng.Shard(0).Loop().Metrics().Snapshot().Counter("shard/windows"); w != 1 {
+		t.Fatalf("edge-free engine ran %d windows, want 1", w)
+	}
+}
+
+// TestLongEdgeHoldsMessages checks that a message sent across an edge
+// longer than the lookahead window is held at intermediate barriers and
+// still arrives exactly on time.
+func TestLongEdgeHoldsMessages(t *testing.T) {
+	eng := shard.NewEngine(1, 3, sim.SchedulerWheel)
+	var at time.Duration
+	short := time.Millisecond
+	long := 10 * time.Millisecond
+	eng.NewEdge(eng.Shard(0), eng.Shard(1), short, func(shard.Message) {})
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(2), long, func(m shard.Message) {
+		at = eng.Shard(2).Loop().Now()
+	})
+	eng.Shard(0).Loop().Post(func() { ed.Send(long, "x") })
+	eng.Run(20 * time.Millisecond)
+	if at != long {
+		t.Fatalf("long-edge message delivered at %v, want %v", at, long)
+	}
+}
+
+func TestWindowAndMessageCounters(t *testing.T) {
+	eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+	d := 2 * time.Millisecond
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(shard.Message) {})
+	eng.Shard(0).Loop().Post(func() { ed.Send(d, 1) })
+	eng.Run(10 * time.Millisecond)
+	s0 := eng.Shard(0).Loop().Metrics().Snapshot()
+	s1 := eng.Shard(1).Loop().Metrics().Snapshot()
+	if s0.Counter("shard/msgs_out") != 1 || s1.Counter("shard/msgs_in") != 1 {
+		t.Fatalf("message counters wrong: out=%d in=%d",
+			s0.Counter("shard/msgs_out"), s1.Counter("shard/msgs_in"))
+	}
+	// 10ms span over 2ms windows: four exclusive lookahead windows
+	// (ending 2,4,6,8 ms) plus the final inclusive window to 10 ms.
+	if w := s0.Counter("shard/windows"); w != 5 {
+		t.Fatalf("windows=%d, want 5", w)
+	}
+	if s0.Counter("shard/windows") != s1.Counter("shard/windows") {
+		t.Fatal("shards disagree on window count")
+	}
+}
+
+// TestIncrementalRun verifies Run can be called repeatedly and the
+// engine resumes from its last horizon.
+func TestIncrementalRun(t *testing.T) {
+	eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+	d := time.Millisecond
+	var got []time.Duration
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(m shard.Message) {
+		got = append(got, eng.Shard(1).Loop().Now())
+	})
+	send := func(at time.Duration) {
+		eng.Shard(0).Loop().At(at-d, func() { ed.Send(at, "x") })
+	}
+	send(3 * time.Millisecond)
+	send(7 * time.Millisecond)
+	eng.Run(5 * time.Millisecond)
+	if len(got) != 1 || got[0] != 3*time.Millisecond {
+		t.Fatalf("after first Run: %v", got)
+	}
+	eng.Run(10 * time.Millisecond)
+	if len(got) != 2 || got[1] != 7*time.Millisecond {
+		t.Fatalf("after second Run: %v", got)
+	}
+	if eng.Now() != 10*time.Millisecond {
+		t.Fatalf("engine now %v", eng.Now())
+	}
+}
+
+// TestMailboxBacklogGauge checks the per-shard backlog gauge: a message
+// riding an edge longer than the lookahead window sits in its mailbox
+// across intermediate barriers, and the source shard's gauge records
+// that peak.
+func TestMailboxBacklogGauge(t *testing.T) {
+	eng := shard.NewEngine(1, 3, sim.SchedulerWheel)
+	eng.NewEdge(eng.Shard(0), eng.Shard(1), time.Millisecond, func(shard.Message) {})
+	ed := eng.NewEdge(eng.Shard(0), eng.Shard(2), 10*time.Millisecond, func(shard.Message) {})
+	eng.Shard(0).Loop().Post(func() { ed.Send(10*time.Millisecond, "x") })
+	eng.Run(20 * time.Millisecond)
+	g := eng.Shard(0).Loop().Metrics().Snapshot().Gauges["shard/mailbox_backlog"]
+	if g.Max < 1 {
+		t.Fatalf("backlog gauge peak = %v, want >= 1 (message held across barriers)", g.Max)
+	}
+	if g.Value != 0 {
+		t.Fatalf("backlog gauge final value = %v, want 0 (all mailboxes drained)", g.Value)
+	}
+}

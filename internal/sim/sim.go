@@ -268,6 +268,36 @@ func (l *Loop) RunUntil(t time.Duration) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly before t, then
+// advances the clock to exactly t. Events scheduled at or after t remain
+// queued.
+//
+// This is the window primitive of the sharded engine
+// (internal/sim/shard): a shard executes [window start, window end) with
+// RunBefore(end), leaving events at exactly the barrier time for the
+// next window, so a message injected at the barrier with At == end is
+// never outrun by local events at the same timestamp.
+func (l *Loop) RunBefore(t time.Duration) {
+	l.stopped = false
+	for !l.stopped {
+		ev := l.q.peek()
+		if ev == nil || ev.at >= t {
+			for _, fn := range l.idleFns {
+				fn()
+			}
+			ev = l.q.peek()
+			if ev == nil || ev.at >= t {
+				break
+			}
+			continue
+		}
+		l.step()
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
 // RunWhile executes events until cond returns false or the queue drains.
 // cond is evaluated before each event.
 func (l *Loop) RunWhile(cond func() bool) {

@@ -196,3 +196,12 @@ func TestPercentilesEmpty(t *testing.T) {
 		t.Fatalf("empty Percentiles = %v, want NaNs", got)
 	}
 }
+
+func TestPercentilesSingleSample(t *testing.T) {
+	got := Percentiles([]float64{42}, 0, 50, 95, 100)
+	for i, v := range got {
+		if v != 42 {
+			t.Fatalf("percentile %d of a single sample = %v, want 42", i, v)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package testbed
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/iproute"
+	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/kmod"
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/netfilter"
+	"github.com/onelab/umtslab/internal/netsim"
+	"github.com/onelab/umtslab/internal/serial"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
+	"github.com/onelab/umtslab/internal/umts"
+	"github.com/onelab/umtslab/internal/vserver"
+	"github.com/onelab/umtslab/internal/vsys"
+)
+
+// Multi-cell core addressing.
+var (
+	mcServerAddr = netsim.MustAddr("198.18.0.2")
+	mcServerGW   = netsim.MustAddr("198.18.0.1")
+)
+
+// MultiCellOptions parameterize the scale-out scenario: K cells × M
+// UMTS terminals, every terminal a full Napoli-style PlanetLab node
+// (vserver host, iproute, netfilter, kmods, vsys, serial line, datacard,
+// pppd) dialing its cell's operator and streaming to one wired server
+// behind the research-network core.
+type MultiCellOptions struct {
+	// Seed drives every RNG stream, as in Options.
+	Seed int64
+	// Cells is K (default 2); Terminals is M per cell (default 1).
+	Cells     int
+	Terminals int
+	// Shards partitions the scenario: 1 puts everything on a single
+	// loop (the differential baseline), the default Cells+1 gives every
+	// cell its own shard plus one for the wired core. Any value in
+	// [1, Cells+1] is accepted; cells are distributed round-robin over
+	// the non-core shards. The shard count must not change results —
+	// that is the engine's determinism contract, enforced by tests.
+	Shards int
+	// Workload is the per-terminal flow (default WorkloadVoIP).
+	Workload Workload
+	// FlowStart is when senders start (default 15 s — after every
+	// terminal's dial-up and route installation settle); Duration is the
+	// flow length (default 30 s); Drain is the tail for queued packets
+	// and echoes (default 10 s).
+	FlowStart time.Duration
+	Duration  time.Duration
+	Drain     time.Duration
+	// Window is the QoS sample window (default 200 ms, as in the paper).
+	Window time.Duration
+	// BackhaulDelay is the one-way fixed delay of each cell's Gi uplink
+	// and of the server's core link (default 7.5 ms, the single-cell
+	// EthDelay). For cross-shard wiring it is also the engine lookahead,
+	// so it must be positive. BackhaulJitter defaults to 300 µs.
+	BackhaulDelay  time.Duration
+	BackhaulJitter time.Duration
+	// Operator derives cell i's profile (default umts.CommercialCell).
+	Operator func(cell int) umts.Config
+	// Scheduler selects the sim kernel backend on every shard.
+	Scheduler sim.Scheduler
+}
+
+func (o *MultiCellOptions) setDefaults() {
+	if o.Cells <= 0 {
+		o.Cells = 2
+	}
+	if o.Terminals <= 0 {
+		o.Terminals = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = o.Cells + 1
+	}
+	if o.Shards > o.Cells+1 {
+		o.Shards = o.Cells + 1
+	}
+	if o.Workload < 0 {
+		o.Workload = WorkloadVoIP
+	}
+	if o.FlowStart <= 0 {
+		o.FlowStart = 15 * time.Second
+	}
+	if o.Duration <= 0 {
+		o.Duration = 30 * time.Second
+	}
+	if o.Drain <= 0 {
+		o.Drain = 10 * time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 200 * time.Millisecond
+	}
+	if o.BackhaulDelay <= 0 {
+		o.BackhaulDelay = 7500 * time.Microsecond
+	}
+	if o.BackhaulJitter < 0 {
+		o.BackhaulJitter = 0
+	} else if o.BackhaulJitter == 0 {
+		o.BackhaulJitter = 300 * time.Microsecond
+	}
+	if o.Operator == nil {
+		o.Operator = umts.CommercialCell
+	}
+}
+
+// FlowResult is one terminal's outcome.
+type FlowResult struct {
+	Cell, Terminal int
+	FlowID         uint32
+	// SetupTime is when the terminal's dial-up AND destination
+	// registration completed (virtual time from 0).
+	SetupTime time.Duration
+	// Decoded is the flow's QoS report over the sample window.
+	Decoded *itg.Result
+	// BearerEvents is the terminal's radio session log.
+	BearerEvents []string
+	// SendErrors counts packets the slice refused to send.
+	SendErrors uint64
+}
+
+// MultiCellResult is the scenario outcome.
+type MultiCellResult struct {
+	Opts MultiCellOptions
+	// Flows holds one entry per terminal in (cell, terminal) order.
+	Flows []FlowResult
+	// Counters is the merged, placement-independent counter view across
+	// all shard registries: byte-identical for every shard count (see
+	// DeterministicCounters).
+	Counters map[string]int64
+	// Snapshots are the raw per-shard metric snapshots, including the
+	// placement-dependent instruments excluded from Counters.
+	Snapshots []metrics.Snapshot
+	// Lookahead is the engine's synchronization window; Windows is the
+	// barrier count of shard 0.
+	Lookahead time.Duration
+	Windows   int64
+}
+
+// placementDependent lists the instruments whose values legitimately
+// depend on how partitions are mapped onto loops (buffer-pool hit rates,
+// scheduler-internal bookkeeping driven by co-resident events, the
+// engine's own per-shard accounting, which double-counts barriers when
+// summed) — everything else counts virtual-simulation events and must
+// merge identically for every placement.
+func placementDependent(name string) bool {
+	return strings.HasPrefix(name, "bufpool/") ||
+		strings.HasPrefix(name, "shard/") ||
+		name == "sim/wheel_cascades" ||
+		name == "sim/heap_compactions"
+}
+
+// DeterministicCounters merges per-shard snapshots and strips the
+// placement-dependent instruments, yielding the counter view that the
+// sharded-vs-single differential tests compare byte-for-byte.
+func DeterministicCounters(snaps []metrics.Snapshot) map[string]int64 {
+	merged := metrics.MergeSnapshots(snaps...)
+	out := make(map[string]int64, len(merged.Counters))
+	for name, v := range merged.Counters {
+		if !placementDependent(name) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// mcTerminal is the per-terminal assembly plus its run-time state.
+type mcTerminal struct {
+	cell, idx int
+	flowID    uint32
+	loop      *sim.Loop
+	term      *umts.Terminal
+	fe        *core.Frontend
+	snd       *itg.Sender
+	recv      *itg.Receiver
+
+	startRes vsys.Result
+	destRes  vsys.Result
+	started  bool
+	destOK   bool
+	setupAt  time.Duration
+}
+
+// RunMultiCell assembles and executes the K×M scenario on a shard
+// engine and decodes every flow. The same options with a different
+// Shards value produce byte-identical Flows and Counters.
+func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
+	opts.setDefaults()
+	eng := shard.NewEngine(opts.Seed, opts.Shards, opts.Scheduler)
+
+	// One netsim.Network per shard; node names are globally unique so
+	// any number of partitions can share a shard.
+	nets := make([]*netsim.Network, opts.Shards)
+	for i := range nets {
+		nets[i] = netsim.NewNetwork(eng.Shard(i).Loop())
+	}
+	coreShard := eng.Shard(0)
+	cellShard := func(cell int) *shard.Shard {
+		if opts.Shards == 1 {
+			return eng.Shard(0)
+		}
+		return eng.Shard(1 + cell%(opts.Shards-1))
+	}
+
+	// Wired core (shard 0): the research-network router plus the server
+	// every terminal streams to.
+	coreNode := nets[0].AddNode("grn-core")
+	coreNode.Forwarding = true
+	server := nets[0].AddNode("server")
+	eth := netsim.LinkConfig{
+		RateBps: 100e6, Delay: opts.BackhaulDelay, Jitter: opts.BackhaulJitter, QueuePackets: 1000,
+	}
+	nets[0].WireP2P("server-grn", server, "eth0", mcServerAddr, coreNode, "to-server", mcServerGW, eth, eth)
+	coreRouter := iproute.New(coreNode)
+	coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(mcServerAddr, 32), Iface: "to-server"})
+	serverRouter := iproute.New(server)
+	serverRouter.InstallConnected()
+	serverRouter.DefaultVia("eth0", mcServerGW)
+
+	card := modem.Globetrotter
+	var terms []*mcTerminal
+	for c := 0; c < opts.Cells; c++ {
+		if c > 57 {
+			// 172.16.(200+c) would leave the Gi /24 plan; far beyond any
+			// realistic configuration, but fail loudly rather than alias.
+			return nil, fmt.Errorf("testbed: multicell supports at most 58 cells, got %d", opts.Cells)
+		}
+		sc := cellShard(c)
+		cfg := opts.Operator(c)
+		op := umts.NewOperator(sc.Loop(), nets[sc.ID()], cfg)
+
+		// Gi uplink: GGSN (cell shard) <-> core (shard 0), cross-shard.
+		giAddr := netsim.MustAddr(fmt.Sprintf("172.16.%d.2", 200+c))
+		giGW := netsim.MustAddr(fmt.Sprintf("172.16.%d.1", 200+c))
+		netsim.WireCross(eng, fmt.Sprintf("gi-cell%d", c),
+			sc, op.GGSN(), "gi0", giAddr,
+			coreShard, coreNode, fmt.Sprintf("to-cell%d", c), giGW, eth, eth)
+		op.SetGi("gi0")
+		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: cfg.Pool, Iface: fmt.Sprintf("to-cell%d", c), Gateway: giAddr})
+		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(giAddr, 32), Iface: fmt.Sprintf("to-cell%d", c)})
+
+		for m := 0; m < opts.Terminals; m++ {
+			ts, err := buildTerminal(eng, sc, nets[sc.ID()], server, op, cfg, card, c, m, opts)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, ts)
+		}
+	}
+
+	eng.Run(opts.FlowStart + opts.Duration + opts.Drain)
+
+	res := &MultiCellResult{Opts: opts, Lookahead: eng.Lookahead()}
+	for _, ts := range terms {
+		if !ts.started || !ts.startRes.Ok() {
+			return nil, fmt.Errorf("testbed: cell %d terminal %d: umts start failed: %v", ts.cell, ts.idx, ts.startRes.Errs)
+		}
+		if !ts.destOK {
+			return nil, fmt.Errorf("testbed: cell %d terminal %d: add destination failed: %v", ts.cell, ts.idx, ts.destRes.Errs)
+		}
+		if ts.setupAt > opts.FlowStart {
+			return nil, fmt.Errorf("testbed: cell %d terminal %d: setup finished at %v, after flow start %v — raise FlowStart",
+				ts.cell, ts.idx, ts.setupAt, opts.FlowStart)
+		}
+		res.Flows = append(res.Flows, FlowResult{
+			Cell: ts.cell, Terminal: ts.idx, FlowID: ts.flowID,
+			SetupTime: ts.setupAt,
+			Decoded: itg.Decode(
+				ts.snd.SentLog.Rebase(opts.FlowStart),
+				ts.recv.RecvLog.Rebase(opts.FlowStart),
+				ts.snd.EchoLog.Rebase(opts.FlowStart),
+				opts.Window,
+			),
+			BearerEvents: ts.term.SessionEvents(),
+			SendErrors:   ts.snd.SendErrors,
+		})
+	}
+	for i := 0; i < opts.Shards; i++ {
+		res.Snapshots = append(res.Snapshots, eng.Shard(i).Loop().Metrics().Snapshot())
+	}
+	res.Counters = DeterministicCounters(res.Snapshots)
+	res.Windows = res.Snapshots[0].Counter("shard/windows")
+	return res, nil
+}
+
+// buildTerminal assembles one PlanetLab-style node with a datacard on
+// the cell's shard, a receiver+echo endpoint for its flow on the
+// server, and schedules the dial-up (umts start, then add-dest) from
+// virtual time zero and the sender at FlowStart.
+func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, server *netsim.Node,
+	op *umts.Operator, cfg umts.Config, card modem.CardProfile, c, m int, opts MultiCellOptions) (*mcTerminal, error) {
+
+	loop := sc.Loop()
+	flowID := uint32(c*opts.Terminals + m + 1)
+	ts := &mcTerminal{cell: c, idx: m, flowID: flowID, loop: loop}
+
+	node := nw.AddNode(fmt.Sprintf("pl-c%dt%d", c, m))
+	host := vserver.NewHost(node)
+	router := iproute.New(node)
+	router.InstallConnected()
+	filter := netfilter.New(node)
+	kmods := kmod.NewRegistry()
+	kmod.RegisterPPPFamily(kmods)
+	kmods.Register(&kmod.Module{Name: "nozomi"})
+	kmods.Register(&kmod.Module{Name: "usbserial"})
+	kmods.Register(&kmod.Module{Name: "pl2303", Deps: []string{"usbserial"}})
+	vsysm := vsys.NewManager(loop, host)
+
+	imsi := fmt.Sprintf("22201%03d%04d", c, m+1)
+	ts.term = op.NewTerminal(imsi)
+	tcard := card
+	tcard.TTYName = fmt.Sprintf("/dev/noz-c%dt%d", c, m)
+	line := serial.NewLine(loop, tcard.TTYName, tcard.LineRate)
+	mdm := modem.New(loop, tcard, line, ts.term, "")
+	ts.term.OnCarrierLost = mdm.CarrierLost
+
+	mgr, err := core.NewManager(core.Config{
+		Loop: loop, Host: host, Router: router, Filter: filter,
+		Kmods: kmods, Vsys: vsysm, Card: tcard, Line: line, Radio: ts.term,
+		APN: cfg.APN, Creds: operatorCreds(cfg),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: cell %d terminal %d: %w", c, m, err)
+	}
+	slice, err := host.CreateSlice("umts")
+	if err != nil {
+		return nil, err
+	}
+	mgr.Allow("umts")
+	fe, err := core.OpenFrontend(vsysm, slice)
+	if err != nil {
+		return nil, err
+	}
+	ts.fe = fe
+
+	// Flow endpoints: receiver + echo on the server (core shard), sender
+	// in the terminal's slice.
+	rPort := uint16(9000 + flowID)
+	ts.recv = itg.NewReceiver(server.Loop, func(pkt *netsim.Packet) error { return server.Send(pkt) })
+	if err := server.Bind(netsim.ProtoUDP, rPort, ts.recv.Handle); err != nil {
+		return nil, err
+	}
+	var flow itg.FlowSpec
+	switch opts.Workload {
+	case WorkloadVoIP:
+		flow = itg.VoIPG711(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
+	case WorkloadCBR1M:
+		flow = itg.CBR1Mbps(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
+	case WorkloadVoIPG729:
+		flow = itg.VoIPG729(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
+	case WorkloadTelnet:
+		flow = itg.Telnet(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
+	default:
+		return nil, fmt.Errorf("unknown workload %v", opts.Workload)
+	}
+	ts.snd = itg.NewSender(loop, fmt.Sprintf("mc/c%dt%d", c, m), flow,
+		func(pkt *netsim.Packet) error { return slice.Send(pkt) })
+	if err := slice.Bind(netsim.ProtoUDP, senderPort, ts.snd.HandleEcho); err != nil {
+		return nil, err
+	}
+
+	// Asynchronous bring-up: the frontend commands complete via vsys
+	// callbacks on this shard's loop, so the whole dial happens inside
+	// the engine run (RunWhile-style draining would break windowing).
+	loop.Post(func() {
+		ts.fe.Start(func(r vsys.Result) {
+			ts.startRes = r
+			ts.started = true
+			if !r.Ok() {
+				return
+			}
+			ts.fe.AddDest(mcServerAddr.String(), func(r2 vsys.Result) {
+				ts.destRes = r2
+				ts.destOK = r2.Ok()
+				ts.setupAt = loop.Now()
+			})
+		})
+	})
+	loop.At(opts.FlowStart, func() { ts.snd.Start() })
+	return ts, nil
+}

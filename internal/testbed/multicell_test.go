@@ -1,0 +1,135 @@
+package testbed
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// TestMultiCellFlowsDeliver sanity-checks the scenario itself: every
+// terminal dials its cell, registers the server, and the VoIP flows
+// arrive with plausible QoS.
+func TestMultiCellFlowsDeliver(t *testing.T) {
+	res, err := RunMultiCell(MultiCellOptions{Seed: 11, Cells: 2, Terminals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 4 {
+		t.Fatalf("flows %d, want 4", len(res.Flows))
+	}
+	for _, f := range res.Flows {
+		if f.Decoded.Received == 0 {
+			t.Errorf("cell %d terminal %d: no packets received", f.Cell, f.Terminal)
+		}
+		if f.Decoded.AvgBitrateKbps < 50 {
+			t.Errorf("cell %d terminal %d: bitrate %.1f kbps, want ~72", f.Cell, f.Terminal, f.Decoded.AvgBitrateKbps)
+		}
+		if f.SetupTime <= 0 || f.SetupTime > res.Opts.FlowStart {
+			t.Errorf("cell %d terminal %d: setup time %v", f.Cell, f.Terminal, f.SetupTime)
+		}
+		if len(f.BearerEvents) == 0 {
+			t.Errorf("cell %d terminal %d: no bearer events", f.Cell, f.Terminal)
+		}
+		if f.Decoded.AvgRTT <= 0 {
+			t.Errorf("cell %d terminal %d: no RTT samples", f.Cell, f.Terminal)
+		}
+	}
+	if res.Windows < 2 {
+		t.Errorf("engine ran %d windows; expected lookahead-sized windows", res.Windows)
+	}
+	if res.Lookahead != 7500*time.Microsecond {
+		t.Errorf("lookahead %v, want the 7.5 ms backhaul delay", res.Lookahead)
+	}
+}
+
+// diffMultiCell runs the same options with shard counts 1 and n and
+// asserts byte-identical QoS reports, bearer logs, and the
+// placement-independent kernel counters.
+func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
+	t.Helper()
+	opts.Shards = 1
+	single, err := RunMultiCell(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = n
+	sharded, err := RunMultiCell(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Flows) != len(sharded.Flows) {
+		t.Fatalf("flow counts differ: %d vs %d", len(single.Flows), len(sharded.Flows))
+	}
+	for i := range single.Flows {
+		a, b := single.Flows[i], sharded.Flows[i]
+		if !reflect.DeepEqual(a.Decoded, b.Decoded) {
+			t.Errorf("cell %d terminal %d: decoded QoS differs between 1 and %d shards", a.Cell, a.Terminal, n)
+		}
+		if !reflect.DeepEqual(a.BearerEvents, b.BearerEvents) {
+			t.Errorf("cell %d terminal %d: bearer logs differ:\n1 shard:  %v\n%d shards: %v",
+				a.Cell, a.Terminal, a.BearerEvents, n, b.BearerEvents)
+		}
+		if a.SetupTime != b.SetupTime || a.SendErrors != b.SendErrors {
+			t.Errorf("cell %d terminal %d: setup/senderrors differ", a.Cell, a.Terminal)
+		}
+	}
+	if !reflect.DeepEqual(single.Counters, sharded.Counters) {
+		for name, v := range single.Counters {
+			if sharded.Counters[name] != v {
+				t.Errorf("counter %s: %d (1 shard) vs %d (%d shards)", name, v, sharded.Counters[name], n)
+			}
+		}
+		for name, v := range sharded.Counters {
+			if _, ok := single.Counters[name]; !ok {
+				t.Errorf("counter %s only present in the %d-shard run (%d)", name, n, v)
+			}
+		}
+	}
+}
+
+// TestMultiCellShardedIdentical is the acceptance differential: the
+// K-cell scenario on one loop vs one shard per cell plus the core.
+func TestMultiCellShardedIdentical(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{Seed: 3, Cells: 3, Terminals: 1}, 4)
+}
+
+// TestMultiCellPartialSharding maps several cells onto each shard —
+// partitions must compose on shared loops exactly as they do alone.
+func TestMultiCellPartialSharding(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{Seed: 5, Cells: 3, Terminals: 1}, 2)
+}
+
+// TestMultiCellShardedIdenticalHeap repeats the differential on the
+// reference heap scheduler, tying this PR's invariant to PR 2's.
+func TestMultiCellShardedIdenticalHeap(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{Seed: 3, Cells: 2, Terminals: 1, Scheduler: sim.SchedulerHeap}, 3)
+}
+
+// TestMultiCellRandomizedTopologies fuzzes the scenario shape — cell
+// count, terminals per cell, workload mix, backhaul delay (and with it
+// the lookahead window), seed — and asserts the differential for every
+// draw.
+func TestMultiCellRandomizedTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential is the slow acceptance test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	workloads := []Workload{WorkloadVoIP, WorkloadVoIPG729, WorkloadTelnet}
+	for round := 0; round < 3; round++ {
+		opts := MultiCellOptions{
+			Seed:          rng.Int63n(1 << 30),
+			Cells:         2 + rng.Intn(3),
+			Terminals:     1 + rng.Intn(2),
+			Workload:      workloads[rng.Intn(len(workloads))],
+			Duration:      time.Duration(10+rng.Intn(10)) * time.Second,
+			BackhaulDelay: time.Duration(3+rng.Intn(10)) * time.Millisecond,
+		}
+		shards := 2 + rng.Intn(opts.Cells)
+		t.Logf("round %d: %d cells x %d terminals, %v, backhaul %v, %d shards, seed %d",
+			round, opts.Cells, opts.Terminals, opts.Workload, opts.BackhaulDelay, shards, opts.Seed)
+		diffMultiCell(t, opts, shards)
+	}
+}

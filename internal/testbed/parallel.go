@@ -3,6 +3,7 @@ package testbed
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,6 +35,14 @@ type RepRun struct {
 // workers <= 0 selects GOMAXPROCS. The first error (by input order, not
 // completion order, so error reporting is deterministic too) is
 // returned; results for runs that errored are nil.
+//
+// Dispatch fails fast: once any run has errored, queued runs are no
+// longer handed to workers (their results stay nil with a nil error).
+// Error reporting stays deterministic despite the early stop: runs are
+// dispatched in input order, so when some run errors, every earlier run
+// was already dispatched and will complete — the smallest errored input
+// index is therefore always the same one a run-everything schedule
+// would report.
 func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,6 +57,7 @@ func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
 	}
 
 	next := make(chan int)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -57,10 +67,16 @@ func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
 				r := runs[i]
 				results[i], errs[i] = RunPaperExperiment(
 					RepSeed(r.Seed, r.Rep), r.Path, r.Workload, r.Duration)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	for i := 0; i < len(runs); i++ {
+		if failed.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)

@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -127,5 +128,55 @@ func TestExperimentMetricsSnapshot(t *testing.T) {
 	}
 	if g := m.Gauges["sim/heap_depth"]; g.Max <= 0 {
 		t.Error("heap depth peak not tracked")
+	}
+}
+
+// TestRunParallelFailFast injects an invalid workload at index 0 and
+// checks that the pool stops dispatching: with one worker, run 0 errors
+// before anything past index 1 can be handed out, so the tail of the
+// result slice must stay nil. (Index 1 may or may not run — the
+// dispatcher can already be blocked sending it when the flag is set —
+// but the channel handshake guarantees index 2 onward observes the
+// store.)
+func TestRunParallelFailFast(t *testing.T) {
+	runs := []RepRun{{Seed: 1, Path: PathEthernet, Workload: Workload(99), Rep: 0, Duration: parTestDur}}
+	for rep := 1; rep < 8; rep++ {
+		runs = append(runs, RepRun{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: rep, Duration: parTestDur})
+	}
+	results, err := RunParallel(runs, 1)
+	if err == nil {
+		t.Fatal("expected the invalid workload at index 0 to be reported")
+	}
+	if !strings.Contains(err.Error(), "workload(99)") {
+		t.Errorf("error %q does not name the invalid workload", err)
+	}
+	if results[0] != nil {
+		t.Error("errored run has a non-nil result")
+	}
+	for i := 2; i < len(results); i++ {
+		if results[i] != nil {
+			t.Errorf("run %d executed after the failure; fail-fast did not stop dispatch", i)
+		}
+	}
+}
+
+// TestRunParallelFirstErrorDeterministic puts two distinct bad runs in
+// the input and checks the reported error is always the smallest-index
+// one, regardless of which worker hits its failure first.
+func TestRunParallelFirstErrorDeterministic(t *testing.T) {
+	runs := []RepRun{
+		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 0, Duration: parTestDur},
+		{Seed: 1, Path: PathEthernet, Workload: Workload(98), Rep: 1, Duration: parTestDur},
+		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 2, Duration: parTestDur},
+		{Seed: 1, Path: PathEthernet, Workload: Workload(99), Rep: 3, Duration: parTestDur},
+	}
+	for trial := 0; trial < 4; trial++ {
+		_, err := RunParallel(runs, 2)
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if !strings.Contains(err.Error(), "workload(98)") {
+			t.Errorf("trial %d: reported %q, want the index-1 error (workload(98))", trial, err)
+		}
 	}
 }

@@ -118,6 +118,25 @@ func Commercial() Config {
 	}
 }
 
+// CommercialCell derives the per-cell variant of the Commercial profile
+// used by multi-cell scenarios: cell i keeps the calibrated radio and
+// core behaviour but gets a distinct operator name (node names and RNG
+// streams must be globally unique when many cells share one engine), a
+// distinct APN, and a disjoint addressing plan — subscriber pool
+// 10.(16+i).7.0/24, GGSN at 10.(16+i).0.1 — so K cells can coexist
+// behind one routed core.
+func CommercialCell(i int) Config {
+	if i < 0 || i > 200 {
+		panic(fmt.Sprintf("umts: cell index %d outside the 10.16-10.216 addressing plan", i))
+	}
+	cfg := Commercial()
+	cfg.Name = fmt.Sprintf("SimTel IT cell%d", i)
+	cfg.APN = fmt.Sprintf("cell%d.web.simtel.it", i)
+	cfg.Pool = netsim.MustPrefix(fmt.Sprintf("10.%d.7.0/24", 16+i))
+	cfg.GGSNAddr = netsim.MustAddr(fmt.Sprintf("10.%d.0.1", 16+i))
+	return cfg
+}
+
 // Microcell returns the profile of the Alcatel-Lucent private UMTS
 // micro-cell at the 3G Reality Center in Vimercate (§2.1): a clean,
 // lightly loaded cell with a fixed 384 kbps bearer, no fades, no inbound

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-compare bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-compare bench-smoke
 
 all: build
 
@@ -45,6 +45,16 @@ bench-sched:
 # the core count — speedup needs real cores) in BENCH_shard.json.
 bench-shard:
 	$(GO) run ./cmd/experiments -bench-shard BENCH_shard.json -cells 4 -terminals 2 -dur 30s
+
+# bench-fault proves the fault layer's two claims and records the
+# evidence in BENCH_fault.json: an explicitly armed empty schedule is
+# byte-identical to a plain run, and under the drops preset with
+# self-healing on, every carrier drop is healed by a supervised redial
+# with the outage on the availability books. The committed artifact is
+# validated by bench_fault_schema_test.go on every `make test`, and
+# bench-smoke runs the same fault/recovery path once per verify.
+bench-fault:
+	$(GO) run ./cmd/experiments -bench-fault BENCH_fault.json -dur 60s
 
 # bench-compare re-measures the scheduler benchmark with the same
 # parameters as bench-sched and fails when the shipping configuration

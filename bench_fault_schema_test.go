@@ -1,0 +1,84 @@
+package umtslab_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchFaultArtifact validates the committed `make bench-fault`
+// artifact: the fault layer's two headline claims must be on record.
+// First, transparency — a run through the Scenario path with an
+// explicitly armed empty fault schedule decoded and counted
+// byte-identically to a plain run (the fault layer is free when
+// unused). Second, recovery — under the scripted preset every carrier
+// drop was followed by a supervised redial that brought the slice back:
+// no give-ups, recoveries matching the drops, downtime and availability
+// on the books, and delivery strictly between zero and the clean run's.
+// The artifact is static, so the test is deterministic; regenerate it
+// with `make bench-fault` after touching the fault injector, the dialer
+// supervisor, or the recover-mode manager.
+func TestBenchFaultArtifact(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_fault.json")
+	if err != nil {
+		t.Fatalf("BENCH_fault.json missing (run `make bench-fault`): %v", err)
+	}
+	var rep struct {
+		NumCPU            *int    `json:"num_cpu"`
+		GOMAXPROCS        *int    `json:"gomaxprocs"`
+		Profile           string  `json:"profile"`
+		FlowS             float64 `json:"flow_duration_s"`
+		BaselineIdentical *bool   `json:"baseline_identical"`
+		Drops             int     `json:"drops"`
+		FaultsInjected    *int64  `json:"faults_injected"`
+		RedialAttempts    int64   `json:"redial_attempts"`
+		Recoveries        int64   `json:"recoveries"`
+		GiveUps           *int64  `json:"give_ups"`
+		DowntimeS         float64 `json:"downtime_s"`
+		Availability      float64 `json:"availability"`
+		ReceivedClean     int64   `json:"received_clean"`
+		ReceivedFaulty    int64   `json:"received_faulty"`
+		WallS             float64 `json:"wall_s"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_fault.json does not parse: %v", err)
+	}
+	if rep.NumCPU == nil || *rep.NumCPU < 1 || rep.GOMAXPROCS == nil || *rep.GOMAXPROCS < 1 {
+		t.Error("num_cpu/gomaxprocs must record the measuring machine")
+	}
+	if rep.Profile == "" || rep.Profile == "none" {
+		t.Errorf("profile %q: the artifact must measure an actual fault preset", rep.Profile)
+	}
+	if rep.FlowS <= 0 || rep.WallS <= 0 {
+		t.Errorf("empty measurements: flow=%v wall=%v", rep.FlowS, rep.WallS)
+	}
+	if rep.BaselineIdentical == nil || !*rep.BaselineIdentical {
+		t.Error("baseline_identical must be recorded true: an empty fault schedule must not change simulation output")
+	}
+	if rep.Drops < 1 {
+		t.Errorf("drops = %d; the acceptance preset scripts at least one carrier drop", rep.Drops)
+	}
+	if rep.FaultsInjected == nil || *rep.FaultsInjected < int64(rep.Drops) {
+		t.Error("faults_injected must count every scheduled event")
+	}
+	if rep.Recoveries < int64(rep.Drops) {
+		t.Errorf("recoveries = %d for %d drops; the supervisor must have healed every outage", rep.Recoveries, rep.Drops)
+	}
+	if rep.RedialAttempts < rep.Recoveries+1 {
+		t.Errorf("redial_attempts = %d; want at least the first dial plus one per recovery (%d)",
+			rep.RedialAttempts, rep.Recoveries+1)
+	}
+	if rep.GiveUps == nil || *rep.GiveUps != 0 {
+		t.Error("give_ups must be recorded zero: the backoff budget must cover the scripted outages")
+	}
+	if rep.DowntimeS <= 0 {
+		t.Errorf("downtime_s = %v; the outages must be on the availability books", rep.DowntimeS)
+	}
+	if rep.Availability <= 0 || rep.Availability >= 1 {
+		t.Errorf("availability = %v, want in (0, 1): the run was up most of the time but not all of it", rep.Availability)
+	}
+	if rep.ReceivedFaulty <= 0 || rep.ReceivedFaulty >= rep.ReceivedClean {
+		t.Errorf("received %d faulted vs %d clean; outages must cost some packets but not the flow",
+			rep.ReceivedFaulty, rep.ReceivedClean)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/itg"
 	"github.com/onelab/umtslab/internal/netsim"
 	"github.com/onelab/umtslab/internal/ppp"
@@ -508,5 +509,37 @@ func BenchmarkPaperExperimentScheduler(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFaultRecovery runs the VoIP cell with two scripted carrier
+// drops and the self-healing dialer: dial-up, a drop mid-flow, a
+// supervised redial, a second drop, a second recovery, decode. Besides
+// measuring the fault path's cost, its presence in the bench-smoke
+// gate (`make verify` runs every benchmark once) keeps the injector,
+// the supervisor, and the recover-mode manager exercised end to end on
+// every verify.
+func BenchmarkFaultRecovery(b *testing.B) {
+	sched := fault.Schedule{Events: []fault.Event{
+		{Kind: fault.KindCarrierDrop, At: 20 * time.Second},
+		{Kind: fault.KindCarrierDrop, At: 35 * time.Second},
+	}}
+	for i := 0; i < b.N; i++ {
+		rep, err := testbed.NewScenario(
+			testbed.WithSeed(int64(i+1)),
+			testbed.WithDuration(40*time.Second),
+			testbed.WithFaults(sched),
+			testbed.WithSelfHeal(nil),
+		).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := rep.Results[0]
+		if res.Status.State != "up" {
+			b.Fatalf("final state %q, want up", res.Status.State)
+		}
+		if res.Decoded.Received == 0 {
+			b.Fatal("no traffic")
+		}
 	}
 }

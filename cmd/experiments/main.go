@@ -10,8 +10,10 @@
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
 //	            [-cells K] [-terminals M] [-shards S]
+//	            [-fault-profile name] [-self-heal]
 //	            [-bench-parallel file] [-bench-sched file]
 //	            [-bench-shard file] [-bench-sched-compare file]
+//	            [-bench-fault file]
 //	            [-cpuprofile file] [-memprofile file] [-v]
 //
 // With -reps N each experiment is repeated on N independently seeded
@@ -30,6 +32,17 @@
 // without buffer pooling, heap with pooling, timer wheel with pooling)
 // on one paper cell and writes wall time and allocation counts as JSON.
 // -cpuprofile/-memprofile write pprof profiles of whichever mode ran.
+//
+// -fault-profile injects a named deterministic fault preset (drops,
+// fades, degrade, regloss, flaps, flaky — see internal/fault.Preset)
+// into every run, scaled to the flow duration; -self-heal runs the
+// umts backend in recover mode, so carrier drops degrade the
+// connection and a supervised redial re-establishes it instead of
+// failing the slice. -bench-fault measures the fault/recovery story:
+// it first proves an empty fault schedule is byte-identical to a plain
+// run, then runs the drops preset under self-healing and records the
+// outage, redial, and delivery accounting as JSON (the `make
+// bench-fault` artifact).
 //
 // -cells K switches to the scale-out scenario instead of the paper
 // figures: K cells x M terminals (-terminals) run as one simulation,
@@ -59,6 +72,7 @@ import (
 	"time"
 
 	"github.com/onelab/umtslab/internal/bufpool"
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
 	"github.com/onelab/umtslab/internal/stats"
@@ -91,21 +105,37 @@ type cellKey struct {
 }
 
 var (
-	cache = map[cellKey]*testbed.ExperimentResult{}
-	dur   time.Duration
+	cache      = map[cellKey]*testbed.ExperimentResult{}
+	dur        time.Duration
+	faultSched fault.Schedule
+	selfHeal   bool
 )
+
+// cellScenario builds the Scenario for one (workload, path) cell at the
+// given pre-derived seed, honoring the global fault/self-heal flags.
+func cellScenario(seed int64, wl testbed.Workload, path testbed.Path) *testbed.Scenario {
+	opts := []testbed.ScenarioOption{
+		testbed.WithSeed(seed), testbed.WithPath(path),
+		testbed.WithWorkload(wl), testbed.WithDuration(dur),
+		testbed.WithFaults(faultSched),
+	}
+	if selfHeal {
+		opts = append(opts, testbed.WithSelfHeal(nil))
+	}
+	return testbed.NewScenario(opts...)
+}
 
 func run(seed int64, wl testbed.Workload, path testbed.Path, rep int) (*testbed.ExperimentResult, error) {
 	k := cellKey{wl, path, rep}
 	if r, ok := cache[k]; ok {
 		return r, nil
 	}
-	r, err := testbed.RunPaperExperiment(testbed.RepSeed(seed, rep), path, wl, dur)
+	rp, err := cellScenario(testbed.RepSeed(seed, rep), wl, path).Run()
 	if err != nil {
 		return nil, err
 	}
-	cache[k] = r
-	return r, nil
+	cache[k] = rp.Results[0]
+	return rp.Results[0], nil
 }
 
 // cellList enumerates every (workload, path, rep) cell the report will
@@ -147,8 +177,18 @@ func toRuns(keys []cellKey, seed int64) []testbed.RepRun {
 // the cache, so the (sequential, deterministic) printing code below hits
 // the cache on every lookup. Each rep runs with RepSeed(seed, rep) on a
 // private loop, so the report is byte-identical to a sequential run.
+// With faults or self-healing in play the cells go through the Scenario
+// path one by one instead (run() caches them all the same).
 func prefetch(seed int64, sel []figure, reps, workers int) error {
 	keys := cellList(sel, reps)
+	if !faultSched.Empty() || selfHeal {
+		for _, k := range keys {
+			if _, err := run(seed, k.wl, k.path, k.rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	results, err := testbed.RunParallel(toRuns(keys, seed), workers)
 	if err != nil {
 		return err
@@ -191,10 +231,20 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
 	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards, write JSON to this file, and exit")
 	benchSchedCmp := flag.String("bench-sched-compare", "", "re-measure the scheduler benchmark and fail if wheel_pool wall time regressed >25% vs this committed JSON")
+	faultProfile := flag.String("fault-profile", "none", "deterministic fault preset injected into every run: none, drops, fades, degrade, regloss, flaps, flaky")
+	selfHealFlag := flag.Bool("self-heal", false, "run the umts backend in recover mode (supervised redial instead of failing the slice)")
+	benchFaultOut := flag.String("bench-fault", "", "prove empty-schedule transparency, run the drops preset under self-healing, write JSON to this file, and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 	dur = *durFlag
+	selfHeal = *selfHealFlag
+	var err error
+	faultSched, err = fault.Preset(*faultProfile, *seed, dur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -262,6 +312,14 @@ func main() {
 	if *benchShardOut != "" {
 		if err := benchShard(*benchShardOut, *seed, *cells, *terminals, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchFaultOut != "" {
+		if err := benchFault(*benchFaultOut, *seed, *faultProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-fault: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -668,6 +726,122 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	return nil
 }
 
+// faultBenchReport is the `make bench-fault` artifact. It documents two
+// claims at once: the fault layer is free when unused (an explicitly
+// armed empty schedule decodes and counts byte-identically to a plain
+// run), and the self-healing dialer actually heals (every scripted
+// carrier drop is followed by a supervised redial that brings the slice
+// back, with the outage on the availability books).
+type faultBenchReport struct {
+	NumCPU            int     `json:"num_cpu"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Profile           string  `json:"profile"`
+	FlowS             float64 `json:"flow_duration_s"`
+	BaselineIdentical bool    `json:"baseline_identical"`
+	Drops             int     `json:"drops"`
+	FaultsInjected    int64   `json:"faults_injected"`
+	RedialAttempts    int64   `json:"redial_attempts"`
+	Recoveries        int64   `json:"recoveries"`
+	GiveUps           int64   `json:"give_ups"`
+	DowntimeS         float64 `json:"downtime_s"`
+	Availability      float64 `json:"availability"`
+	ReceivedClean     int64   `json:"received_clean"`
+	ReceivedFaulty    int64   `json:"received_faulty"`
+	WallS             float64 `json:"wall_s"`
+}
+
+// supCounterSum sums the supervisor counters with the given suffix
+// (their names embed the node/iface, which the report should not
+// hardcode).
+func supCounterSum(counters map[string]int64, suffix string) int64 {
+	var total int64
+	for name, v := range counters {
+		if strings.HasPrefix(name, "dialer/supervisor/") && strings.HasSuffix(name, suffix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// benchFault runs the VoIP/UMTS paper cell three times — plain, through
+// the Scenario path with an explicitly armed empty schedule, and under
+// the fault preset with self-healing — and writes the transparency and
+// recovery evidence as JSON. A -fault-profile of none selects the drops
+// preset, since benching the fault layer with no faults proves nothing.
+func benchFault(path string, seed int64, profile string) error {
+	if profile == "" || profile == "none" {
+		profile = "drops"
+	}
+	sched, err := fault.Preset(profile, seed, dur)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	plain, err := testbed.RunPaperExperiment(seed, testbed.PathUMTS, testbed.WorkloadVoIP, dur)
+	if err != nil {
+		return err
+	}
+	empty, err := testbed.NewScenario(
+		testbed.WithSeed(seed), testbed.WithPath(testbed.PathUMTS),
+		testbed.WithWorkload(testbed.WorkloadVoIP), testbed.WithDuration(dur),
+		testbed.WithFaults(fault.Schedule{}),
+	).Run()
+	if err != nil {
+		return err
+	}
+	baseline := empty.Results[0]
+	identical := reflect.DeepEqual(plain.Decoded, baseline.Decoded) &&
+		reflect.DeepEqual(plain.Metrics.Counters, baseline.Metrics.Counters)
+
+	faulted, err := testbed.NewScenario(
+		testbed.WithSeed(seed), testbed.WithPath(testbed.PathUMTS),
+		testbed.WithWorkload(testbed.WorkloadVoIP), testbed.WithDuration(dur),
+		testbed.WithFaults(sched), testbed.WithSelfHeal(nil),
+	).Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+	res := faulted.Results[0]
+	drops := 0
+	for _, w := range res.Outages {
+		if w.Kind == fault.KindCarrierDrop {
+			drops++
+		}
+	}
+	c := res.Metrics.Counters
+	rep := faultBenchReport{
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Profile:           profile,
+		FlowS:             dur.Seconds(),
+		BaselineIdentical: identical,
+		Drops:             drops,
+		FaultsInjected:    c["fault/injected"],
+		RedialAttempts:    supCounterSum(c, "/attempts"),
+		Recoveries:        supCounterSum(c, "/recoveries"),
+		GiveUps:           supCounterSum(c, "/give_ups"),
+		DowntimeS:         res.Status.Downtime.Seconds(),
+		Availability:      res.Status.Availability,
+		ReceivedClean:     int64(plain.Decoded.Received),
+		ReceivedFaulty:    int64(res.Decoded.Received),
+		WallS:             wall.Seconds(),
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-fault: %s over %v: baseline identical=%v; %d drops, %d injected, %d attempts, %d recoveries, %d give-ups, downtime %.1f s, availability %.4f, received %d clean vs %d faulted -> %s\n",
+		profile, dur, identical, drops, rep.FaultsInjected, rep.RedialAttempts,
+		rep.Recoveries, rep.GiveUps, rep.DowntimeS, rep.Availability,
+		rep.ReceivedClean, rep.ReceivedFaulty, path)
+	return nil
+}
+
 // runMultiCell reproduces the scale-out scenario and prints one QoS
 // line per flow. The report is identical for every -shards value — the
 // flag only changes how the wall-clock work is partitioned.
@@ -675,6 +849,7 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 	opts := testbed.MultiCellOptions{
 		Seed: seed, Cells: cells, Terminals: terminals,
 		Shards: shards, Duration: dur,
+		Faults: faultSched, SelfHeal: selfHeal,
 	}
 	res, err := testbed.RunMultiCell(opts)
 	if err != nil {
@@ -684,6 +859,9 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards)
 	fmt.Printf("flows: %v each, lookahead %v, %d synchronization windows\n",
 		res.Opts.Duration, res.Lookahead, res.Windows)
+	for _, w := range res.Outages {
+		fmt.Printf("fault: %v from %v to %v (per cell)\n", w.Kind, w.Start, w.End)
+	}
 	fmt.Printf("\n%-6s %-9s %9s %7s %7s %9s %9s %9s\n",
 		"cell", "terminal", "setup(s)", "sent", "recv", "kbps", "jit(ms)", "rtt(ms)")
 	for _, f := range res.Flows {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/onelab/umtslab/internal/dialer"
 	"github.com/onelab/umtslab/internal/iproute"
 	"github.com/onelab/umtslab/internal/kmod"
 	"github.com/onelab/umtslab/internal/modem"
@@ -18,9 +19,12 @@ import (
 	"github.com/onelab/umtslab/internal/vsys"
 )
 
-// rigOperator holds the operator of the last newManagerRig call so tests
-// can drive network-side events.
-var rigOperator *umts.Operator
+// rigOperator/rigTerminal hold the network side of the last
+// newManagerRig call so tests can drive network-side events.
+var (
+	rigOperator *umts.Operator
+	rigTerminal *umts.Terminal
+)
 
 func opDropAll(t *testing.T, m *Manager) {
 	t.Helper()
@@ -30,6 +34,10 @@ func opDropAll(t *testing.T, m *Manager) {
 // newManagerRig assembles a minimal node + operator for backend tests
 // (the full end-to-end behaviour is covered in internal/testbed).
 func newManagerRig(t *testing.T) (*sim.Loop, *Manager, *vsys.Manager, *vserver.Host) {
+	return newManagerRigCfg(t, nil)
+}
+
+func newManagerRigCfg(t *testing.T, mutate func(*Config)) (*sim.Loop, *Manager, *vsys.Manager, *vserver.Host) {
 	t.Helper()
 	loop := sim.NewLoop(1)
 	nw := netsim.NewNetwork(loop)
@@ -51,14 +59,19 @@ func newManagerRig(t *testing.T) (*sim.Loop, *Manager, *vsys.Manager, *vserver.H
 	mdm := modem.New(loop, modem.Globetrotter, line, term, "")
 	term.OnCarrierLost = mdm.CarrierLost
 
-	mgr, err := NewManager(Config{
+	cfg := Config{
 		Loop: loop, Host: host, Router: router, Filter: filter, Kmods: km, Vsys: vm,
 		Card: modem.Globetrotter, Line: line, Radio: term,
 		APN: opCfg.APN, Creds: ppp.Credentials{User: "web", Password: "web"},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mgr, err := NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rigTerminal = term
 	return loop, mgr, vm, host
 }
 
@@ -350,5 +363,112 @@ func TestConnectionLostCleansUp(t *testing.T) {
 	// A fresh start works again.
 	if r := invoke([]string{"start"}); !r.Ok() {
 		t.Fatalf("restart after loss: %v", r.Errs)
+	}
+}
+
+// TestRecoverModeRedialsAndKeepsLock: with Config.Recover set, a carrier
+// loss degrades the connection instead of unlocking it — rules are
+// withdrawn, the supervisor redials, and the link comes back with the
+// rules reinstalled, all while the slice keeps the lock.
+func TestRecoverModeRedialsAndKeepsLock(t *testing.T) {
+	loop, mgr, vm, host := newManagerRigCfg(t, func(cfg *Config) {
+		cfg.Recover = &dialer.Policy{InitialBackoff: 2 * time.Second}
+	})
+	mgr.Allow("s1")
+	slice, _ := host.CreateSlice("s1")
+	fe, _ := OpenFrontend(vm, slice)
+	invoke := func(args []string) vsys.Result {
+		var res vsys.Result
+		got := false
+		fe.Invoke(args, func(r vsys.Result) { res = r; got = true })
+		loop.RunWhile(func() bool { return !got })
+		return res
+	}
+
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("start: %v", r.Errs)
+	}
+	if mgr.State() != StateUp || mgr.Supervisor() == nil {
+		t.Fatalf("state=%v sup=%v", mgr.State(), mgr.Supervisor())
+	}
+
+	opDropAll(t, mgr)
+	// The loss propagates through the modem's DCD drop; the first redial
+	// holds off for 2 s, so after 1 s the manager must sit in degraded.
+	loop.RunUntil(loop.Now() + time.Second)
+	if mgr.State() != StateDegraded || mgr.LockedBy() != "s1" {
+		t.Fatalf("state=%v lock=%q right after loss", mgr.State(), mgr.LockedBy())
+	}
+	// Rules must not outlive the link.
+	if len(mgr.cfg.Filter.Rules(netfilter.TableFilter, netfilter.ChainPostRouting)) != 0 {
+		t.Fatal("filter rules survived into degraded state")
+	}
+	st := ParseStatus(invoke([]string{"status"}))
+	if st.State != StateDegraded || st.LastError == "" {
+		t.Fatalf("degraded status = %+v", st)
+	}
+
+	// The supervisor redials; within the first backoff plus one dial the
+	// link is up again with rules reinstalled.
+	loop.RunUntil(loop.Now() + 2*time.Minute)
+	if mgr.State() != StateUp || mgr.LockedBy() != "s1" {
+		t.Fatalf("state=%v lock=%q after recovery window", mgr.State(), mgr.LockedBy())
+	}
+	if len(mgr.cfg.Filter.Rules(netfilter.TableFilter, netfilter.ChainPostRouting)) != 2 {
+		t.Fatal("filter rules not reinstalled after recovery")
+	}
+	st = ParseStatus(invoke([]string{"status"}))
+	if st.State != StateUp || st.Availability <= 0 || st.Availability >= 1 || st.Downtime <= 0 {
+		t.Fatalf("recovered status = %+v", st)
+	}
+
+	if r := invoke([]string{"stop"}); !r.Ok() {
+		t.Fatalf("stop: %v", r.Errs)
+	}
+	if mgr.State() != StateDown || mgr.LockedBy() != "" || mgr.Supervisor() != nil {
+		t.Fatal("stop did not fully release the supervised connection")
+	}
+}
+
+// TestRecoverModeGivesUpAndUnlocks: when the outage outlasts the redial
+// budget the supervisor gives up — the lock is released and a later
+// start (after coverage returns) succeeds.
+func TestRecoverModeGivesUpAndUnlocks(t *testing.T) {
+	loop, mgr, vm, host := newManagerRigCfg(t, func(cfg *Config) {
+		cfg.Recover = &dialer.Policy{InitialBackoff: time.Second, MaxAttempts: 2}
+		cfg.RegTimeout = 5 * time.Second
+	})
+	mgr.Allow("s1")
+	slice, _ := host.CreateSlice("s1")
+	fe, _ := OpenFrontend(vm, slice)
+	invoke := func(args []string) vsys.Result {
+		var res vsys.Result
+		got := false
+		fe.Invoke(args, func(r vsys.Result) { res = r; got = true })
+		loop.RunWhile(func() bool { return !got })
+		return res
+	}
+
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("start: %v", r.Errs)
+	}
+	// Coverage disappears: the session drops and every redial times out
+	// on registration until the attempt budget is exhausted.
+	rigTerminal.LoseRegistration("coverage lost")
+	loop.RunUntil(loop.Now() + 2*time.Minute)
+	if mgr.State() != StateDown || mgr.LockedBy() != "" || mgr.Supervisor() != nil {
+		t.Fatalf("state=%v lock=%q after give-up", mgr.State(), mgr.LockedBy())
+	}
+	st := ParseStatus(invoke([]string{"status"}))
+	if st.LastError == "" {
+		t.Fatal("status should report why the supervisor gave up")
+	}
+
+	rigTerminal.Reregister()
+	if r := invoke([]string{"start"}); !r.Ok() {
+		t.Fatalf("restart after coverage returned: %v", r.Errs)
+	}
+	if mgr.State() != StateUp {
+		t.Fatalf("state=%v after restart", mgr.State())
 	}
 }

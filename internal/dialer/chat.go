@@ -15,15 +15,29 @@ import (
 	"github.com/onelab/umtslab/internal/sim"
 )
 
-// Errors returned by the chat engine and dialer.
+// Errors returned by the chat engine and dialer. All of them are
+// sentinels usable with errors.Is; the supervisor's retry policy keys
+// off them (ErrNoSIM and ErrBadPIN are permanent, everything else is
+// worth a redial).
 var (
-	ErrChatTimeout    = errors.New("dialer: timed out waiting for modem response")
-	ErrChatAbort      = errors.New("dialer: modem reported failure")
-	ErrNoSIM          = errors.New("dialer: SIM requires a PIN and none was configured")
-	ErrBadPIN         = errors.New("dialer: SIM rejected the PIN")
-	ErrNoRegistration = errors.New("dialer: network registration failed")
-	ErrBusy           = errors.New("dialer: operation already in progress")
+	ErrChatTimeout = errors.New("dialer: timed out waiting for modem response")
+	ErrChatAbort   = errors.New("dialer: modem reported failure")
+	ErrNoSIM       = errors.New("dialer: SIM requires a PIN and none was configured")
+	ErrBadPIN      = errors.New("dialer: SIM rejected the PIN")
+	// ErrNoCarrier and ErrLineBusy are the typed forms of the modem's
+	// "NO CARRIER" and "BUSY" result codes. Chat failures wrap both
+	// ErrChatAbort and the specific sentinel, so errors.Is matches
+	// either the class or the cause.
+	ErrNoCarrier           = errors.New("dialer: no carrier")
+	ErrLineBusy            = errors.New("dialer: line busy")
+	ErrRegistrationTimeout = errors.New("dialer: network registration failed")
+	ErrBusy                = errors.New("dialer: operation already in progress")
 )
+
+// ErrNoRegistration is the old name for ErrRegistrationTimeout.
+//
+// Deprecated: use ErrRegistrationTimeout.
+var ErrNoRegistration = ErrRegistrationTimeout
 
 // chat is an expect/send engine over a serial port, the core of both the
 // comgt and wvdial analogs. One step is in flight at a time; incoming
@@ -43,9 +57,14 @@ type chat struct {
 
 func newChat(loop *sim.Loop, port serial.Port, trace func(string, ...any)) *chat {
 	c := &chat{loop: loop, port: port, trace: trace}
-	port.SetReceiver(c.feed)
+	c.attach()
 	return c
 }
+
+// attach (re)claims the serial port's receiver. The PPP client installs
+// its own deframer when a session starts, so a dialer reused for a
+// redial must take the port back before chatting again.
+func (c *chat) attach() { c.port.SetReceiver(c.feed) }
 
 func (c *chat) tracef(format string, args ...any) {
 	if c.trace != nil {
@@ -99,11 +118,25 @@ func (c *chat) tail() string {
 	return s
 }
 
+// abortError types an abort token: the well-known modem result codes
+// map to their sentinels (wrapped together with ErrChatAbort), anything
+// else stays a plain chat abort.
+func abortError(token string) error {
+	switch token {
+	case "NO CARRIER":
+		return fmt.Errorf("%w: %w", ErrChatAbort, ErrNoCarrier)
+	case "BUSY":
+		return fmt.Errorf("%w: %w", ErrChatAbort, ErrLineBusy)
+	default:
+		return fmt.Errorf("%w: %q", ErrChatAbort, token)
+	}
+}
+
 func (c *chat) check() {
 	s := c.buf.String()
 	for _, a := range c.abort {
 		if strings.Contains(s, a) {
-			c.finish("", fmt.Errorf("%w: %q", ErrChatAbort, a))
+			c.finish("", abortError(a))
 			return
 		}
 	}

@@ -48,6 +48,10 @@ type Connection struct {
 	local  netip.Addr
 	peer   netip.Addr
 	downed bool
+	// onClosed releases the owning dialer's connection slot; it runs
+	// before OnDown so the dialer is immediately redialable from the
+	// down handler (what the supervisor does).
+	onClosed func()
 	// OnDown is invoked once when the connection drops (peer teardown,
 	// carrier loss, or Disconnect).
 	OnDown func(reason string)
@@ -78,6 +82,9 @@ func (c *Connection) down(reason string) {
 	if c.iface != nil {
 		c.cfg.Node.RemoveIface(c.iface.Name)
 	}
+	if c.onClosed != nil {
+		c.onClosed()
+	}
 	if c.OnDown != nil {
 		c.OnDown(reason)
 	}
@@ -89,6 +96,9 @@ type Dialer struct {
 	cfg  Config
 	chat *chat
 	busy bool
+	// conn is the live connection, if any; while it is up the serial
+	// line belongs to PPP and Register/Connect report ErrBusy.
+	conn *Connection
 }
 
 // New creates a dialer on the configured serial port.
@@ -111,11 +121,14 @@ const atTimeout = 5 * time.Second
 // unlock the SIM if needed, and poll +CREG until the card is registered
 // on the network. done receives nil on success.
 func (d *Dialer) Register(done func(error)) {
-	if d.busy {
+	if d.busy || d.conn != nil {
 		done(ErrBusy)
 		return
 	}
 	d.busy = true
+	// Reclaim the serial line: a previous session's PPP deframer may
+	// still own the port's receiver.
+	d.chat.attach()
 	finish := func(err error) {
 		d.busy = false
 		done(err)
@@ -204,7 +217,7 @@ func (d *Dialer) pollRegistration(deadline time.Duration, finish func(error)) {
 				return
 			}
 			if d.cfg.Loop.Now() >= deadline {
-				finish(fmt.Errorf("%w (last: %s)", ErrNoRegistration, strings.TrimSpace(out)))
+				finish(fmt.Errorf("%w (last: %s)", ErrRegistrationTimeout, strings.TrimSpace(out)))
 				return
 			}
 			d.cfg.Loop.After(time.Second, func() { d.pollRegistration(deadline, finish) })
@@ -215,11 +228,12 @@ func (d *Dialer) pollRegistration(deadline time.Duration, finish func(error)) {
 // *99#, and on CONNECT start the PPP client. When IPCP converges, the
 // ppp0 interface appears on the node and done receives the Connection.
 func (d *Dialer) Connect(done func(*Connection, error)) {
-	if d.busy {
+	if d.busy || d.conn != nil {
 		done(nil, ErrBusy)
 		return
 	}
 	d.busy = true
+	d.chat.attach()
 	fail := func(err error) {
 		d.busy = false
 		done(nil, err)
@@ -246,6 +260,11 @@ func (d *Dialer) Connect(done func(*Connection, error)) {
 // PPP client, and on success wires the ppp0 interface into the node.
 func (d *Dialer) startPPP(done func(*Connection, error)) {
 	conn := &Connection{cfg: d.cfg}
+	conn.onClosed = func() {
+		if d.conn == conn {
+			d.conn = nil
+		}
+	}
 	completed := false
 	conn.client = ppp.NewClient(ppp.ClientConfig{
 		Name:         d.cfg.Node.Name + "/" + d.cfg.IfaceName,
@@ -272,6 +291,7 @@ func (d *Dialer) startPPP(done func(*Connection, error)) {
 			}))
 			completed = true
 			d.busy = false
+			d.conn = conn
 			done(conn, nil)
 		},
 		OnDown: func(reason string) {

@@ -281,3 +281,62 @@ func TestBringUpBothCards(t *testing.T) {
 		}
 	}
 }
+
+// TestBringUpWhileConnectedIsBusy: a dialer that already owns a live
+// connection must refuse a second bring-up synchronously with ErrBusy
+// instead of wrecking the serial line under the running PPP session.
+func TestBringUpWhileConnectedIsBusy(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	d := New(r.dialerConfig())
+	var conn *Connection
+	d.BringUp(func(c *Connection, err error) { conn = c })
+	r.loop.RunUntil(60 * time.Second)
+	if conn == nil || !conn.Up() {
+		t.Fatal("no connection")
+	}
+	var gotErr error
+	called := false
+	d.BringUp(func(_ *Connection, err error) { called, gotErr = true, err })
+	if !called {
+		t.Fatal("BringUp on a connected dialer dropped the callback")
+	}
+	if !errors.Is(gotErr, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", gotErr)
+	}
+	if !conn.Up() {
+		t.Fatal("second BringUp disturbed the live connection")
+	}
+	r.loop.RunUntil(r.loop.Now() + time.Minute)
+}
+
+// TestRedialAfterCarrierLoss reuses one Dialer across a carrier drop:
+// the redial must reclaim the serial line from the dead PPP session's
+// deframer and bring up a fresh connection.
+func TestRedialAfterCarrierLoss(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	d := New(r.dialerConfig())
+	var conn *Connection
+	d.BringUp(func(c *Connection, err error) { conn = c })
+	r.loop.RunUntil(60 * time.Second)
+	if conn == nil || !conn.Up() {
+		t.Fatal("no connection")
+	}
+	r.op.DropAllSessions("maintenance")
+	r.loop.RunUntil(r.loop.Now() + 2*time.Minute)
+	if conn.Up() {
+		t.Fatal("connection still up after carrier loss")
+	}
+	var conn2 *Connection
+	var gotErr error
+	d.BringUp(func(c *Connection, err error) { conn2, gotErr = c, err })
+	r.loop.RunUntil(r.loop.Now() + 60*time.Second)
+	if gotErr != nil {
+		t.Fatalf("redial: %v", gotErr)
+	}
+	if conn2 == nil || !conn2.Up() {
+		t.Fatal("redial did not re-establish the connection")
+	}
+	if r.node.Iface("ppp0") == nil {
+		t.Fatal("ppp0 missing after redial")
+	}
+}

@@ -1,0 +1,336 @@
+package dialer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// Policy shapes the supervisor's redial behaviour: pppd's holdoff
+// generalized to capped exponential backoff with deterministic jitter
+// and an attempt budget per outage.
+type Policy struct {
+	// InitialBackoff is the holdoff before the first redial of an
+	// outage (default 2 s); each further attempt multiplies it by
+	// Multiplier (default 2) up to MaxBackoff (default 2 min).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	Multiplier     float64
+	// JitterFrac spreads each holdoff by ±frac (default 0.1), drawn
+	// from the loop's named RNG stream so runs stay reproducible.
+	JitterFrac float64
+	// MaxAttempts bounds the redials per outage (default 8); the
+	// budget resets when a connection comes up. Negative means
+	// unlimited.
+	MaxAttempts int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.InitialBackoff == 0 {
+		p.InitialBackoff = 2 * time.Second
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 2 * time.Minute
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.1
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 8
+	}
+	return p
+}
+
+// backoff returns the holdoff before redial attempt n (1-based),
+// jittered symmetrically by JitterFrac.
+func (p Policy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := float64(p.InitialBackoff)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	d *= 1 + p.JitterFrac*(2*rng.Float64()-1)
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	return time.Duration(d)
+}
+
+// permanent reports whether err can never be fixed by redialing.
+func permanent(err error) bool {
+	return errors.Is(err, ErrNoSIM) || errors.Is(err, ErrBadPIN)
+}
+
+// SupervisorState is the supervisor's externally visible condition.
+type SupervisorState string
+
+const (
+	// SupervisorDown: not running, or given up (permanent error or
+	// attempt budget exhausted).
+	SupervisorDown SupervisorState = "down"
+	// SupervisorConnecting: initial bring-up in flight.
+	SupervisorConnecting SupervisorState = "connecting"
+	// SupervisorUp: connection established.
+	SupervisorUp SupervisorState = "up"
+	// SupervisorDegraded: lost the connection, redialing within the
+	// backoff budget.
+	SupervisorDegraded SupervisorState = "degraded"
+)
+
+// SupervisorConfig wires a Supervisor to its dialer and observers.
+type SupervisorConfig struct {
+	Dialer *Dialer
+	Policy Policy
+	// Name scopes the metric instruments and the jitter RNG stream
+	// (default node/iface). In multi-cell runs it must be globally
+	// unique or the merged counters stop being placement-independent.
+	Name string
+	// OnUp fires whenever a connection is (re-)established.
+	OnUp func(*Connection)
+	// OnDown fires whenever the connection is lost (before redialing).
+	OnDown func(reason string)
+	// OnState observes every state transition.
+	OnState func(old, new SupervisorState, reason string)
+}
+
+// Supervisor owns a Dialer and keeps its connection alive: it brings
+// the link up, watches for drops, and redials under Policy, degrading
+// gracefully instead of erroring out. All activity is on the sim loop;
+// determinism comes from the loop's virtual clock and named RNG stream.
+type Supervisor struct {
+	cfg    SupervisorConfig
+	loop   *sim.Loop
+	rng    *rand.Rand
+	state  SupervisorState
+	conn   *Connection
+	retry  sim.Timer
+	gen    int  // invalidates in-flight dial callbacks after Stop
+	epoch  int  // attempt number within the current outage
+	everUp bool // a connection has been established at least once
+	closed bool
+
+	startedAt time.Duration
+	upSince   time.Duration // valid while state == SupervisorUp
+	downSince time.Duration // valid while state != SupervisorUp
+	upTotal   time.Duration
+
+	mAttempts   *metrics.Counter
+	mRecoveries *metrics.Counter
+	mGiveUps    *metrics.Counter
+	mDowntime   *metrics.Counter
+	hBackoff    *metrics.Histogram
+	gAvail      *metrics.Gauge
+}
+
+// NewSupervisor builds a supervisor; call Start to bring the link up.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	cfg.Policy = cfg.Policy.withDefaults()
+	d := cfg.Dialer
+	if cfg.Name == "" {
+		cfg.Name = d.cfg.Node.Name + "/" + d.cfg.IfaceName
+	}
+	loop := d.cfg.Loop
+	reg := loop.Metrics()
+	prefix := "dialer/supervisor/" + cfg.Name + "/"
+	return &Supervisor{
+		cfg:         cfg,
+		loop:        loop,
+		rng:         loop.RNG("dialer/supervisor/" + cfg.Name),
+		state:       SupervisorDown,
+		mAttempts:   reg.Counter(prefix + "attempts"),
+		mRecoveries: reg.Counter(prefix + "recoveries"),
+		mGiveUps:    reg.Counter(prefix + "give_ups"),
+		mDowntime:   reg.Counter(prefix + "downtime_ns"),
+		hBackoff:    reg.Histogram(prefix + "backoff_ns"),
+		gAvail:      reg.Gauge(prefix + "availability"),
+	}
+}
+
+// State returns the current supervisor state.
+func (s *Supervisor) State() SupervisorState { return s.state }
+
+// Conn returns the live connection while state is SupervisorUp.
+func (s *Supervisor) Conn() *Connection { return s.conn }
+
+// Downtime returns the accumulated time the link has spent down since
+// Start, up to now (the open outage, if any, counts). The
+// .../downtime_ns counter holds only the closed outages.
+func (s *Supervisor) Downtime() time.Duration {
+	d := time.Duration(s.mDowntime.Value())
+	if !s.closed && (s.state == SupervisorConnecting || s.state == SupervisorDegraded) {
+		d += s.loop.Now() - s.downSince
+	}
+	return d
+}
+
+// Availability returns the fraction of time since Start the link was
+// up, counting a currently open up-interval.
+func (s *Supervisor) Availability() float64 {
+	total := s.loop.Now() - s.startedAt
+	if total <= 0 {
+		return 0
+	}
+	up := s.upTotal
+	if s.state == SupervisorUp {
+		up += s.loop.Now() - s.upSince
+	}
+	return float64(up) / float64(total)
+}
+
+func (s *Supervisor) transition(next SupervisorState, reason string) {
+	if s.state == next {
+		return
+	}
+	prev := s.state
+	s.state = next
+	if s.cfg.OnState != nil {
+		s.cfg.OnState(prev, next, reason)
+	}
+}
+
+// Start brings the link up and begins supervising. It may be called
+// again after the supervisor has given up (SupervisorDown) to start a
+// fresh attempt budget.
+func (s *Supervisor) Start() {
+	if s.state != SupervisorDown || s.closed {
+		return
+	}
+	now := s.loop.Now()
+	s.startedAt = now
+	s.downSince = now
+	s.upTotal = 0
+	s.epoch = 1
+	s.transition(SupervisorConnecting, "start")
+	s.dial()
+}
+
+// Stop ceases supervision and returns the live connection, if any, so
+// the caller can disconnect it gracefully. The supervisor will not
+// redial after Stop.
+func (s *Supervisor) Stop() *Connection {
+	s.closed = true
+	s.gen++
+	s.retry.Cancel()
+	conn := s.conn
+	s.conn = nil
+	if conn != nil {
+		s.leaveUp()
+	}
+	s.transition(SupervisorDown, "stopped")
+	return conn
+}
+
+// leaveUp closes the current up-interval's accounting.
+func (s *Supervisor) leaveUp() {
+	now := s.loop.Now()
+	s.upTotal += now - s.upSince
+	s.downSince = now
+	s.updateAvailability()
+}
+
+func (s *Supervisor) updateAvailability() {
+	total := s.loop.Now() - s.startedAt
+	if total <= 0 {
+		return
+	}
+	up := s.upTotal
+	if s.state == SupervisorUp {
+		up += s.loop.Now() - s.upSince
+	}
+	s.gAvail.Set(float64(up) / float64(total))
+}
+
+func (s *Supervisor) dial() {
+	gen := s.gen
+	s.mAttempts.Inc()
+	s.cfg.Dialer.BringUp(func(conn *Connection, err error) {
+		if gen != s.gen || s.closed {
+			// Stopped while the dial was in flight; if it still
+			// succeeded, close the orphan session.
+			if conn != nil {
+				conn.Disconnect()
+			}
+			return
+		}
+		if err != nil {
+			s.dialFailed(err)
+			return
+		}
+		s.established(conn)
+	})
+}
+
+func (s *Supervisor) established(conn *Connection) {
+	now := s.loop.Now()
+	s.conn = conn
+	s.mDowntime.Add(int64(now - s.downSince))
+	s.upSince = now
+	if s.everUp {
+		s.mRecoveries.Inc()
+	}
+	s.everUp = true
+	s.epoch = 1
+	s.transition(SupervisorUp, "connected")
+	s.updateAvailability()
+	conn.OnDown = s.connLost
+	if s.cfg.OnUp != nil {
+		s.cfg.OnUp(conn)
+	}
+}
+
+func (s *Supervisor) connLost(reason string) {
+	if s.closed {
+		return
+	}
+	s.conn = nil
+	s.leaveUp()
+	s.transition(SupervisorDegraded, reason)
+	if s.cfg.OnDown != nil {
+		s.cfg.OnDown(reason)
+	}
+	s.epoch = 1
+	s.holdoff()
+}
+
+func (s *Supervisor) dialFailed(err error) {
+	if permanent(err) {
+		s.giveUp(fmt.Sprintf("permanent failure: %v", err))
+		return
+	}
+	if s.state == SupervisorConnecting {
+		s.transition(SupervisorDegraded, fmt.Sprintf("bring-up failed: %v", err))
+	}
+	max := s.cfg.Policy.MaxAttempts
+	if max >= 0 && s.epoch >= max {
+		s.giveUp(fmt.Sprintf("attempt budget (%d) exhausted: %v", max, err))
+		return
+	}
+	s.epoch++
+	s.holdoff()
+}
+
+// holdoff schedules the next dial after the policy backoff for the
+// current attempt epoch.
+func (s *Supervisor) holdoff() {
+	d := s.cfg.Policy.backoff(s.epoch, s.rng)
+	s.hBackoff.Observe(int64(d))
+	s.retry = s.loop.After(d, s.dial)
+}
+
+func (s *Supervisor) giveUp(reason string) {
+	s.mGiveUps.Inc()
+	s.transition(SupervisorDown, reason)
+	if s.cfg.OnDown != nil {
+		s.cfg.OnDown(reason)
+	}
+}

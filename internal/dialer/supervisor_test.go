@@ -1,0 +1,203 @@
+package dialer
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/umts"
+)
+
+// stateLog records supervisor transitions with their virtual times.
+type stateLog struct {
+	at     []time.Duration
+	from   []SupervisorState
+	to     []SupervisorState
+	reason []string
+}
+
+func (l *stateLog) hook(r *rig) func(SupervisorState, SupervisorState, string) {
+	return func(old, new SupervisorState, reason string) {
+		l.at = append(l.at, r.loop.Now())
+		l.from = append(l.from, old)
+		l.to = append(l.to, new)
+		l.reason = append(l.reason, reason)
+	}
+}
+
+// downtime computes, from the transition log, the exact time spent
+// outside SupervisorUp between start and the last entry into Up.
+func (l *stateLog) downtime(start time.Duration) time.Duration {
+	var total time.Duration
+	leftUp := start
+	for i, s := range l.to {
+		if s == SupervisorUp {
+			total += l.at[i] - leftUp
+		} else if l.from[i] == SupervisorUp {
+			leftUp = l.at[i]
+		}
+	}
+	return total
+}
+
+func TestSupervisorRecoversFromCarrierDrops(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	var log stateLog
+	var ups int
+	sup := NewSupervisor(SupervisorConfig{
+		Dialer:  New(r.dialerConfig()),
+		Policy:  Policy{MaxAttempts: 10},
+		OnState: log.hook(r),
+		OnUp:    func(*Connection) { ups++ },
+	})
+	sup.Start()
+	r.loop.RunUntil(60 * time.Second)
+	if sup.State() != SupervisorUp {
+		t.Fatalf("state = %v after initial bring-up", sup.State())
+	}
+
+	// Two scripted carrier drops with recovery time in between.
+	r.op.DropAllSessions("fault: drop 1")
+	r.loop.RunUntil(r.loop.Now() + 3*time.Minute)
+	if sup.State() != SupervisorUp {
+		t.Fatalf("state = %v after first drop; supervisor did not recover", sup.State())
+	}
+	r.op.DropAllSessions("fault: drop 2")
+	r.loop.RunUntil(r.loop.Now() + 3*time.Minute)
+	if sup.State() != SupervisorUp {
+		t.Fatalf("state = %v after second drop", sup.State())
+	}
+
+	if ups != 3 {
+		t.Errorf("OnUp fired %d times, want 3 (initial + 2 recoveries)", ups)
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "recoveries"); got != 2 {
+		t.Errorf("recoveries = %d, want 2", got)
+	}
+	if got := snap.Counter(prefix + "give_ups"); got != 0 {
+		t.Errorf("give_ups = %d, want 0", got)
+	}
+	if got := snap.Counter(prefix + "attempts"); got < 3 {
+		t.Errorf("attempts = %d, want at least one per bring-up", got)
+	}
+
+	// The downtime counter must match the outage windows exactly: the
+	// transition log carries the same virtual timestamps the supervisor
+	// accounted with.
+	wantDown := log.downtime(0)
+	if got := time.Duration(snap.Counter(prefix + "downtime_ns")); got != wantDown {
+		t.Errorf("downtime_ns = %v, want %v (from the transition log)", got, wantDown)
+	}
+	if got := sup.Downtime(); got != wantDown {
+		t.Errorf("Downtime() = %v, want %v", got, wantDown)
+	}
+	// Availability agrees with the same accounting.
+	now := r.loop.Now()
+	wantAvail := float64(now-wantDown) / float64(now)
+	if got := sup.Availability(); math.Abs(got-wantAvail) > 1e-9 {
+		t.Errorf("Availability() = %v, want %v", got, wantAvail)
+	}
+	if sup.Availability() <= 0.5 {
+		t.Errorf("availability %v suspiciously low for two short outages", sup.Availability())
+	}
+}
+
+func TestSupervisorGivesUpAfterBudget(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	cfg := r.dialerConfig()
+	cfg.APN = "no-such-apn" // every dial ends in NO CARRIER
+	var log stateLog
+	sup := NewSupervisor(SupervisorConfig{
+		Dialer:  New(cfg),
+		Policy:  Policy{MaxAttempts: 3, InitialBackoff: time.Second},
+		OnState: log.hook(r),
+	})
+	sup.Start()
+	r.loop.RunUntil(30 * time.Minute)
+	if sup.State() != SupervisorDown {
+		t.Fatalf("state = %v, want down after exhausting the budget", sup.State())
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "attempts"); got != 3 {
+		t.Errorf("attempts = %d, want exactly MaxAttempts", got)
+	}
+	if got := snap.Counter(prefix + "give_ups"); got != 1 {
+		t.Errorf("give_ups = %d, want 1", got)
+	}
+	// Backoffs observed for the holdoffs between the 3 attempts.
+	if got := snap.Histograms[prefix+"backoff_ns"].Count; got != 2 {
+		t.Errorf("backoff observations = %d, want 2", got)
+	}
+}
+
+func TestSupervisorPermanentErrorStopsRetrying(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "1234")
+	cfg := r.dialerConfig()
+	cfg.PIN = "0000" // wrong PIN: permanent
+	sup := NewSupervisor(SupervisorConfig{Dialer: New(cfg)})
+	sup.Start()
+	r.loop.RunUntil(10 * time.Minute)
+	if sup.State() != SupervisorDown {
+		t.Fatalf("state = %v, want down on a permanent error", sup.State())
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "attempts"); got != 1 {
+		t.Errorf("attempts = %d; a bad PIN must not be retried", got)
+	}
+}
+
+func TestSupervisorStopDetaches(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	sup := NewSupervisor(SupervisorConfig{Dialer: New(r.dialerConfig())})
+	sup.Start()
+	r.loop.RunUntil(60 * time.Second)
+	if sup.State() != SupervisorUp {
+		t.Fatalf("state = %v", sup.State())
+	}
+	conn := sup.Stop()
+	if conn == nil || !conn.Up() {
+		t.Fatal("Stop did not hand back the live connection")
+	}
+	conn.Disconnect()
+	r.loop.RunUntil(r.loop.Now() + 5*time.Minute)
+	if sup.State() != SupervisorDown {
+		t.Errorf("state = %v after Stop", sup.State())
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "attempts"); got != 1 {
+		t.Errorf("attempts = %d; a stopped supervisor must not redial", got)
+	}
+}
+
+// TestSupervisorBackoffDeterminism: two identical rigs produce
+// bit-identical backoff sequences (the jitter comes from the loop's
+// named RNG stream, not from global randomness).
+func TestSupervisorBackoffDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+		cfg := r.dialerConfig()
+		cfg.APN = "no-such-apn"
+		sup := NewSupervisor(SupervisorConfig{
+			Dialer: New(cfg),
+			Policy: Policy{MaxAttempts: 5, InitialBackoff: time.Second},
+		})
+		sup.Start()
+		r.loop.RunUntil(30 * time.Minute)
+		h := r.loop.Metrics().Snapshot().Histograms["dialer/supervisor/planetlab-napoli/ppp0/backoff_ns"]
+		return h.Count, h.Sum
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("backoff sequences differ: (%d, %d) vs (%d, %d)", c1, s1, c2, s2)
+	}
+	if c1 != 4 {
+		t.Errorf("backoff observations = %d, want 4 for 5 attempts", c1)
+	}
+}

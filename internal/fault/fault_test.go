@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		want error
+	}{
+		{"negative at", Schedule{Events: []Event{{At: -time.Second, Kind: KindCarrierDrop}}}, ErrBadEvent},
+		{"fade without duration", Schedule{Events: []Event{{At: time.Second, Kind: KindFade}}}, ErrBadEvent},
+		{"rate fade scale zero", Schedule{Events: []Event{{At: time.Second, Kind: KindRateFade, Duration: time.Second}}}, ErrBadEvent},
+		{"rate fade scale above one", Schedule{Events: []Event{{At: time.Second, Kind: KindRateFade, Duration: time.Second, Scale: 1.5}}}, ErrBadEvent},
+		{"flap loss above one", Schedule{Events: []Event{{At: time.Second, Kind: KindLinkFlap, Duration: time.Second, Loss: 2}}}, ErrBadEvent},
+		{"overlapping fades", Schedule{Events: []Event{
+			{At: time.Second, Kind: KindFade, Duration: 10 * time.Second},
+			{At: 5 * time.Second, Kind: KindFade, Duration: time.Second},
+		}}, ErrOverlap},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAllowsDifferentKindOverlap(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: time.Second, Kind: KindFade, Duration: 10 * time.Second},
+		{At: 2 * time.Second, Kind: KindLinkFlap, Duration: 10 * time.Second, Loss: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate() = %v; windows of different kinds may overlap", err)
+	}
+}
+
+func TestWindowsSortedAndHorizon(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{At: 30 * time.Second, Kind: KindCarrierDrop},
+		{At: 10 * time.Second, Kind: KindFade, Duration: 5 * time.Second},
+	}}
+	wins := s.Windows()
+	want := []Window{
+		{Kind: KindFade, Start: 10 * time.Second, End: 15 * time.Second},
+		{Kind: KindCarrierDrop, Start: 30 * time.Second, End: 30 * time.Second},
+	}
+	if !reflect.DeepEqual(wins, want) {
+		t.Fatalf("Windows() = %v, want %v", wins, want)
+	}
+	if got := s.Horizon(); got != 30*time.Second {
+		t.Fatalf("Horizon() = %v, want 30s", got)
+	}
+}
+
+// TestArmEmptyIsInert is the determinism contract: an empty schedule
+// must leave the loop and its metrics registry completely untouched.
+func TestArmEmptyIsInert(t *testing.T) {
+	loop := sim.NewLoop(1)
+	events, before := loop.Len(), loop.Metrics().Snapshot()
+	inj, err := Arm(loop, Schedule{}, Hooks{})
+	if err != nil {
+		t.Fatalf("Arm(empty) = %v", err)
+	}
+	if loop.Len() != events {
+		t.Errorf("empty schedule scheduled %d events; want none", loop.Len()-events)
+	}
+	if after := loop.Metrics().Snapshot(); !reflect.DeepEqual(before, after) {
+		t.Errorf("empty schedule touched the registry:\nbefore %v\nafter  %v", before, after)
+	}
+	if inj.Windows() != nil {
+		t.Errorf("inert injector reports windows %v", inj.Windows())
+	}
+}
+
+func TestArmFiresHooksAtScheduledTimes(t *testing.T) {
+	loop := sim.NewLoop(1)
+	type hit struct {
+		at   time.Duration
+		what string
+	}
+	var hits []hit
+	rec := func(what string) func() {
+		return func() { hits = append(hits, hit{loop.Now(), what}) }
+	}
+	sched := Schedule{Events: []Event{
+		{At: 5 * time.Second, Kind: KindCarrierDrop},
+		{At: 10 * time.Second, Kind: KindFade, Duration: 2 * time.Second},
+		{At: 20 * time.Second, Kind: KindRateFade, Duration: 3 * time.Second, Scale: 0.5},
+		{At: 30 * time.Second, Kind: KindLinkFlap, Duration: time.Second, Loss: 0.25},
+	}}
+	var scales []float64
+	var losses []float64
+	inj, err := Arm(loop, sched, Hooks{
+		CarrierDrop: rec("drop"),
+		FadeStart:   rec("fade+"),
+		FadeEnd:     rec("fade-"),
+		RateScale: func(s float64) {
+			scales = append(scales, s)
+			rec("scale")()
+		},
+		LinkDown: func(l float64) {
+			losses = append(losses, l)
+			rec("link-")()
+		},
+		LinkUp: rec("link+"),
+	})
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	loop.RunUntil(time.Minute)
+	want := []hit{
+		{5 * time.Second, "drop"},
+		{10 * time.Second, "fade+"},
+		{12 * time.Second, "fade-"},
+		{20 * time.Second, "scale"},
+		{23 * time.Second, "scale"},
+		{30 * time.Second, "link-"},
+		{31 * time.Second, "link+"},
+	}
+	if !reflect.DeepEqual(hits, want) {
+		t.Fatalf("hook firings = %v, want %v", hits, want)
+	}
+	if !reflect.DeepEqual(scales, []float64{0.5, 1}) {
+		t.Errorf("scales = %v, want [0.5 1]", scales)
+	}
+	if !reflect.DeepEqual(losses, []float64{0.25}) {
+		t.Errorf("losses = %v, want [0.25]", losses)
+	}
+	snap := loop.Metrics().Snapshot()
+	if got := snap.Counter("fault/injected"); got != 4 {
+		t.Errorf("fault/injected = %d, want 4", got)
+	}
+	if got := snap.Counter("fault/skipped"); got != 0 {
+		t.Errorf("fault/skipped = %d, want 0", got)
+	}
+	if inj.Active() != 0 {
+		t.Errorf("Active() = %d after all windows closed", inj.Active())
+	}
+}
+
+func TestArmCountsUnwiredKindsAsSkipped(t *testing.T) {
+	loop := sim.NewLoop(1)
+	sched := Schedule{Events: []Event{
+		{At: time.Second, Kind: KindCarrierDrop},
+		{At: 2 * time.Second, Kind: KindPPPTerminate},
+	}}
+	fired := 0
+	if _, err := Arm(loop, sched, Hooks{CarrierDrop: func() { fired++ }}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	loop.RunUntil(10 * time.Second)
+	if fired != 1 {
+		t.Errorf("carrier drop fired %d times, want 1", fired)
+	}
+	snap := loop.Metrics().Snapshot()
+	if got := snap.Counter("fault/skipped"); got != 1 {
+		t.Errorf("fault/skipped = %d, want 1 (ppp-terminate unwired)", got)
+	}
+}
+
+func TestArmRejectsInvalidSchedule(t *testing.T) {
+	loop := sim.NewLoop(1)
+	bad := Schedule{Events: []Event{{At: time.Second, Kind: KindFade}}}
+	if _, err := Arm(loop, bad, Hooks{}); !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("Arm(bad) = %v, want ErrBadEvent", err)
+	}
+}
+
+func TestLinkFlapLossDefaultsToTotal(t *testing.T) {
+	loop := sim.NewLoop(1)
+	sched := Schedule{Events: []Event{{At: time.Second, Kind: KindLinkFlap, Duration: time.Second}}}
+	var got float64 = -1
+	_, err := Arm(loop, sched, Hooks{LinkDown: func(l float64) { got = l }, LinkUp: func() {}})
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	loop.RunUntil(5 * time.Second)
+	if got != 1 {
+		t.Errorf("default flap loss = %v, want 1", got)
+	}
+}
+
+func TestGenerateIsDeterministicAndValid(t *testing.T) {
+	p := Profile{
+		CarrierDrops: 3,
+		Fades:        4, FadeDuration: 2 * time.Second,
+		RateFades: 2, RateFadeDuration: 5 * time.Second, RateFadeScale: 0.5,
+		RegLosses: 1, RegLossDuration: 3 * time.Second,
+		LinkFlaps: 2, LinkFlapDuration: time.Second, LinkFlapLoss: 0.5,
+	}
+	a, err := Generate(42, 5*time.Minute, p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(42, 5*time.Minute, p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	wantEvents := p.CarrierDrops + p.Fades + p.RateFades + p.RegLosses + p.LinkFlaps
+	if len(a.Events) != wantEvents {
+		t.Fatalf("generated %d events, want %d", len(a.Events), wantEvents)
+	}
+	c, err := Generate(43, 5*time.Minute, p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Margin: nothing before horizon/10 or past horizon-horizon/10.
+	margin := 30 * time.Second
+	for _, w := range a.Windows() {
+		if w.Start < margin || w.End > 5*time.Minute-margin {
+			t.Errorf("window %v breaches the margin", w)
+		}
+	}
+}
+
+func TestGenerateRejectsOverfullProfile(t *testing.T) {
+	_, err := Generate(1, 10*time.Second, Profile{Fades: 100, FadeDuration: 5 * time.Second})
+	if !errors.Is(err, ErrBadEvent) {
+		t.Fatalf("Generate(overfull) = %v, want ErrBadEvent", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"none", "drops", "fades", "degrade", "regloss", "flaps", "flaky"} {
+		s, err := Preset(name, 7, 2*time.Minute)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Preset(%q) invalid: %v", name, err)
+		}
+		if name == "none" && !s.Empty() {
+			t.Errorf("Preset(none) not empty")
+		}
+		if name != "none" && s.Empty() {
+			t.Errorf("Preset(%q) empty", name)
+		}
+	}
+	if _, err := Preset("bogus", 1, time.Minute); err == nil {
+		t.Error("Preset(bogus) did not error")
+	}
+}

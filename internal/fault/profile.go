@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Profile parameterizes a randomly generated fault schedule. All
+// randomness is consumed up front by Generate from its explicit seed;
+// the resulting Schedule is a plain event list, so two calls with the
+// same seed, horizon and profile are identical and the run itself draws
+// nothing extra from the simulation's RNG streams.
+type Profile struct {
+	// CarrierDrops is the number of hard carrier drops to place.
+	CarrierDrops int
+	// Fades and FadeDuration place deep fades of the given mean length
+	// (exponentially distributed, clamped to [FadeDuration/4, 4x]).
+	Fades        int
+	FadeDuration time.Duration
+	// RateFades and RateFadeScale place rate-scale windows.
+	RateFades        int
+	RateFadeDuration time.Duration
+	RateFadeScale    float64
+	// RegLosses places registration-loss windows of RegLossDuration.
+	RegLosses       int
+	RegLossDuration time.Duration
+	// LinkFlaps places backhaul flaps of LinkFlapDuration at LinkFlapLoss.
+	LinkFlaps        int
+	LinkFlapDuration time.Duration
+	LinkFlapLoss     float64
+	// Margin keeps events away from the run's edges: nothing starts
+	// before Margin or ends after horizon-Margin. Default horizon/10.
+	Margin time.Duration
+}
+
+// Generate builds a schedule from a seeded profile over [0, horizon).
+// It never overlaps two windows of the same kind: each kind's windows
+// are laid out by picking starts in the kind's free span and pushing
+// later picks past earlier windows, which also bounds the worst case
+// (if the windows cannot fit, Generate returns an error rather than a
+// silently truncated schedule).
+func Generate(seed int64, horizon time.Duration, p Profile) (Schedule, error) {
+	if horizon <= 0 {
+		return Schedule{}, fmt.Errorf("%w: horizon %v", ErrBadEvent, horizon)
+	}
+	margin := p.Margin
+	if margin == 0 {
+		margin = horizon / 10
+	}
+	span := horizon - 2*margin
+	if span <= 0 {
+		return Schedule{}, fmt.Errorf("%w: margin %v leaves no span in %v", ErrBadEvent, margin, horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var s Schedule
+
+	place := func(n int, kind Kind, meanDur time.Duration, scale, loss float64) error {
+		if n == 0 {
+			return nil
+		}
+		// Draw durations first (fixed draw order keeps the schedule a
+		// pure function of the seed even as other knobs change).
+		durs := make([]time.Duration, n)
+		var total time.Duration
+		for i := range durs {
+			d := meanDur
+			if kind.windowed() {
+				if d <= 0 {
+					return fmt.Errorf("%w: %v needs a duration in the profile", ErrBadEvent, kind)
+				}
+				// Exponential around the mean, clamped so no single
+				// window dwarfs the run.
+				d = time.Duration(rng.ExpFloat64() * float64(meanDur))
+				if d < meanDur/4 {
+					d = meanDur / 4
+				}
+				if d > 4*meanDur {
+					d = 4 * meanDur
+				}
+			} else {
+				d = 0
+			}
+			durs[i] = d
+			total += d
+		}
+		free := span - total
+		if free < 0 {
+			return fmt.Errorf("%w: %d %v windows (%v total) do not fit in %v", ErrBadEvent, n, kind, total, span)
+		}
+		// Sorted offsets into the free span; adding the preceding
+		// windows' total duration spreads them without overlap.
+		offs := make([]time.Duration, n)
+		for i := range offs {
+			offs[i] = time.Duration(rng.Int63n(int64(free) + 1))
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		var used time.Duration
+		for i := range offs {
+			s.Events = append(s.Events, Event{
+				At:       margin + offs[i] + used,
+				Kind:     kind,
+				Duration: durs[i],
+				Scale:    scale,
+				Loss:     loss,
+			})
+			used += durs[i]
+		}
+		return nil
+	}
+
+	if err := place(p.CarrierDrops, KindCarrierDrop, 0, 0, 0); err != nil {
+		return Schedule{}, err
+	}
+	if err := place(p.Fades, KindFade, p.FadeDuration, 0, 0); err != nil {
+		return Schedule{}, err
+	}
+	if err := place(p.RateFades, KindRateFade, p.RateFadeDuration, p.RateFadeScale, 0); err != nil {
+		return Schedule{}, err
+	}
+	if err := place(p.RegLosses, KindRegistrationLoss, p.RegLossDuration, 0, 0); err != nil {
+		return Schedule{}, err
+	}
+	if err := place(p.LinkFlaps, KindLinkFlap, p.LinkFlapDuration, 0, p.LinkFlapLoss); err != nil {
+		return Schedule{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// Preset returns a named fault scenario scaled to the run horizon.
+// Names, roughly in order of severity:
+//
+//	none    — empty schedule (the fault layer stays inert)
+//	drops   — two hard carrier drops at 1/3 and 3/5 of the horizon
+//	fades   — three deep fades of ~horizon/20 each
+//	degrade — two rate fades to 25% of ~horizon/8 each
+//	regloss — one registration loss of ~horizon/10
+//	flaps   — two backhaul flaps (full loss) of ~horizon/30 each
+//	flaky   — generated mix of everything (the paper's "commercial
+//	          uplink on a bad day")
+func Preset(name string, seed int64, horizon time.Duration) (Schedule, error) {
+	switch name {
+	case "none", "":
+		return Schedule{}, nil
+	case "drops":
+		return Schedule{Events: []Event{
+			{At: horizon / 3, Kind: KindCarrierDrop},
+			{At: horizon * 3 / 5, Kind: KindCarrierDrop},
+		}}, nil
+	case "fades":
+		return Generate(seed, horizon, Profile{Fades: 3, FadeDuration: horizon / 20})
+	case "degrade":
+		return Generate(seed, horizon, Profile{RateFades: 2, RateFadeDuration: horizon / 8, RateFadeScale: 0.25})
+	case "regloss":
+		return Schedule{Events: []Event{
+			{At: horizon * 2 / 5, Kind: KindRegistrationLoss, Duration: horizon / 10},
+		}}, nil
+	case "flaps":
+		return Generate(seed, horizon, Profile{LinkFlaps: 2, LinkFlapDuration: horizon / 30, LinkFlapLoss: 1})
+	case "flaky":
+		return Generate(seed, horizon, Profile{
+			CarrierDrops:     1,
+			Fades:            2,
+			FadeDuration:     horizon / 30,
+			RateFades:        1,
+			RateFadeDuration: horizon / 12,
+			RateFadeScale:    0.5,
+			LinkFlaps:        1,
+			LinkFlapDuration: horizon / 40,
+			LinkFlapLoss:     0.5,
+		})
+	default:
+		return Schedule{}, fmt.Errorf("fault: unknown preset %q (want none, drops, fades, degrade, regloss, flaps, flaky)", name)
+	}
+}

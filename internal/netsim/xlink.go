@@ -80,9 +80,18 @@ func (l *CrossLink) Send(from *Iface, pkt *Packet) {
 func (l *CrossLink) Stats(end int) DirStats { return l.dirs[end].stats }
 
 // Config returns the configuration of the direction out of end. Cross
-// links are immutable after wiring (a lowered delay could break the
-// engine's lookahead contract), so there is no SetConfig counterpart.
+// links are mostly immutable after wiring (a lowered delay could break
+// the engine's lookahead contract), so there is no general SetConfig
+// counterpart — only the loss probability can change (SetLossProb).
 func (l *CrossLink) Config(end int) LinkConfig { return l.dirs[end].cfg }
+
+// SetLossProb changes the loss probability of the direction out of end
+// — the fault-injection knob for backhaul flaps. Loss is resolved on
+// the source loop before the packet is shipped, so unlike delay it has
+// no bearing on the engine's lookahead contract. Note that the
+// direction's loss RNG only starts being drawn while the probability is
+// positive: a flap window perturbs no RNG stream outside the window.
+func (l *CrossLink) SetLossProb(end int, p float64) { l.dirs[end].cfg.LossProb = p }
 
 // QueueLen returns the packets waiting (not counting the one in
 // serialization) in the direction out of end.

@@ -378,8 +378,17 @@ func NewClient(cfg ClientConfig) *Client {
 	c.lcp = newAutomaton(automatonConfig{
 		Name: cfg.Name + "/lcp", Proto: ProtoLCP, Loop: cfg.Loop,
 		Send: c.link.sendControl, Policy: c.lcpP,
-		OnUp:        c.lcpUp,
-		OnDown:      func() { c.down("LCP down") },
+		OnUp: c.lcpUp,
+		OnDown: func() {
+			// This-Layer-Down. During a locally initiated Terminate the
+			// connection must survive until This-Layer-Finished: tearing
+			// it down here would let the owner destroy the channel while
+			// our Terminate-Request is still in flight (RFC 1661 §4.4).
+			if c.phase == PhaseTerminate {
+				return
+			}
+			c.down("LCP down")
+		},
 		OnFinished:  func(reason string) { c.down(reason) },
 		OnEchoReply: func() { c.echoMisses = 0 },
 		Trace:       cfg.Trace,
@@ -650,8 +659,16 @@ func NewServer(cfg ServerConfig) *Server {
 	s.lcp = newAutomaton(automatonConfig{
 		Name: cfg.Name + "/lcp", Proto: ProtoLCP, Loop: cfg.Loop,
 		Send: s.link.sendControl, Policy: s.lcpP,
-		OnUp:       s.lcpUp,
-		OnDown:     func() { s.down("LCP down") },
+		OnUp: s.lcpUp,
+		OnDown: func() {
+			// This-Layer-Down; see the client-side note — a graceful
+			// Terminate keeps the session until This-Layer-Finished so
+			// the Terminate-Request can drain through the bearer.
+			if s.phase == PhaseTerminate {
+				return
+			}
+			s.down("LCP down")
+		},
 		OnFinished: func(reason string) { s.down(reason) },
 		Trace:      cfg.Trace,
 	})

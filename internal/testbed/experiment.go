@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/itg"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/netsim"
@@ -98,6 +99,10 @@ type ExperimentResult struct {
 	// finished: every instrument the sim kernel, links, radio, PPP, and
 	// traffic generator registered on this run's loop.
 	Metrics metrics.Snapshot
+	// Outages lists the scheduled fault windows (empty when the run had
+	// no fault schedule), so QoS reports can be annotated with when the
+	// injector was acting.
+	Outages []fault.Window
 }
 
 // RunExperiment reproduces one cell of the paper's evaluation on this
@@ -194,6 +199,7 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 	}
 	fe.Close()
 	res.Metrics = tb.Loop.Metrics().Snapshot()
+	res.Outages = tb.Faults.Windows()
 	return res, nil
 }
 
@@ -202,18 +208,25 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 func (tb *Testbed) Metrics() *metrics.Registry { return tb.Loop.Metrics() }
 
 // RunPaperExperiment builds a fresh testbed with the given seed and runs
-// one (path, workload) cell with paper parameters — the entry point the
-// benches and cmd/experiments share.
+// one (path, workload) cell with paper parameters.
+//
+// Deprecated: new code should use the Scenario API —
+// NewScenario(WithSeed(seed), WithPath(path), ...).Run().
 func RunPaperExperiment(seed int64, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
 	return RunPaperExperimentScheduler(seed, sim.SchedulerWheel, path, wl, dur)
 }
 
 // RunPaperExperimentScheduler is RunPaperExperiment with an explicit sim
 // scheduler backend, for differential tests and the scheduler benchmark.
+//
+// Deprecated: use NewScenario(..., WithScheduler(sched)).Run().
 func RunPaperExperimentScheduler(seed int64, sched sim.Scheduler, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
-	tb, err := New(Options{Seed: seed, Scheduler: sched})
+	rep, err := NewScenario(
+		WithSeed(seed), WithScheduler(sched),
+		WithPath(path), WithWorkload(wl), WithDuration(dur),
+	).Run()
 	if err != nil {
 		return nil, err
 	}
-	return tb.RunExperiment(ExperimentSpec{Path: path, Workload: wl, Duration: dur})
+	return rep.Results[0], nil
 }

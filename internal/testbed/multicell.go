@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/dialer"
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/iproute"
 	"github.com/onelab/umtslab/internal/itg"
 	"github.com/onelab/umtslab/internal/kmod"
@@ -67,6 +69,16 @@ type MultiCellOptions struct {
 	Operator func(cell int) umts.Config
 	// Scheduler selects the sim kernel backend on every shard.
 	Scheduler sim.Scheduler
+	// Faults is armed once per cell, on the cell's shard loop: every
+	// event hits that cell's operator, all of its terminals, and its Gi
+	// uplink (uplink-direction loss for link flaps). The empty schedule
+	// arms nothing, and fault times are virtual, so the shard-count
+	// determinism contract extends to faulted runs.
+	Faults fault.Schedule
+	// SelfHeal/HealPolicy run every terminal's umts backend in recover
+	// mode, as in Options.
+	SelfHeal   bool
+	HealPolicy *dialer.Policy
 }
 
 func (o *MultiCellOptions) setDefaults() {
@@ -141,6 +153,9 @@ type MultiCellResult struct {
 	// barrier count of shard 0.
 	Lookahead time.Duration
 	Windows   int64
+	// Outages lists the per-cell fault windows (empty without a fault
+	// schedule). Every cell sees the same schedule, so one copy is kept.
+	Outages []fault.Window
 }
 
 // placementDependent lists the instruments whose values legitimately
@@ -190,7 +205,15 @@ type mcTerminal struct {
 // RunMultiCell assembles and executes the K×M scenario on a shard
 // engine and decodes every flow. The same options with a different
 // Shards value produce byte-identical Flows and Counters.
+//
+// Deprecated: use the Scenario API — NewScenario(WithCells(k, m), ...)
+// — which routes here; RunMultiCell remains for callers that fill
+// MultiCellOptions directly.
 func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
+	return runMultiCell(opts)
+}
+
+func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	opts.setDefaults()
 	eng := shard.NewEngine(opts.Seed, opts.Shards, opts.Scheduler)
 
@@ -238,19 +261,27 @@ func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 		// Gi uplink: GGSN (cell shard) <-> core (shard 0), cross-shard.
 		giAddr := netsim.MustAddr(fmt.Sprintf("172.16.%d.2", 200+c))
 		giGW := netsim.MustAddr(fmt.Sprintf("172.16.%d.1", 200+c))
-		netsim.WireCross(eng, fmt.Sprintf("gi-cell%d", c),
+		xl := netsim.WireCross(eng, fmt.Sprintf("gi-cell%d", c),
 			sc, op.GGSN(), "gi0", giAddr,
 			coreShard, coreNode, fmt.Sprintf("to-cell%d", c), giGW, eth, eth)
 		op.SetGi("gi0")
 		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: cfg.Pool, Iface: fmt.Sprintf("to-cell%d", c), Gateway: giAddr})
 		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(giAddr, 32), Iface: fmt.Sprintf("to-cell%d", c)})
 
+		cellTerms := make([]*mcTerminal, 0, opts.Terminals)
 		for m := 0; m < opts.Terminals; m++ {
 			ts, err := buildTerminal(eng, sc, nets[sc.ID()], server, op, cfg, card, c, m, opts)
 			if err != nil {
 				return nil, err
 			}
 			terms = append(terms, ts)
+			cellTerms = append(cellTerms, ts)
+		}
+
+		// Per-cell injector on the cell's own shard loop; inert when the
+		// schedule is empty (see fault.Arm).
+		if _, err := fault.Arm(sc.Loop(), opts.Faults, cellHooks(op, xl, cellTerms)); err != nil {
+			return nil, fmt.Errorf("testbed: cell %d: %w", c, err)
 		}
 	}
 
@@ -286,7 +317,33 @@ func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	}
 	res.Counters = DeterministicCounters(res.Snapshots)
 	res.Windows = res.Snapshots[0].Counter("shard/windows")
+	res.Outages = opts.Faults.Windows()
 	return res, nil
+}
+
+// cellHooks binds one cell's injector to its operator, all of its
+// terminals, and its Gi uplink. Link flaps drop uplink traffic only
+// (GGSN -> core direction), leaving the return path intact.
+func cellHooks(op *umts.Operator, xl *netsim.CrossLink, terms []*mcTerminal) fault.Hooks {
+	return fault.Hooks{
+		CarrierDrop: func() { op.DropAllSessions("fault: carrier drop") },
+		FadeStart:   op.PauseRadio,
+		FadeEnd:     op.ResumeRadio,
+		RateScale:   op.ScaleRates,
+		RegistrationDown: func() {
+			for _, ts := range terms {
+				ts.term.LoseRegistration("fault: registration lost")
+			}
+		},
+		RegistrationUp: func() {
+			for _, ts := range terms {
+				ts.term.Reregister()
+			}
+		},
+		PPPTerminate: func() { op.TerminatePPP("fault: network maintenance") },
+		LinkDown:     func(loss float64) { xl.SetLossProb(0, loss) },
+		LinkUp:       func() { xl.SetLossProb(0, 0) },
+	}
 }
 
 // buildTerminal assembles one PlanetLab-style node with a datacard on
@@ -324,6 +381,7 @@ func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, serve
 		Loop: loop, Host: host, Router: router, Filter: filter,
 		Kmods: kmods, Vsys: vsysm, Card: tcard, Line: line, Radio: ts.term,
 		APN: cfg.APN, Creds: operatorCreds(cfg),
+		Recover: recoverPolicy(opts.SelfHeal, opts.HealPolicy),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("testbed: cell %d terminal %d: %w", c, m, err)

@@ -23,36 +23,36 @@ type RepRun struct {
 	Duration time.Duration
 }
 
-// RunParallel executes the given repetitions across a bounded worker
-// pool and returns the results in input order.
+// runPool executes n jobs across a bounded worker pool and returns the
+// results in input order.
 //
-// Each repetition builds a private testbed — its own sim.Loop, RNG
-// streams, and metrics registry — so workers share no mutable state and
-// the per-rep results are bit-identical to a sequential run of the same
+// Each job builds a private testbed — its own sim.Loop, RNG streams,
+// and metrics registry — so workers share no mutable state and the
+// per-job results are bit-identical to a sequential run of the same
 // seeds. Only the scheduling is concurrent; the merge is deterministic
 // because results land at their input index.
 //
 // workers <= 0 selects GOMAXPROCS. The first error (by input order, not
 // completion order, so error reporting is deterministic too) is
-// returned; results for runs that errored are nil.
+// returned; results for jobs that errored are nil.
 //
-// Dispatch fails fast: once any run has errored, queued runs are no
+// Dispatch fails fast: once any job has errored, queued jobs are no
 // longer handed to workers (their results stay nil with a nil error).
-// Error reporting stays deterministic despite the early stop: runs are
-// dispatched in input order, so when some run errors, every earlier run
+// Error reporting stays deterministic despite the early stop: jobs are
+// dispatched in input order, so when some job errors, every earlier job
 // was already dispatched and will complete — the smallest errored input
 // index is therefore always the same one a run-everything schedule
 // would report.
-func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
+func runPool(n, workers int, job func(i int) (*ExperimentResult, error)) ([]*ExperimentResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(runs) {
-		workers = len(runs)
+	if workers > n {
+		workers = n
 	}
-	results := make([]*ExperimentResult, len(runs))
-	errs := make([]error, len(runs))
-	if len(runs) == 0 {
+	results := make([]*ExperimentResult, n)
+	errs := make([]error, n)
+	if n == 0 {
 		return results, nil
 	}
 
@@ -64,16 +64,14 @@ func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				r := runs[i]
-				results[i], errs[i] = RunPaperExperiment(
-					RepSeed(r.Seed, r.Rep), r.Path, r.Workload, r.Duration)
+				results[i], errs[i] = job(i)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < len(runs); i++ {
+	for i := 0; i < n; i++ {
 		if failed.Load() {
 			break
 		}
@@ -88,4 +86,18 @@ func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// RunParallel executes the given repetitions across a bounded worker
+// pool and returns the results in input order (see runPool for the
+// determinism and fail-fast contract).
+//
+// Deprecated: homogeneous repetition sweeps should use the Scenario API
+// — NewScenario(..., WithReps(n), WithWorkers(w)).Run(). RunParallel
+// remains for run lists that mix paths or workloads.
+func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
+	return runPool(len(runs), workers, func(i int) (*ExperimentResult, error) {
+		r := runs[i]
+		return RunPaperExperiment(RepSeed(r.Seed, r.Rep), r.Path, r.Workload, r.Duration)
+	})
 }

@@ -1,0 +1,231 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/onelab/umtslab/internal/dialer"
+	"github.com/onelab/umtslab/internal/fault"
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/modem"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/umts"
+)
+
+// Scenario is the single front door to every experiment shape the
+// testbed can run: one §3 paper cell, a repetition sweep across a
+// worker pool, or the K-cell × M-terminal scale-out on the shard
+// engine — with or without a fault schedule and the self-healing
+// dialer. Construct one with NewScenario and functional options, then
+// call Run:
+//
+//	rep, err := testbed.NewScenario(
+//	    testbed.WithSeed(7),
+//	    testbed.WithWorkload(testbed.WorkloadVoIP),
+//	    testbed.WithFaults(sched),
+//	    testbed.WithSelfHeal(nil),
+//	).Run()
+//
+// The zero scenario (no options) runs one UMTS-path VoIP cell with
+// paper parameters on the default scheduler. The legacy entry points
+// RunPaperExperiment, RunParallel and RunMultiCell are thin wrappers
+// kept for compatibility.
+type Scenario struct {
+	seed     int64
+	sched    sim.Scheduler
+	path     Path
+	workload Workload
+	duration time.Duration
+	window   time.Duration
+
+	reps    int
+	workers int
+
+	operator *umts.Config
+	card     *modem.CardProfile
+	pin      string
+
+	faults     fault.Schedule
+	selfHeal   bool
+	healPolicy *dialer.Policy
+
+	cells     int
+	terminals int
+	shards    int
+	flowStart time.Duration
+
+	dump  func(metrics.Snapshot)
+	trace func(format string, args ...any)
+}
+
+// ScenarioOption mutates a Scenario under construction.
+type ScenarioOption func(*Scenario)
+
+// NewScenario builds a scenario from functional options; unset knobs
+// keep the paper defaults of the underlying runner.
+func NewScenario(options ...ScenarioOption) *Scenario {
+	sc := &Scenario{}
+	for _, o := range options {
+		o(sc)
+	}
+	return sc
+}
+
+// WithSeed sets the base simulation seed (repetition r runs with
+// RepSeed(seed, r), so rep 0 reproduces a plain single run).
+func WithSeed(seed int64) ScenarioOption { return func(sc *Scenario) { sc.seed = seed } }
+
+// WithScheduler selects the sim kernel backend (wheel or heap).
+func WithScheduler(s sim.Scheduler) ScenarioOption { return func(sc *Scenario) { sc.sched = s } }
+
+// WithPath selects the end-to-end path (single-cell scenarios only).
+func WithPath(p Path) ScenarioOption { return func(sc *Scenario) { sc.path = p } }
+
+// WithWorkload selects the traffic class.
+func WithWorkload(w Workload) ScenarioOption { return func(sc *Scenario) { sc.workload = w } }
+
+// WithDuration sets the flow duration (default: the runner's paper
+// value — 120 s single-cell, 30 s multi-cell).
+func WithDuration(d time.Duration) ScenarioOption { return func(sc *Scenario) { sc.duration = d } }
+
+// WithWindow sets the QoS sample window (default 200 ms).
+func WithWindow(w time.Duration) ScenarioOption { return func(sc *Scenario) { sc.window = w } }
+
+// WithReps runs n seed-derived repetitions (single-cell only); results
+// land in Report.Results in repetition order.
+func WithReps(n int) ScenarioOption { return func(sc *Scenario) { sc.reps = n } }
+
+// WithWorkers bounds the repetition worker pool (<= 0: GOMAXPROCS).
+func WithWorkers(n int) ScenarioOption { return func(sc *Scenario) { sc.workers = n } }
+
+// WithOperator overrides the UMTS network profile (single-cell only).
+func WithOperator(cfg umts.Config) ScenarioOption {
+	return func(sc *Scenario) { sc.operator = &cfg }
+}
+
+// WithCard overrides the datacard profile (single-cell only).
+func WithCard(card modem.CardProfile) ScenarioOption {
+	return func(sc *Scenario) { sc.card = &card }
+}
+
+// WithPIN locks the SIM (single-cell only).
+func WithPIN(pin string) ScenarioOption { return func(sc *Scenario) { sc.pin = pin } }
+
+// WithFaults arms a deterministic fault schedule on the run (every
+// cell of a multi-cell scenario gets its own injector). The empty
+// schedule is a no-op.
+func WithFaults(sched fault.Schedule) ScenarioOption {
+	return func(sc *Scenario) { sc.faults = sched }
+}
+
+// WithSelfHeal runs the umts backend in recover mode: carrier loss
+// keeps the slice's lock while a supervisor redials under policy (nil:
+// dialer.Policy defaults).
+func WithSelfHeal(policy *dialer.Policy) ScenarioOption {
+	return func(sc *Scenario) {
+		sc.selfHeal = true
+		sc.healPolicy = policy
+	}
+}
+
+// WithCells switches the scenario to the multi-cell shard engine:
+// cells × terminals UMTS nodes streaming to one wired server.
+func WithCells(cells, terminals int) ScenarioOption {
+	return func(sc *Scenario) {
+		sc.cells = cells
+		sc.terminals = terminals
+	}
+}
+
+// WithShards sets the shard count of a multi-cell scenario (default
+// one shard per cell plus the wired core; the shard count must not
+// change results).
+func WithShards(n int) ScenarioOption { return func(sc *Scenario) { sc.shards = n } }
+
+// WithFlowStart delays the multi-cell senders (default 15 s, after
+// dial-up settles).
+func WithFlowStart(d time.Duration) ScenarioOption {
+	return func(sc *Scenario) { sc.flowStart = d }
+}
+
+// WithMetricsDump registers a callback that receives each
+// repetition's final metrics snapshot (or the merged per-shard
+// snapshot of a multi-cell run), after Run completes, in repetition
+// order.
+func WithMetricsDump(fn func(metrics.Snapshot)) ScenarioOption {
+	return func(sc *Scenario) { sc.dump = fn }
+}
+
+// WithTrace receives verbose progress lines (single-cell only).
+func WithTrace(fn func(format string, args ...any)) ScenarioOption {
+	return func(sc *Scenario) { sc.trace = fn }
+}
+
+// Report is a Scenario outcome. Exactly one of Results (single-cell,
+// one entry per repetition) or MultiCell is populated.
+type Report struct {
+	Results   []*ExperimentResult
+	MultiCell *MultiCellResult
+	// Outages are the scheduled fault windows (empty without faults).
+	Outages []fault.Window
+}
+
+// Run executes the scenario and collects the report. Repetitions run
+// across a bounded worker pool with per-rep private loops; everything
+// else is single-threaded inside the simulation's virtual time.
+func (sc *Scenario) Run() (*Report, error) {
+	rep := &Report{Outages: sc.faults.Windows()}
+	if sc.cells > 0 {
+		if sc.reps > 1 {
+			return nil, fmt.Errorf("testbed: WithReps applies to single-cell scenarios only")
+		}
+		mc, err := runMultiCell(MultiCellOptions{
+			Seed: sc.seed, Cells: sc.cells, Terminals: sc.terminals,
+			Shards: sc.shards, Workload: sc.workload,
+			FlowStart: sc.flowStart, Duration: sc.duration, Window: sc.window,
+			Scheduler: sc.sched, Faults: sc.faults,
+			SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.MultiCell = mc
+		if sc.dump != nil {
+			sc.dump(metrics.MergeSnapshots(mc.Snapshots...))
+		}
+		return rep, nil
+	}
+
+	n := sc.reps
+	if n <= 0 {
+		n = 1
+	}
+	results, err := runPool(n, sc.workers, sc.runRep)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = results
+	if sc.dump != nil {
+		for _, r := range results {
+			sc.dump(r.Metrics)
+		}
+	}
+	return rep, nil
+}
+
+// runRep builds a private testbed for repetition i and runs the cell.
+func (sc *Scenario) runRep(i int) (*ExperimentResult, error) {
+	tb, err := New(Options{
+		Seed: RepSeed(sc.seed, i), Operator: sc.operator,
+		Card: sc.card, PIN: sc.pin, Scheduler: sc.sched,
+		Faults: sc.faults, SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
+		Trace: sc.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tb.RunExperiment(ExperimentSpec{
+		Path: sc.path, Workload: sc.workload,
+		Duration: sc.duration, Window: sc.window,
+	})
+}

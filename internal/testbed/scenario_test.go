@@ -1,0 +1,237 @@
+package testbed
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/dialer"
+	"github.com/onelab/umtslab/internal/fault"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// TestScenarioMatchesDirectRun: the Scenario front door must be pure
+// plumbing — the same seed through NewScenario(...).Run() and through
+// hand-built New+RunExperiment produces byte-identical results, on both
+// scheduler backends. This is the refactor's safety net: collapsing the
+// entry points must not move a single event.
+func TestScenarioMatchesDirectRun(t *testing.T) {
+	for _, sched := range []sim.Scheduler{sim.SchedulerWheel, sim.SchedulerHeap} {
+		tb, err := New(Options{Seed: 7, Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := tb.RunExperiment(ExperimentSpec{
+			Path: PathUMTS, Workload: WorkloadVoIP, Duration: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rep, err := NewScenario(
+			WithSeed(7), WithScheduler(sched),
+			WithPath(PathUMTS), WithWorkload(WorkloadVoIP),
+			WithDuration(20*time.Second),
+		).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Results) != 1 {
+			t.Fatalf("scenario returned %d results, want 1", len(rep.Results))
+		}
+		viaAPI := rep.Results[0]
+
+		if !reflect.DeepEqual(direct.Decoded, viaAPI.Decoded) {
+			t.Errorf("%v: decoded QoS differs between direct run and Scenario", sched)
+		}
+		if !reflect.DeepEqual(direct.BearerEvents, viaAPI.BearerEvents) {
+			t.Errorf("%v: bearer logs differ", sched)
+		}
+		if direct.SetupTime != viaAPI.SetupTime {
+			t.Errorf("%v: setup %v vs %v", sched, direct.SetupTime, viaAPI.SetupTime)
+		}
+		if !reflect.DeepEqual(direct.Status, viaAPI.Status) {
+			t.Errorf("%v: final status differs", sched)
+		}
+		if !reflect.DeepEqual(direct.Metrics.Counters, viaAPI.Metrics.Counters) {
+			t.Errorf("%v: metric counters differ", sched)
+		}
+		if len(viaAPI.Outages) != 0 || len(rep.Outages) != 0 {
+			t.Errorf("%v: faultless run reports outages %v", sched, rep.Outages)
+		}
+	}
+}
+
+// stripSupervisor removes the supervisor's own instruments, the only
+// registry delta a healthy self-heal run is allowed to introduce.
+func stripSupervisor(counters map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(counters))
+	for name, v := range counters {
+		if !strings.HasPrefix(name, "dialer/supervisor/") {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// TestSelfHealTransparentWhenHealthy: with no faults, running under the
+// supervisor must not perturb the simulation — the first dial happens
+// at the same instant, no backoff randomness is drawn, and the decoded
+// flow is byte-identical to the fail-fast run. Only the supervisor's
+// own instruments may appear.
+func TestSelfHealTransparentWhenHealthy(t *testing.T) {
+	base, err := NewScenario(WithSeed(3), WithDuration(15*time.Second)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := NewScenario(
+		WithSeed(3), WithDuration(15*time.Second), WithSelfHeal(nil),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, h := base.Results[0], healed.Results[0]
+	if !reflect.DeepEqual(b.Decoded, h.Decoded) {
+		t.Error("decoded QoS differs under a healthy supervisor")
+	}
+	if !reflect.DeepEqual(b.BearerEvents, h.BearerEvents) {
+		t.Errorf("bearer logs differ:\nfail-fast: %v\nself-heal: %v", b.BearerEvents, h.BearerEvents)
+	}
+	if b.SetupTime != h.SetupTime {
+		t.Errorf("setup %v (fail-fast) vs %v (self-heal)", b.SetupTime, h.SetupTime)
+	}
+	bc := stripSupervisor(b.Metrics.Counters)
+	hc := stripSupervisor(h.Metrics.Counters)
+	if !reflect.DeepEqual(bc, hc) {
+		for name, v := range bc {
+			if hc[name] != v {
+				t.Errorf("counter %s: %d vs %d", name, v, hc[name])
+			}
+		}
+		for name, v := range hc {
+			if _, ok := bc[name]; !ok {
+				t.Errorf("counter %s only in self-heal run (%d)", name, v)
+			}
+		}
+	}
+	// Healthy run: one dial, no redials; the only downtime on the books
+	// is the initial bring-up itself.
+	if got := supCounter(h.Metrics.Counters, "/attempts"); got != 1 {
+		t.Errorf("supervisor attempts = %d, want 1", got)
+	}
+	if got := supCounter(h.Metrics.Counters, "/recoveries"); got != 0 {
+		t.Errorf("supervisor recoveries = %d, want 0", got)
+	}
+	if h.Status.Downtime <= 0 || h.Status.Downtime > h.SetupTime {
+		t.Errorf("downtime %v, want within the bring-up (setup %v)", h.Status.Downtime, h.SetupTime)
+	}
+	if h.Status.Availability <= 0 || h.Status.Availability >= 1 {
+		t.Errorf("availability %v, want in (0, 1)", h.Status.Availability)
+	}
+}
+
+// supCounter sums the supervisor counters with the given suffix across
+// nodes (names embed the node/iface, which tests should not hardcode).
+func supCounter(counters map[string]int64, suffix string) int64 {
+	var total int64
+	for name, v := range counters {
+		if strings.HasPrefix(name, "dialer/supervisor/") && strings.HasSuffix(name, suffix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestScenarioRecoversFromScriptedDrops is the recovery acceptance
+// test: two scripted carrier drops during the flow, self-healing on —
+// the supervisor must re-establish PPP both times within its backoff
+// budget, the run must end connected, and the availability accounting
+// must show exactly two closed outages.
+func TestScenarioRecoversFromScriptedDrops(t *testing.T) {
+	sched := fault.Schedule{Events: []fault.Event{
+		{Kind: fault.KindCarrierDrop, At: 30 * time.Second},
+		{Kind: fault.KindCarrierDrop, At: 55 * time.Second},
+	}}
+	rep, err := NewScenario(
+		WithSeed(11),
+		WithDuration(60*time.Second),
+		WithFaults(sched),
+		WithSelfHeal(&dialer.Policy{InitialBackoff: 2 * time.Second}),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+
+	if got := len(res.Outages); got != 2 {
+		t.Fatalf("outage windows %d, want 2: %v", got, res.Outages)
+	}
+	for _, w := range res.Outages {
+		if w.Kind != fault.KindCarrierDrop {
+			t.Errorf("outage kind %v, want carrier-drop", w.Kind)
+		}
+	}
+	// The final status was taken after the second recovery: connected,
+	// with both outages closed in the accounting.
+	if res.Status.State != "up" {
+		t.Fatalf("final state %q, want up (status: %+v)", res.Status.State, res.Status)
+	}
+	if res.Status.Availability <= 0 || res.Status.Availability >= 1 {
+		t.Errorf("availability %v, want in (0, 1)", res.Status.Availability)
+	}
+	if res.Status.Downtime <= 0 {
+		t.Errorf("downtime %v, want > 0", res.Status.Downtime)
+	}
+	c := res.Metrics.Counters
+	if got := c["fault/injected"]; got != 2 {
+		t.Errorf("fault/injected = %d, want 2", got)
+	}
+	if got := supCounter(c, "/recoveries"); got != 2 {
+		t.Errorf("supervisor recoveries = %d, want 2", got)
+	}
+	if got := supCounter(c, "/attempts"); got < 3 {
+		t.Errorf("supervisor attempts = %d, want >= 3 (first dial + 2 redials)", got)
+	}
+	if got := supCounter(c, "/give_ups"); got != 0 {
+		t.Errorf("supervisor give-ups = %d, want 0", got)
+	}
+	// Packets flowed, and some were lost to the outages.
+	if res.Decoded.Received == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if res.Decoded.Received >= res.Decoded.Sent {
+		t.Errorf("received %d of %d sent; outages should have cost packets",
+			res.Decoded.Received, res.Decoded.Sent)
+	}
+}
+
+// TestMultiCellFaultedShardDifferential extends the shard-count
+// determinism contract to faulted runs: a schedule of non-fatal faults
+// (rate fade, radio fade, uplink flap) produces byte-identical flows
+// and counters regardless of placement.
+func TestMultiCellFaultedShardDifferential(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{
+		Seed: 3, Cells: 2, Terminals: 1,
+		Faults: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.KindRateFade, At: 18 * time.Second, Duration: 5 * time.Second, Scale: 0.5},
+			{Kind: fault.KindFade, At: 25 * time.Second, Duration: time.Second},
+			{Kind: fault.KindLinkFlap, At: 30 * time.Second, Duration: 2 * time.Second, Loss: 0.3},
+		}},
+	}, 3)
+}
+
+// TestMultiCellSelfHealShardDifferential drops every cell's carrier
+// mid-flow with self-healing on: the supervisors' redials (including
+// their jittered backoff draws) must stay placement-independent.
+func TestMultiCellSelfHealShardDifferential(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{
+		Seed: 5, Cells: 2, Terminals: 1,
+		SelfHeal:   true,
+		HealPolicy: &dialer.Policy{InitialBackoff: time.Second},
+		Faults: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.KindCarrierDrop, At: 20 * time.Second},
+		}},
+		Duration: 40 * time.Second,
+	}, 3)
+}

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"github.com/onelab/umtslab/internal/core"
+	"github.com/onelab/umtslab/internal/dialer"
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/iproute"
 	"github.com/onelab/umtslab/internal/kmod"
 	"github.com/onelab/umtslab/internal/modem"
@@ -58,6 +60,20 @@ type Options struct {
 	// two produce byte-identical runs — the knob exists for differential
 	// testing and benchmarking.
 	Scheduler sim.Scheduler
+	// Faults is the deterministic fault schedule armed against the
+	// scenario: carrier drops, fades, rate fades, registration losses,
+	// network-side LCP terminates, and Gi-link flaps, all at virtual
+	// times. The zero value arms nothing and leaves the run
+	// byte-identical to one without the fault layer.
+	Faults fault.Schedule
+	// SelfHeal runs the umts backend in recover mode: on carrier loss
+	// the slice keeps its lock while a dialer.Supervisor redials with
+	// capped exponential backoff, instead of the legacy fail-fast
+	// unlock.
+	SelfHeal bool
+	// HealPolicy overrides the supervisor's redial policy when SelfHeal
+	// is set (nil uses dialer.Policy defaults).
+	HealPolicy *dialer.Policy
 	// Trace receives verbose progress lines.
 	Trace func(format string, args ...any)
 }
@@ -88,7 +104,12 @@ type Testbed struct {
 	Internet *netsim.Node
 	Operator *umts.Operator
 
+	// Faults is the armed injector (inert when Options.Faults was
+	// empty); Windows() reports the scheduled outage intervals.
+	Faults *fault.Injector
+
 	coreRouter *iproute.Router
+	giLink     *netsim.P2PLink
 	opts       Options
 }
 
@@ -128,7 +149,7 @@ func New(opts Options) (*Testbed, error) {
 
 	// Operator network and its Gi uplink.
 	tb.Operator = umts.NewOperator(loop, nw, *opts.Operator)
-	nw.WireP2P("ggsn-grn", tb.Operator.GGSN(), "gi0", GGSNGiAddr, tb.Internet, "to-ggsn", GGSNGWAddr, eth, eth)
+	tb.giLink = nw.WireP2P("ggsn-grn", tb.Operator.GGSN(), "gi0", GGSNGiAddr, tb.Internet, "to-ggsn", GGSNGWAddr, eth, eth)
 	tb.Operator.SetGi("gi0")
 
 	// Internet core routing.
@@ -164,8 +185,9 @@ func New(opts Options) (*Testbed, error) {
 		Filter: tb.NapoliFilter, Kmods: tb.Kmods, Vsys: tb.Vsys,
 		Card: *opts.Card, Line: tb.Line, Radio: tb.Terminal,
 		APN: opts.Operator.APN, PIN: opts.PIN,
-		Creds: operatorCreds(*opts.Operator),
-		Trace: opts.Trace,
+		Creds:   operatorCreds(*opts.Operator),
+		Recover: recoverPolicy(opts.SelfHeal, opts.HealPolicy),
+		Trace:   opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
@@ -187,7 +209,64 @@ func New(opts Options) (*Testbed, error) {
 		return nil, err
 	}
 
+	// Fault injection, armed last so hooks see the finished topology.
+	// An empty schedule registers no instruments, draws no randomness,
+	// and schedules no events, so faultless runs stay byte-identical.
+	inj, err := fault.Arm(loop, opts.Faults, tb.faultHooks())
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	tb.Faults = inj
+
 	return tb, nil
+}
+
+// recoverPolicy materializes the core backend's recover-mode knob from
+// the SelfHeal/HealPolicy pair.
+func recoverPolicy(selfHeal bool, p *dialer.Policy) *dialer.Policy {
+	if !selfHeal {
+		return nil
+	}
+	if p != nil {
+		pc := *p
+		return &pc
+	}
+	return &dialer.Policy{}
+}
+
+// faultHooks binds the injector's event kinds to the scenario: the
+// operator's radio and session controls, the terminal's registration
+// state, and the Gi uplink's loss knob.
+func (tb *Testbed) faultHooks() fault.Hooks {
+	op := tb.Operator
+	// LinkDown/LinkUp mutate only LossProb and restore the exact prior
+	// config; the link draws its loss RNG only while LossProb > 0, so
+	// flap windows cannot perturb randomness outside themselves.
+	var saved [2]netsim.LinkConfig
+	return fault.Hooks{
+		CarrierDrop: func() { op.DropAllSessions("fault: carrier drop") },
+		FadeStart:   op.PauseRadio,
+		FadeEnd:     op.ResumeRadio,
+		RateScale:   op.ScaleRates,
+		RegistrationDown: func() {
+			tb.Terminal.LoseRegistration("fault: registration lost")
+		},
+		RegistrationUp: tb.Terminal.Reregister,
+		PPPTerminate:   func() { op.TerminatePPP("fault: network maintenance") },
+		LinkDown: func(loss float64) {
+			for end := 0; end < 2; end++ {
+				saved[end] = tb.giLink.Config(end)
+				cfg := saved[end]
+				cfg.LossProb = loss
+				tb.giLink.SetConfig(end, cfg)
+			}
+		},
+		LinkUp: func() {
+			for end := 0; end < 2; end++ {
+				tb.giLink.SetConfig(end, saved[end])
+			}
+		},
+	}
 }
 
 // operatorCreds picks the operator's well-known dial credentials from

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 	"time"
 
@@ -17,6 +18,7 @@ var (
 	ErrBadAPN        = errors.New("umts: unknown APN")
 	ErrPoolExhausted = errors.New("umts: address pool exhausted")
 	ErrBusySession   = errors.New("umts: session already active")
+	ErrNotRegistered = errors.New("umts: terminal not registered on the network")
 )
 
 // AdaptationConfig controls the network's on-demand bearer upgrades: the
@@ -476,11 +478,53 @@ func (op *Operator) DropAllSessions(reason string) {
 	}
 }
 
+// PauseRadio suspends every active bearer in both directions — a deep
+// signal fade across the cell. Sessions stay up; packets queue (and
+// drop-tail) until ResumeRadio.
+func (op *Operator) PauseRadio() {
+	for _, sess := range op.sessionsSnapshot() {
+		sess.ul.pause()
+		sess.dl.pause()
+	}
+}
+
+// ResumeRadio ends a PauseRadio fade.
+func (op *Operator) ResumeRadio() {
+	for _, sess := range op.sessionsSnapshot() {
+		sess.ul.resume()
+		sess.dl.resume()
+	}
+}
+
+// ScaleRates applies a multiplicative factor to every active bearer's
+// rate in both directions (signal degradation); 1 restores nominal.
+// Rate adaptation keeps working on the nominal ladder underneath.
+func (op *Operator) ScaleRates(scale float64) {
+	for _, sess := range op.sessionsSnapshot() {
+		sess.ul.setScale(scale)
+		sess.dl.setScale(scale)
+	}
+}
+
+// TerminatePPP sends a graceful network-side LCP Terminate-Request on
+// every active session, as the GGSN does when tearing contexts down for
+// maintenance. Unlike DropAllSessions the link layer gets to say
+// goodbye; the session closes when LCP finishes.
+func (op *Operator) TerminatePPP(reason string) {
+	for _, sess := range op.sessionsSnapshot() {
+		sess.srv.Terminate(reason)
+	}
+}
+
+// sessionsSnapshot returns the active sessions sorted by subscriber
+// address: map iteration order must not leak into event order when a
+// caller acts on all sessions (determinism).
 func (op *Operator) sessionsSnapshot() []*session {
 	out := make([]*session, 0, len(op.sessions))
 	for _, s := range op.sessions {
 		out = append(out, s)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr.Less(out[j].addr) })
 	return out
 }
 

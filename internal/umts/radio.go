@@ -61,6 +61,7 @@ type radioDir struct {
 
 	busy        bool
 	paused      bool
+	scale       float64  // fault-injection rate multiplier; 1 = nominal
 	queue       [][]byte // ring: waiting chunks are queue[head:]
 	head        int
 	queuedBytes int
@@ -95,7 +96,7 @@ type radioDir struct {
 func newRadioDir(loop *sim.Loop, rng *rand.Rand, name string, cfg RadioDirConfig, deliver func([]byte)) *radioDir {
 	reg := loop.Metrics()
 	d := &radioDir{
-		loop: loop, rng: rng, cfg: cfg, deliver: deliver,
+		loop: loop, rng: rng, cfg: cfg, deliver: deliver, scale: 1,
 		mTxChunks:  reg.Counter(name + "/tx_chunks"),
 		mTxBytes:   reg.Counter(name + "/tx_bytes"),
 		mDrops:     reg.Counter(name + "/queue_drops"),
@@ -139,7 +140,10 @@ func (d *radioDir) transmit(p []byte) {
 	d.busy = true
 	var txDur time.Duration
 	if d.cfg.RateBps > 0 {
-		txDur = time.Duration(float64(len(p)*8) / d.cfg.RateBps * float64(time.Second))
+		// scale is 1 outside fault windows; multiplying by 1.0 is an
+		// exact identity in IEEE arithmetic, so the fault knob costs
+		// nothing in determinism when unused.
+		txDur = time.Duration(float64(len(p)*8) / (d.cfg.RateBps * d.scale) * float64(time.Second))
 	}
 	d.inflight = p
 	d.loop.After(txDur, d.txDoneFn)
@@ -225,6 +229,11 @@ func (d *radioDir) next() {
 // setRate changes the bearer rate; queued chunks are transmitted at the
 // new rate, the chunk in flight finishes at the old one.
 func (d *radioDir) setRate(bps float64) { d.cfg.RateBps = bps }
+
+// setScale applies a fault-injection multiplier on top of the bearer
+// rate (rate fade); rate adaptation keeps operating on the nominal
+// RateBps underneath.
+func (d *radioDir) setScale(s float64) { d.scale = s }
 
 // pause suspends new transmissions (channel fade). The chunk in flight
 // completes.

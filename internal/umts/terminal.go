@@ -52,6 +52,12 @@ func (t *Terminal) Dial(apn string, done func(modem.DataBearer, error)) {
 		return
 	}
 	t.pendingDial = t.op.loop.After(t.op.cfg.AttachTime, func() {
+		// Registration may have been lost while the attach was pending
+		// (fault injection); the network then rejects the activation.
+		if t.reg != modem.RegHome && t.reg != modem.RegRoaming {
+			done(nil, ErrNotRegistered)
+			return
+		}
 		if apn != "" && apn != t.op.cfg.APN {
 			done(nil, ErrBadAPN)
 			return
@@ -74,6 +80,24 @@ func (t *Terminal) HangUp() {
 		t.op.closeSession(t.sess, "terminal hangup", false)
 	}
 }
+
+// LoseRegistration drops the terminal off the network (coverage loss):
+// any active session closes with NO CARRIER, +CREG reports "searching",
+// and dials fail with ErrNotRegistered until Reregister.
+func (t *Terminal) LoseRegistration(reason string) {
+	t.reg = modem.RegSearching
+	// A pending dial is left to run: its attach-time registration check
+	// rejects it with ErrNotRegistered, so the modem still gets its
+	// callback (and answers NO CARRIER) instead of hanging.
+	if t.sess != nil {
+		t.op.closeSession(t.sess, reason, true)
+	}
+}
+
+// Reregister restores network registration after LoseRegistration —
+// immediately, not after RegistrationTime: the fault schedule's window
+// end is the moment coverage returns.
+func (t *Terminal) Reregister() { t.reg = modem.RegHome }
 
 // SessionEvents returns the bearer event log of the active session (or
 // nil when idle). Used by `umts status` and the experiment harness.

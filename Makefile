@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-compare bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-analysis bench-compare bench-smoke
 
 all: build
 
@@ -55,6 +55,18 @@ bench-shard:
 # bench-smoke runs the same fault/recovery path once per verify.
 bench-fault:
 	$(GO) run ./cmd/experiments -bench-fault BENCH_fault.json -dur 60s
+
+# bench-analysis times the batch QoS decode against the streaming
+# decoder over identical paper-scale logs and records the evidence in
+# BENCH_analysis.json: exact-mode streaming is byte-identical to batch,
+# sketch mode matches on everything but the four estimated percentiles
+# (each within the declared error bound), the stream decoder retains
+# O(windows + flows) bytes vs the batch pipeline's O(packets) logs, and
+# the single streaming pass costs no more wall time than sort + decode.
+# The committed artifact is validated by bench_analysis_schema_test.go
+# on every `make test`.
+bench-analysis:
+	$(GO) run ./cmd/experiments -bench-analysis BENCH_analysis.json -dur 120s
 
 # bench-compare re-measures the scheduler benchmark with the same
 # parameters as bench-sched and fails when the shipping configuration

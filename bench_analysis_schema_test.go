@@ -1,0 +1,110 @@
+package umtslab_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchAnalysisArtifact validates the committed `make bench-analysis`
+// artifact: the streaming QoS pipeline's headline claims must be on
+// record. Exactness — the exact-mode stream decoder reproduced the batch
+// decode byte-for-byte, and sketch mode matched on everything but the
+// four estimated percentiles, each within the declared relative-error
+// bound. Memory — the stream decoder retained O(windows + flows) bytes,
+// a small fraction of the per-packet logs the batch pipeline must keep.
+// Speed — the single streaming pass was not slower than sort + batch
+// decode beyond a small tolerance. The artifact is static, so the test
+// is deterministic; regenerate it with `make bench-analysis` after
+// touching the stream decoder, the batch decoder, or the sketch.
+func TestBenchAnalysisArtifact(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_analysis.json")
+	if err != nil {
+		t.Fatalf("BENCH_analysis.json missing (run `make bench-analysis`): %v", err)
+	}
+	var rep struct {
+		NumCPU              *int     `json:"num_cpu"`
+		GOMAXPROCS          *int     `json:"gomaxprocs"`
+		Workload            string   `json:"workload"`
+		FlowS               float64  `json:"flow_duration_s"`
+		Flows               int      `json:"flows"`
+		Windows             int      `json:"windows"`
+		PacketsSent         int      `json:"packets_sent"`
+		PacketsReceived     int      `json:"packets_received"`
+		Echoes              int      `json:"echoes"`
+		DecodeReps          int      `json:"decode_reps"`
+		BatchWallS          float64  `json:"batch_decode_wall_s"`
+		StreamWallS         float64  `json:"stream_decode_wall_s"`
+		WallRatio           *float64 `json:"wall_ratio"`
+		BatchRetainedBytes  int      `json:"batch_retained_bytes"`
+		StreamRetainedBytes *int     `json:"stream_retained_bytes"`
+		SketchRelErr        *float64 `json:"sketch_rel_err"`
+		P95DelayErr         *float64 `json:"p95_delay_err"`
+		P99DelayErr         *float64 `json:"p99_delay_err"`
+		P95RTTErr           *float64 `json:"p95_rtt_err"`
+		P99RTTErr           *float64 `json:"p99_rtt_err"`
+		CountsIdentical     *bool    `json:"counts_identical"`
+		ExactIdentical      *bool    `json:"exact_identical"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_analysis.json does not parse: %v", err)
+	}
+	if rep.NumCPU == nil || *rep.NumCPU < 1 || rep.GOMAXPROCS == nil || *rep.GOMAXPROCS < 1 {
+		t.Error("num_cpu/gomaxprocs must record the measuring machine")
+	}
+	if rep.FlowS <= 0 || rep.DecodeReps < 1 || rep.BatchWallS <= 0 || rep.StreamWallS <= 0 {
+		t.Errorf("empty measurements: flow=%v reps=%d batch=%v stream=%v",
+			rep.FlowS, rep.DecodeReps, rep.BatchWallS, rep.StreamWallS)
+	}
+	if rep.PacketsSent < 10000 {
+		t.Errorf("packets_sent = %d; the artifact must measure a paper-scale log (>= 10000)", rep.PacketsSent)
+	}
+	if rep.PacketsReceived <= 0 || rep.PacketsReceived > rep.PacketsSent+rep.PacketsSent/10 {
+		t.Errorf("packets_received = %d implausible for %d sent", rep.PacketsReceived, rep.PacketsSent)
+	}
+	if rep.Windows < 2 || rep.Flows < 1 {
+		t.Errorf("windows=%d flows=%d: the log must span many windows", rep.Windows, rep.Flows)
+	}
+	if rep.ExactIdentical == nil || !*rep.ExactIdentical {
+		t.Error("exact_identical must be recorded true: the exact-mode stream decode must reproduce batch byte-for-byte")
+	}
+	if rep.CountsIdentical == nil || !*rep.CountsIdentical {
+		t.Error("counts_identical must be recorded true: sketch mode may only differ on the four estimated percentiles")
+	}
+	if rep.SketchRelErr == nil || *rep.SketchRelErr <= 0 || *rep.SketchRelErr > 0.05 {
+		t.Fatal("sketch_rel_err must record the configured bound (0, 0.05]")
+	}
+	// The sketch guarantees (1 +/- relErr) per estimate; allow a hair of
+	// slack for the rank-vs-value discretization at these sample counts.
+	bound := *rep.SketchRelErr + 0.005
+	for name, e := range map[string]*float64{
+		"p95_delay_err": rep.P95DelayErr, "p99_delay_err": rep.P99DelayErr,
+		"p95_rtt_err": rep.P95RTTErr, "p99_rtt_err": rep.P99RTTErr,
+	} {
+		if e == nil {
+			t.Errorf("%s missing from the artifact", name)
+		} else if *e < 0 || *e > bound {
+			t.Errorf("%s = %v, want within the declared sketch bound %v", name, *e, bound)
+		}
+	}
+	if rep.StreamRetainedBytes == nil || *rep.StreamRetainedBytes <= 0 {
+		t.Fatal("stream_retained_bytes must be recorded")
+	}
+	// The memory claim, both relatively (the whole point of streaming)
+	// and absolutely: an O(windows + flows) envelope with generous
+	// per-window / per-flow constants, independent of packet count.
+	if *rep.StreamRetainedBytes*4 >= rep.BatchRetainedBytes {
+		t.Errorf("stream retained %d B vs batch %d B: streaming must retain at most a quarter of the logs",
+			*rep.StreamRetainedBytes, rep.BatchRetainedBytes)
+	}
+	if envelope := rep.Windows*200 + rep.Flows*20000 + 131072; *rep.StreamRetainedBytes >= envelope {
+		t.Errorf("stream retained %d B, exceeding the O(windows + flows) envelope %d B",
+			*rep.StreamRetainedBytes, envelope)
+	}
+	if rep.WallRatio == nil {
+		t.Fatal("wall_ratio missing from the artifact")
+	}
+	if *rep.WallRatio > 1.25 {
+		t.Errorf("wall_ratio = %.2f: the streaming pass must not cost more than 1.25x the batch decode", *rep.WallRatio)
+	}
+}

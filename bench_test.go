@@ -365,6 +365,29 @@ func BenchmarkITGDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamDecode feeds the same 120 s, 122 pps flow through the
+// constant-memory streaming decoder (sketch-mode percentiles); compare
+// ns/op against BenchmarkITGDecode for the cost of analyzing one record
+// at a time instead of post-hoc. Its presence in the bench-smoke gate
+// keeps the streaming path exercised on every verify.
+func BenchmarkStreamDecode(b *testing.B) {
+	sent := &itg.Log{}
+	recv := &itg.Log{}
+	for i := 0; i < 14640; i++ {
+		tx := time.Duration(i) * 8196721 * time.Nanosecond
+		sent.Add(itg.Record{Seq: uint32(i), Size: 1024, TxTime: tx})
+		if i%3 != 0 {
+			recv.Add(itg.Record{Seq: uint32(i), Size: 1024, TxTime: tx, RxTime: tx + 500*time.Millisecond})
+		}
+	}
+	b.ResetTimer()
+	var res *itg.Result
+	for i := 0; i < b.N; i++ {
+		res = itg.DecodeStream(sent, recv, nil, 200*time.Millisecond)
+	}
+	b.ReportMetric(float64(res.Lost), "lost")
+}
+
 func BenchmarkDialUp(b *testing.B) {
 	// Full bring-up: registration, AT chat, PPP negotiation, rules.
 	for i := 0; i < b.N; i++ {

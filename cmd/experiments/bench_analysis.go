@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/stats"
+)
+
+// analysisBenchReport is the `make bench-analysis` artifact: the batch
+// reference decoder and the streaming decoder timed over the same
+// paper-scale logs, with the memory each pipeline retains and the
+// sketch's percentile error against the exact values. The schema test
+// at the repo root gates the headline claims — streamed counts
+// byte-identical to batch, O(windows + flows) retention, bounded
+// percentile error, no wall-time regression.
+type analysisBenchReport struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string `json:"workload"`
+	// FlowS is each synthetic flow's duration; Flows is how many flows
+	// share one decoder (they share its window accumulators and sketch,
+	// each keeping a private duplicate bitmap).
+	FlowS   float64 `json:"flow_duration_s"`
+	Flows   int     `json:"flows"`
+	Windows int     `json:"windows"`
+	// Totals across all flows.
+	PacketsSent     int `json:"packets_sent"`
+	PacketsReceived int `json:"packets_received"`
+	Echoes          int `json:"echoes"`
+	// DecodeReps full decodes were timed per pipeline.
+	DecodeReps  int     `json:"decode_reps"`
+	BatchWallS  float64 `json:"batch_decode_wall_s"`
+	StreamWallS float64 `json:"stream_decode_wall_s"`
+	// WallRatio is stream over batch per decode (<= 1 means the single
+	// streaming pass is no slower than sort + decode).
+	WallRatio float64 `json:"wall_ratio"`
+	// BatchRetainedBytes is what the batch pipeline must keep until the
+	// run ends (the three per-packet logs); StreamRetainedBytes is the
+	// stream decoder's whole footprint after ingesting the same records.
+	BatchRetainedBytes  int `json:"batch_retained_bytes"`
+	StreamRetainedBytes int `json:"stream_retained_bytes"`
+	// SketchRelErr is the configured bound; the four errors are the
+	// observed |sketch - exact| / exact for each estimated percentile.
+	SketchRelErr float64 `json:"sketch_rel_err"`
+	P95DelayErr  float64 `json:"p95_delay_err"`
+	P99DelayErr  float64 `json:"p99_delay_err"`
+	P95RTTErr    float64 `json:"p95_rtt_err"`
+	P99RTTErr    float64 `json:"p99_rtt_err"`
+	// CountsIdentical: sketch-mode stream result equals batch on every
+	// field except the four sketched percentiles. ExactIdentical:
+	// exact-mode stream result equals batch on every field.
+	CountsIdentical bool `json:"counts_identical"`
+	ExactIdentical  bool `json:"exact_identical"`
+}
+
+// benchAnalysisLogs synthesizes paper-scale ITG logs: `flows` CBR
+// 1 Mbps-like flows (1024 B x 122 pps, as in Figures 4-7) with jittered
+// delays, ~8% loss, occasional duplicates, and an echo per delivery.
+// The receiver log is interleaved across flows and left unsorted, so
+// both pipelines pay the same reordering cost they would on a merged
+// multi-flow capture.
+func benchAnalysisLogs(seed int64, flows int, flowDur time.Duration) (sent, recv, echo *itg.Log) {
+	rng := rand.New(rand.NewSource(seed))
+	sent, recv, echo = &itg.Log{}, &itg.Log{}, &itg.Log{}
+	const period = 8196721 * time.Nanosecond // 122 pps
+	perFlow := int(flowDur / period)
+	for i := 0; i < perFlow; i++ {
+		for f := 0; f < flows; f++ {
+			tx := time.Duration(i)*period + time.Duration(f)*2*time.Millisecond
+			rec := itg.Record{FlowID: uint32(f + 1), Seq: uint32(i), Size: 1024, TxTime: tx}
+			sent.Add(rec)
+			if rng.Float64() < 0.08 {
+				continue // lost
+			}
+			delay := 60*time.Millisecond + time.Duration(rng.Int63n(int64(120*time.Millisecond)))
+			rec.RxTime = tx + delay
+			recv.Add(rec)
+			if rng.Float64() < 0.01 {
+				recv.Add(rec) // duplicate delivery
+			}
+			rtt := delay + 30*time.Millisecond + time.Duration(rng.Int63n(int64(60*time.Millisecond)))
+			echo.Add(itg.Record{FlowID: rec.FlowID, Seq: rec.Seq, Size: rec.Size, TxTime: tx, RxTime: tx + rtt})
+		}
+	}
+	return sent, recv, echo
+}
+
+// relErrOf is the observed relative error of a sketched duration
+// against its exact value (0 when both are zero).
+func relErrOf(got, exact time.Duration) float64 {
+	if exact == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(got-exact)) / math.Abs(float64(exact))
+}
+
+// benchAnalysis measures batch vs streaming QoS analysis over identical
+// logs and writes the comparison as JSON (the `make bench-analysis`
+// artifact).
+func benchAnalysis(path string, seed int64) error {
+	const (
+		flows  = 4
+		window = 200 * time.Millisecond
+		reps   = 50
+	)
+	sent, recv, echo := benchAnalysisLogs(seed, flows, dur)
+
+	// Reference decode plus the two streaming flavors, for equivalence.
+	batch := itg.Decode(sent, recv, echo, window)
+	exact := itg.DecodeStream(sent, recv, echo, window, itg.WithExactPercentiles())
+	sketchDec := itg.NewStreamDecoder(window)
+	sketchDec.FeedLogs(sent, recv, echo)
+	sketch := sketchDec.Finalize()
+
+	stripped := func(r *itg.Result) itg.Result {
+		c := *r
+		c.P95Delay, c.P99Delay, c.P95RTT, c.P99RTT = 0, 0, 0, 0
+		return c
+	}
+	countsIdentical := reflect.DeepEqual(stripped(sketch), stripped(batch))
+	exactIdentical := reflect.DeepEqual(exact, batch)
+
+	// Timed decodes: the batch pipeline re-decodes the retained logs,
+	// the streaming pipeline replays the same records through a fresh
+	// sketch-mode decoder.
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		itg.Decode(sent, recv, echo, window)
+	}
+	batchWall := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		itg.DecodeStream(sent, recv, echo, window)
+	}
+	streamWall := time.Since(t0)
+
+	rep := analysisBenchReport{
+		NumCPU:              runtime.NumCPU(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Workload:            fmt.Sprintf("synthetic CBR 1 Mbps x%d", flows),
+		FlowS:               dur.Seconds(),
+		Flows:               flows,
+		Windows:             len(batch.Windows),
+		PacketsSent:         sent.Len(),
+		PacketsReceived:     recv.Len(),
+		Echoes:              echo.Len(),
+		DecodeReps:          reps,
+		BatchWallS:          batchWall.Seconds(),
+		StreamWallS:         streamWall.Seconds(),
+		WallRatio:           streamWall.Seconds() / batchWall.Seconds(),
+		BatchRetainedBytes:  sent.RetainedBytes() + recv.RetainedBytes() + echo.RetainedBytes(),
+		StreamRetainedBytes: sketchDec.RetainedBytes(),
+		SketchRelErr:        stats.DefaultSketchRelErr,
+		P95DelayErr:         relErrOf(sketch.P95Delay, batch.P95Delay),
+		P99DelayErr:         relErrOf(sketch.P99Delay, batch.P99Delay),
+		P95RTTErr:           relErrOf(sketch.P95RTT, batch.P95RTT),
+		P99RTTErr:           relErrOf(sketch.P99RTT, batch.P99RTT),
+		CountsIdentical:     countsIdentical,
+		ExactIdentical:      exactIdentical,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-analysis: %d pkts over %d windows: batch %.3f s / %d B retained, stream %.3f s / %d B retained (x%.2f wall, x%.0f memory), exact=%v counts=%v -> %s\n",
+		rep.PacketsSent, rep.Windows, rep.BatchWallS, rep.BatchRetainedBytes,
+		rep.StreamWallS, rep.StreamRetainedBytes, rep.WallRatio,
+		float64(rep.BatchRetainedBytes)/float64(rep.StreamRetainedBytes),
+		exactIdentical, countsIdentical, path)
+	return nil
+}

@@ -10,10 +10,11 @@
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
 //	            [-cells K] [-terminals M] [-shards S]
+//	            [-analysis batch|stream|stream-only]
 //	            [-fault-profile name] [-self-heal]
 //	            [-bench-parallel file] [-bench-sched file]
 //	            [-bench-shard file] [-bench-sched-compare file]
-//	            [-bench-fault file]
+//	            [-bench-fault file] [-bench-analysis file]
 //	            [-cpuprofile file] [-memprofile file] [-v]
 //
 // With -reps N each experiment is repeated on N independently seeded
@@ -43,6 +44,16 @@
 // run, then runs the drops preset under self-healing and records the
 // outage, redial, and delivery accounting as JSON (the `make
 // bench-fault` artifact).
+//
+// -analysis selects the QoS pipeline: batch (the reference post-hoc
+// decode of retained per-packet logs), stream (batch plus a live
+// constant-memory stream decoder, for differential comparison), or
+// stream-only (per-packet logs dropped; analysis memory stays
+// O(windows + flows) however long the flow runs). -bench-analysis
+// times batch vs streaming decode over identical paper-scale logs,
+// records the retained bytes and the quantile sketch's observed
+// percentile error, and writes the comparison as JSON (the `make
+// bench-analysis` artifact).
 //
 // -cells K switches to the scale-out scenario instead of the paper
 // figures: K cells x M terminals (-terminals) run as one simulation,
@@ -105,10 +116,11 @@ type cellKey struct {
 }
 
 var (
-	cache      = map[cellKey]*testbed.ExperimentResult{}
-	dur        time.Duration
-	faultSched fault.Schedule
-	selfHeal   bool
+	cache       = map[cellKey]*testbed.ExperimentResult{}
+	dur         time.Duration
+	faultSched  fault.Schedule
+	selfHeal    bool
+	analysisCfg testbed.AnalysisConfig
 )
 
 // cellScenario builds the Scenario for one (workload, path) cell at the
@@ -118,6 +130,7 @@ func cellScenario(seed int64, wl testbed.Workload, path testbed.Path) *testbed.S
 		testbed.WithSeed(seed), testbed.WithPath(path),
 		testbed.WithWorkload(wl), testbed.WithDuration(dur),
 		testbed.WithFaults(faultSched),
+		testbed.WithAnalysis(analysisCfg),
 	}
 	if selfHeal {
 		opts = append(opts, testbed.WithSelfHeal(nil))
@@ -231,6 +244,8 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
 	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards, write JSON to this file, and exit")
 	benchSchedCmp := flag.String("bench-sched-compare", "", "re-measure the scheduler benchmark and fail if wheel_pool wall time regressed >25% vs this committed JSON")
+	analysisFlag := flag.String("analysis", "batch", "QoS pipeline: batch (reference), stream (batch + live stream decoder), stream-only (constant-memory, per-packet logs dropped)")
+	benchAnalysisOut := flag.String("bench-analysis", "", "time batch vs streaming decode over identical paper-scale logs, write JSON to this file, and exit")
 	faultProfile := flag.String("fault-profile", "none", "deterministic fault preset injected into every run: none, drops, fades, degrade, regloss, flaps, flaky")
 	selfHealFlag := flag.Bool("self-heal", false, "run the umts backend in recover mode (supervised redial instead of failing the slice)")
 	benchFaultOut := flag.String("bench-fault", "", "prove empty-schedule transparency, run the drops preset under self-healing, write JSON to this file, and exit")
@@ -241,6 +256,11 @@ func main() {
 	selfHeal = *selfHealFlag
 	var err error
 	faultSched, err = fault.Preset(*faultProfile, *seed, dur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	analysisCfg.Mode, err = testbed.ParseAnalysisMode(*analysisFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
@@ -312,6 +332,14 @@ func main() {
 	if *benchShardOut != "" {
 		if err := benchShard(*benchShardOut, *seed, *cells, *terminals, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchAnalysisOut != "" {
+		if err := benchAnalysis(*benchAnalysisOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-analysis: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -850,6 +878,7 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 		Seed: seed, Cells: cells, Terminals: terminals,
 		Shards: shards, Duration: dur,
 		Faults: faultSched, SelfHeal: selfHeal,
+		Analysis: analysisCfg,
 	}
 	res, err := testbed.RunMultiCell(opts)
 	if err != nil {
@@ -869,6 +898,11 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 			f.Cell, f.Terminal, f.SetupTime.Seconds(),
 			f.Decoded.Sent, f.Decoded.Received, f.Decoded.AvgBitrateKbps,
 			ms(f.Decoded.AvgJitter), ms(f.Decoded.AvgRTT))
+	}
+	merged := metrics.MergeSnapshots(res.Snapshots...)
+	if b := merged.GaugeSum("itg/stream/", "/retained_bytes"); b > 0 {
+		fmt.Printf("\nstreaming analysis (%v): %d records streamed, %.0f B retained across %d decoders\n",
+			opts.Analysis.Mode, merged.Counters["itg/records_streamed"], b, len(res.Flows))
 	}
 	return nil
 }

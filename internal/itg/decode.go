@@ -15,6 +15,11 @@ type WindowStats struct {
 	// Start of the window.
 	T time.Duration
 	// Packets/Bytes received (payload bytes, as D-ITG counts them).
+	// Duplicate-delivery policy: a re-delivered (flow, seq) counts
+	// again here — the window really did receive those bytes — but
+	// never in Loss, which only asks whether each sent packet arrived
+	// at least once. Both decoders (Decode and StreamDecoder) pin this
+	// policy and are tested to agree on it.
 	Packets int
 	Bytes   int
 	// BitrateKbps is the received payload rate in the window.
@@ -117,9 +122,16 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 		return i
 	}
 
-	// Received packets: bitrate, delay, jitter (arrival order).
-	arrivals := append([]Record(nil), recv.Records...)
-	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].RxTime < arrivals[j].RxTime })
+	// Received packets: bitrate, delay, jitter (arrival order). Live
+	// captures are already RxTime-ordered — a receiver logs at its
+	// loop's monotone virtual time — so detect that in O(n) and skip
+	// the copy + stable sort. A non-decreasing log fed in place is
+	// exactly what the stable sort would produce (ties keep log order).
+	arrivals := recv.Records
+	if !sortedByRxTime(arrivals) {
+		arrivals = append([]Record(nil), recv.Records...)
+		sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].RxTime < arrivals[j].RxTime })
+	}
 	type acc struct {
 		jitterSum time.Duration
 		jitterN   int
@@ -133,10 +145,10 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 		flow uint32
 		seq  uint32
 	}
-	received := make(map[flowSeq]bool, len(arrivals))
+	received := make(map[flowSeq]struct{}, len(arrivals))
 	delaySamples := make([]float64, 0, len(arrivals))
 	for _, r := range arrivals {
-		received[flowSeq{r.FlowID, r.Seq}] = true
+		received[flowSeq{r.FlowID, r.Seq}] = struct{}{}
 		i := widx(r.RxTime)
 		w := &res.Windows[i]
 		w.Packets++
@@ -162,7 +174,7 @@ func Decode(sent, recv, echo *Log, window time.Duration) *Result {
 
 	// Losses, by departure window.
 	for _, r := range sent.Records {
-		if !received[flowSeq{r.FlowID, r.Seq}] {
+		if _, ok := received[flowSeq{r.FlowID, r.Seq}]; !ok {
 			res.Lost++
 			res.Windows[widx(r.TxTime)].Loss++
 		}
@@ -308,6 +320,18 @@ func (r *Result) Summary() string {
 			r.P99RTT.Seconds()*1000, r.MaxRTT.Seconds()*1000)
 	}
 	return b.String()
+}
+
+// sortedByRxTime reports whether the records are already in
+// non-decreasing RxTime order (one O(n) pass; shared by Decode's
+// fast path and StreamDecoder.FeedLogs).
+func sortedByRxTime(records []Record) bool {
+	for i := 1; i < len(records); i++ {
+		if records[i].RxTime < records[i-1].RxTime {
+			return false
+		}
+	}
+	return true
 }
 
 func max1(v float64) float64 {

@@ -100,15 +100,26 @@ type Sender struct {
 	spec FlowSpec
 	send SendFunc
 
-	mSent   *metrics.Counter
-	mEchoed *metrics.Counter
-	mErrors *metrics.Counter
+	mSent     *metrics.Counter
+	mEchoed   *metrics.Counter
+	mErrors   *metrics.Counter
+	mStreamed *metrics.Counter
+	mDropped  *metrics.Counter
 
 	// SentLog records every transmitted data packet.
 	SentLog Log
 	// EchoLog records reflected packets (MeterRTT): TxTime is the
 	// original departure, RxTime the echo arrival.
 	EchoLog Log
+	// Stream, when non-nil, receives every sent and echo record at the
+	// moment it is logged (AddSent/AddEcho) — set it before Start, on
+	// the decoder built for this flow. Streaming does not perturb the
+	// simulation: no timers, no randomness, only accumulator updates.
+	Stream *StreamDecoder
+	// DropLogs skips appending to SentLog/EchoLog, making the sender's
+	// analysis memory constant — only meaningful with Stream set, since
+	// otherwise the records are simply lost.
+	DropLogs bool
 	// OnDone fires once generation finishes (all departures scheduled
 	// within Duration are sent).
 	OnDone func()
@@ -130,9 +141,11 @@ func NewSender(loop *sim.Loop, name string, spec FlowSpec, send SendFunc) *Sende
 		rng:     loop.RNG("itg/" + name),
 		spec:    spec,
 		send:    send,
-		mSent:   reg.Counter("itg/packets_sent"),
-		mEchoed: reg.Counter("itg/echoes_received"),
-		mErrors: reg.Counter("itg/send_errors"),
+		mSent:     reg.Counter("itg/packets_sent"),
+		mEchoed:   reg.Counter("itg/echoes_received"),
+		mErrors:   reg.Counter("itg/send_errors"),
+		mStreamed: reg.Counter("itg/records_streamed"),
+		mDropped:  reg.Counter("itg/log_records_dropped"),
 	}
 	s.emitFn = s.emit
 	return s
@@ -191,7 +204,16 @@ func (s *Sender) emit() {
 		s.SendErrors++
 		s.mErrors.Inc()
 	}
-	s.SentLog.Add(Record{FlowID: s.spec.FlowID, Seq: s.seq, Size: size, TxTime: now})
+	rec := Record{FlowID: s.spec.FlowID, Seq: s.seq, Size: size, TxTime: now}
+	if s.Stream != nil {
+		s.Stream.AddSent(rec)
+		s.mStreamed.Inc()
+	}
+	if s.DropLogs {
+		s.mDropped.Inc()
+	} else {
+		s.SentLog.Add(rec)
+	}
 	s.mSent.Inc()
 	s.seq++
 
@@ -217,10 +239,19 @@ func (s *Sender) HandleEcho(pkt *netsim.Packet) {
 	if err != nil || kind != KindEcho || flowID != s.spec.FlowID {
 		return
 	}
-	s.EchoLog.Add(Record{
+	rec := Record{
 		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
 		TxTime: txTime, RxTime: s.loop.Now(),
-	})
+	}
+	if s.Stream != nil {
+		s.Stream.AddEcho(rec)
+		s.mStreamed.Inc()
+	}
+	if s.DropLogs {
+		s.mDropped.Inc()
+	} else {
+		s.EchoLog.Add(rec)
+	}
 	s.mEchoed.Inc()
 	// The sender terminates the echo: recycle its payload (Put ignores
 	// buffers that did not come from the pool).
@@ -236,11 +267,21 @@ type Receiver struct {
 	reply SendFunc
 	// RecvLog records every data packet received.
 	RecvLog Log
+	// Stream, when non-nil, receives every arrival record as it is
+	// logged (AddRecv) — the receiver's loop time is monotone, so the
+	// feed satisfies the decoder's RxTime-order contract for free. The
+	// decoder may simultaneously be fed by the flow's Sender from
+	// another shard loop; the two sides touch disjoint state.
+	Stream *StreamDecoder
+	// DropLogs skips appending to RecvLog (see Sender.DropLogs).
+	DropLogs bool
 	// Malformed counts packets that did not carry an ITG header.
 	Malformed uint64
 
-	mRecv   *metrics.Counter
-	mEchoed *metrics.Counter
+	mRecv     *metrics.Counter
+	mEchoed   *metrics.Counter
+	mStreamed *metrics.Counter
+	mDropped  *metrics.Counter
 }
 
 // NewReceiver creates a receiver; reply (may be nil) is used to send
@@ -249,8 +290,10 @@ func NewReceiver(loop *sim.Loop, reply SendFunc) *Receiver {
 	reg := loop.Metrics()
 	return &Receiver{
 		loop: loop, reply: reply,
-		mRecv:   reg.Counter("itg/packets_received"),
-		mEchoed: reg.Counter("itg/packets_echoed"),
+		mRecv:     reg.Counter("itg/packets_received"),
+		mEchoed:   reg.Counter("itg/packets_echoed"),
+		mStreamed: reg.Counter("itg/records_streamed"),
+		mDropped:  reg.Counter("itg/log_records_dropped"),
 	}
 }
 
@@ -265,10 +308,19 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	if kind&^flagEchoRequest != KindData {
 		return // stray echo, not ours to log
 	}
-	r.RecvLog.Add(Record{
+	rec := Record{
 		FlowID: flowID, Seq: seq, Size: len(pkt.Payload),
 		TxTime: txTime, RxTime: r.loop.Now(),
-	})
+	}
+	if r.Stream != nil {
+		r.Stream.AddRecv(rec)
+		r.mStreamed.Inc()
+	}
+	if r.DropLogs {
+		r.mDropped.Inc()
+	} else {
+		r.RecvLog.Add(rec)
+	}
 	r.mRecv.Inc()
 	size := len(pkt.Payload)
 	if kind&flagEchoRequest != 0 && r.reply != nil {

@@ -84,6 +84,12 @@ func (l *Log) Add(r Record) { l.Records = append(l.Records, r) }
 // Len returns the number of records.
 func (l *Log) Len() int { return len(l.Records) }
 
+// RetainedBytes reports the memory the log pins: the backing array of
+// Records (32 bytes each — two uint32, one int, two time.Duration).
+// This is the O(packets) cost the streaming decoder exists to avoid;
+// the analysis benchmark records it next to the decoder's footprint.
+func (l *Log) RetainedBytes() int { return 32 * cap(l.Records) }
+
 // logMagic identifies the binary log format ("ITGL" + version 1).
 var logMagic = [4]byte{'I', 'T', 'G', 1}
 

@@ -1,0 +1,506 @@
+package itg
+
+import (
+	"sort"
+	"time"
+
+	"github.com/onelab/umtslab/internal/stats"
+)
+
+// StreamDecoder is the online counterpart of Decode: records are fed
+// one at a time as they are logged, and per-window accumulators are
+// maintained incrementally, so a flow's QoS report costs
+// O(windows + flows) memory instead of the batch decoder's O(packets).
+// Duplicate deliveries are detected with a per-flow sliding sequence
+// bitmap (span WithReorderSpan, default 4096 sequence numbers) rather
+// than a map keyed by every packet ever received, and tail percentiles
+// come from a bounded-relative-error quantile sketch
+// (stats.QuantileSketch) unless WithExactPercentiles retains the raw
+// samples for differential testing.
+//
+// Equivalence with Decode. Finalize reproduces the batch result
+// field-for-field — counts, bytes, per-window means, loss, totals —
+// provided the feed respects the same ordering the batch decoder
+// manufactures with its stable sort:
+//
+//   - AddRecv must be called in non-decreasing RxTime order, ties in
+//     log order. A receiver on a sim loop satisfies this for free —
+//     virtual time is monotone and ties arrive in processing order,
+//     which is exactly the order the batch decoder's stable sort
+//     reconstructs from the log.
+//   - AddSent and AddEcho are order-insensitive (sums, maxima, and
+//     per-window tallies only), so any log order works.
+//
+// Loss is computed by per-window subtraction: packets sent in a
+// departure window minus distinct (flow, seq) first-arrivals whose
+// departure fell in that window. This matches the batch decoder
+// exactly whenever every received record has a matching sent record
+// (always true for Sender/Receiver pairs) and first arrivals are not
+// reordered across more than the bitmap span (LateArrivals counts
+// violations; the in-order simulation never produces any).
+//
+// Concurrency. The sent/echo side and the recv side touch disjoint
+// state, so one goroutine may call AddSent/AddEcho while another calls
+// AddRecv — the multi-cell testbed feeds a sender's shard and the
+// server's shard concurrently this way. Calls to the same method must
+// be externally serialized, and Finalize must only run after all
+// feeding is done (the shard engine's Run provides both guarantees).
+type StreamDecoder struct {
+	window time.Duration
+	start  time.Duration
+	exact  bool
+	relErr float64
+	span   uint32
+
+	recv streamRecvAcc
+	sent streamSentAcc
+	echo streamEchoAcc
+}
+
+// StreamOption configures a StreamDecoder.
+type StreamOption func(*StreamDecoder)
+
+// WithStart rebases every fed record by start on the fly, mirroring
+// Log.Rebase: TxTime is always shifted, RxTime only when non-zero.
+// This lets live feeds align window 0 with the flow start without
+// materializing rebased log copies.
+func WithStart(start time.Duration) StreamOption {
+	return func(d *StreamDecoder) { d.start = start }
+}
+
+// WithExactPercentiles retains every delay/RTT sample so Finalize
+// computes P95/P99 exactly as the batch decoder does (one sort per
+// series). This reintroduces O(packets) memory — it exists for
+// differential testing, not production monitoring.
+func WithExactPercentiles() StreamOption {
+	return func(d *StreamDecoder) { d.exact = true }
+}
+
+// WithSketchRelErr sets the quantile sketch's relative error bound
+// (default stats.DefaultSketchRelErr; ignored in exact mode).
+func WithSketchRelErr(relErr float64) StreamOption {
+	return func(d *StreamDecoder) { d.relErr = relErr }
+}
+
+// WithReorderSpan sets how many consecutive sequence numbers the
+// per-flow duplicate bitmap tracks (rounded up to a power of two,
+// default 4096 — 512 bytes per flow). A first arrival reordered behind
+// more than span newer packets is miscounted as a duplicate and tallied
+// in LateArrivals.
+func WithReorderSpan(n int) StreamOption {
+	return func(d *StreamDecoder) {
+		span := uint32(64)
+		for int(span) < n {
+			span <<= 1
+		}
+		d.span = span
+	}
+}
+
+// winAcc accumulates one window's arrival-side sums.
+type winAcc struct {
+	packets   int
+	bytes     int
+	delaySum  time.Duration
+	jitterSum time.Duration
+	jitterN   int
+}
+
+// flowDedup is one flow's sliding window of received sequence numbers:
+// a circular bitmap of span bits covering [base, base+span), with max
+// the highest sequence seen. The circular invariant — every slot
+// outside [base, max] is zero — lets the window also extend DOWNWARD
+// (first arrival was not the flow's lowest seq) as long as max-base
+// stays under the span.
+type flowDedup struct {
+	inited bool
+	base   uint32
+	max    uint32
+	bits   []uint64
+}
+
+type streamRecvAcc struct {
+	maxT            time.Duration
+	wins            []winAcc
+	distinctByTxWin []int
+	flows           map[uint32]*flowDedup
+
+	received   int
+	distinct   int
+	late       int
+	haveLast   bool
+	lastDelay  time.Duration
+	totalDelay time.Duration
+	maxDelay   time.Duration
+	sketch     *stats.QuantileSketch
+	samples    []float64
+}
+
+type streamSentAcc struct {
+	maxT   time.Duration
+	perWin []int
+	total  int
+}
+
+type streamEchoAcc struct {
+	maxT     time.Duration
+	sums     []time.Duration
+	ns       []int
+	totalRTT time.Duration
+	maxRTT   time.Duration
+	count    int
+	sketch   *stats.QuantileSketch
+	samples  []float64
+}
+
+// NewStreamDecoder returns a decoder for the given sample window
+// (<= 0 selects the paper's 200 ms, like Decode).
+func NewStreamDecoder(window time.Duration, opts ...StreamOption) *StreamDecoder {
+	if window <= 0 {
+		window = 200 * time.Millisecond
+	}
+	d := &StreamDecoder{window: window, relErr: stats.DefaultSketchRelErr, span: 4096}
+	for _, o := range opts {
+		o(d)
+	}
+	d.recv.flows = make(map[uint32]*flowDedup)
+	if !d.exact {
+		d.recv.sketch = stats.NewQuantileSketch(d.relErr)
+		d.echo.sketch = stats.NewQuantileSketch(d.relErr)
+	}
+	return d
+}
+
+// Window returns the decoder's sample window.
+func (d *StreamDecoder) Window() time.Duration { return d.window }
+
+// widx maps a (rebased) time to a window index with the batch
+// decoder's lower clamp. There is no upper clamp: windows grow with
+// the feed, and Finalize sizes the output to the global horizon.
+func (d *StreamDecoder) widx(t time.Duration) int {
+	i := int(t / d.window)
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// AddSent feeds one transmitted-packet record (a SentLog entry).
+func (d *StreamDecoder) AddSent(r Record) {
+	tx := r.TxTime - d.start
+	if tx > d.sent.maxT {
+		d.sent.maxT = tx
+	}
+	i := d.widx(tx)
+	for i >= len(d.sent.perWin) {
+		d.sent.perWin = append(d.sent.perWin, 0)
+	}
+	d.sent.perWin[i]++
+	d.sent.total++
+}
+
+// AddRecv feeds one arrival record (a RecvLog entry). Calls must be in
+// non-decreasing RxTime order (see the type comment).
+func (d *StreamDecoder) AddRecv(r Record) {
+	a := &d.recv
+	tx := r.TxTime - d.start
+	rx := r.RxTime
+	if rx != 0 {
+		rx -= d.start
+	}
+	if rx > a.maxT {
+		a.maxT = rx
+	}
+	i := d.widx(rx)
+	for i >= len(a.wins) {
+		a.wins = append(a.wins, winAcc{})
+	}
+	w := &a.wins[i]
+	w.packets++
+	w.bytes += r.Size
+	delay := rx - tx
+	if d.exact {
+		a.samples = append(a.samples, float64(delay))
+	} else {
+		a.sketch.Add(float64(delay))
+	}
+	w.delaySum += delay
+	a.totalDelay += delay
+	if delay > a.maxDelay {
+		a.maxDelay = delay
+	}
+	if a.haveLast {
+		dv := delay - a.lastDelay
+		if dv < 0 {
+			dv = -dv
+		}
+		w.jitterSum += dv
+		w.jitterN++
+	}
+	a.lastDelay = delay
+	a.haveLast = true
+	a.received++
+
+	if a.markReceived(r.FlowID, r.Seq, d.span) {
+		a.distinct++
+		ti := d.widx(tx)
+		for ti >= len(a.distinctByTxWin) {
+			a.distinctByTxWin = append(a.distinctByTxWin, 0)
+		}
+		a.distinctByTxWin[ti]++
+	}
+}
+
+// markReceived records (flow, seq) in the flow's sliding bitmap and
+// reports whether this is its first delivery. Sequence numbers below
+// the bitmap's base — first arrivals reordered behind more than span
+// newer packets — cannot be distinguished from duplicates and are
+// conservatively treated as such (counted in late).
+func (a *streamRecvAcc) markReceived(flow, seq uint32, span uint32) bool {
+	f := a.flows[flow]
+	if f == nil {
+		f = &flowDedup{bits: make([]uint64, span/64)}
+		a.flows[flow] = f
+	}
+	if !f.inited {
+		f.inited = true
+		f.base, f.max = seq, seq
+	} else if seq < f.base {
+		if f.max-seq >= span {
+			// Beyond the reorder horizon: indistinguishable from a
+			// duplicate (its slot may alias a newer seq's bit).
+			a.late++
+			return false
+		}
+		f.base = seq
+	} else if seq > f.max {
+		if gap := seq - f.base; gap >= span {
+			// Slide the window forward, clearing the vacated bits.
+			newBase := seq - span + 1
+			if newBase-f.base >= span {
+				for i := range f.bits {
+					f.bits[i] = 0
+				}
+			} else {
+				for s := f.base; s != newBase; s++ {
+					idx := s & (span - 1)
+					f.bits[idx>>6] &^= 1 << (idx & 63)
+				}
+			}
+			f.base = newBase
+		}
+		f.max = seq
+	}
+	idx := seq & (span - 1)
+	word, bit := idx>>6, uint64(1)<<(idx&63)
+	if f.bits[word]&bit != 0 {
+		return false
+	}
+	f.bits[word] |= bit
+	return true
+}
+
+// AddEcho feeds one reflected-packet record (an EchoLog entry).
+func (d *StreamDecoder) AddEcho(r Record) {
+	a := &d.echo
+	tx := r.TxTime - d.start
+	rx := r.RxTime
+	if rx != 0 {
+		rx -= d.start
+	}
+	if rx > a.maxT {
+		a.maxT = rx
+	}
+	rtt := rx - tx
+	if d.exact {
+		a.samples = append(a.samples, float64(rtt))
+	} else {
+		a.sketch.Add(float64(rtt))
+	}
+	i := d.widx(rx)
+	for i >= len(a.sums) {
+		a.sums = append(a.sums, 0)
+		a.ns = append(a.ns, 0)
+	}
+	a.sums[i] += rtt
+	a.ns[i]++
+	a.totalRTT += rtt
+	a.count++
+	if rtt > a.maxRTT {
+		a.maxRTT = rtt
+	}
+}
+
+// LateArrivals reports first arrivals that slid out of the duplicate
+// bitmap before arriving and were therefore miscounted as duplicates
+// (zero on any feed whose per-flow reordering stays within the span).
+func (d *StreamDecoder) LateArrivals() int { return d.recv.late }
+
+// Finalize folds the accumulators into a Result identical in shape to
+// Decode's. It must be called once, after all feeding is done.
+func (d *StreamDecoder) Finalize() *Result {
+	res := &Result{Window: d.window}
+	res.Sent = d.sent.total
+	res.Received = d.recv.received
+
+	maxT := d.recv.maxT
+	if d.sent.maxT > maxT {
+		maxT = d.sent.maxT
+	}
+	if d.echo.maxT > maxT {
+		maxT = d.echo.maxT
+	}
+	nWin := int(maxT/d.window) + 1
+	if d.sent.total == 0 && d.recv.received == 0 && d.echo.count == 0 {
+		nWin = 0
+	}
+	res.Windows = make([]WindowStats, nWin)
+
+	winSecs := d.window.Seconds()
+	var jitterSum time.Duration
+	var jitterN int
+	var totalBytes int
+	for i := range res.Windows {
+		w := &res.Windows[i]
+		w.T = time.Duration(i) * d.window
+		var acc winAcc
+		if i < len(d.recv.wins) {
+			acc = d.recv.wins[i]
+		}
+		w.Packets = acc.packets
+		w.Bytes = acc.bytes
+		totalBytes += acc.bytes
+		w.BitrateKbps = float64(acc.bytes) * 8 / winSecs / 1000
+		if acc.packets > 0 {
+			w.Delay = acc.delaySum / time.Duration(acc.packets)
+		}
+		if acc.jitterN > 0 {
+			w.JitterSamples = acc.jitterN
+			w.Jitter = acc.jitterSum / time.Duration(acc.jitterN)
+			jitterSum += acc.jitterSum
+			jitterN += acc.jitterN
+			if w.Jitter > res.MaxJitter {
+				res.MaxJitter = w.Jitter
+			}
+		}
+		sentHere := 0
+		if i < len(d.sent.perWin) {
+			sentHere = d.sent.perWin[i]
+		}
+		distinctHere := 0
+		if i < len(d.recv.distinctByTxWin) {
+			distinctHere = d.recv.distinctByTxWin[i]
+		}
+		if loss := sentHere - distinctHere; loss > 0 {
+			w.Loss = loss
+			res.Lost += loss
+		}
+		if i < len(d.echo.ns) && d.echo.ns[i] > 0 {
+			w.RTT = d.echo.sums[i] / time.Duration(d.echo.ns[i])
+			w.RTTSamples = d.echo.ns[i]
+		}
+	}
+	res.MaxDelay = d.recv.maxDelay
+	res.MaxRTT = d.echo.maxRTT
+	if nWin > 0 {
+		res.AvgBitrateKbps = float64(totalBytes) * 8 / (float64(nWin) * winSecs) / 1000
+	}
+	if res.Received > 0 {
+		res.AvgDelay = d.recv.totalDelay / time.Duration(res.Received)
+	}
+	if jitterN > 0 {
+		res.AvgJitter = jitterSum / time.Duration(jitterN)
+	}
+	if d.echo.count > 0 {
+		res.AvgRTT = d.echo.totalRTT / time.Duration(d.echo.count)
+	}
+	if d.exact {
+		if len(d.recv.samples) > 0 {
+			ps := stats.Percentiles(d.recv.samples, 95, 99)
+			res.P95Delay, res.P99Delay = time.Duration(ps[0]), time.Duration(ps[1])
+		}
+		if len(d.echo.samples) > 0 {
+			ps := stats.Percentiles(d.echo.samples, 95, 99)
+			res.P95RTT, res.P99RTT = time.Duration(ps[0]), time.Duration(ps[1])
+		}
+	} else {
+		if d.recv.sketch.Count() > 0 {
+			res.P95Delay = time.Duration(d.recv.sketch.Quantile(95))
+			res.P99Delay = time.Duration(d.recv.sketch.Quantile(99))
+		}
+		if d.echo.sketch.Count() > 0 {
+			res.P95RTT = time.Duration(d.echo.sketch.Quantile(95))
+			res.P99RTT = time.Duration(d.echo.sketch.Quantile(99))
+		}
+	}
+	return res
+}
+
+// RetainedBytes reports the decoder's current memory footprint: window
+// accumulators, per-flow duplicate bitmaps, and sketches. In the
+// default sketch mode this is O(windows + flows) regardless of how
+// many records were fed; WithExactPercentiles adds the retained sample
+// slices (O(packets), by design).
+func (d *StreamDecoder) RetainedBytes() int {
+	const (
+		winAccBytes = 40 // 5 machine words
+		flowFixed   = 64 // flowDedup struct + map entry overhead
+		header      = 256
+	)
+	b := header
+	b += cap(d.recv.wins) * winAccBytes
+	b += cap(d.recv.distinctByTxWin) * 8
+	b += cap(d.sent.perWin) * 8
+	b += cap(d.echo.sums) * 8
+	b += cap(d.echo.ns) * 8
+	for _, f := range d.recv.flows {
+		b += flowFixed + cap(f.bits)*8
+	}
+	if d.recv.sketch != nil {
+		b += d.recv.sketch.RetainedBytes()
+	}
+	if d.echo.sketch != nil {
+		b += d.echo.sketch.RetainedBytes()
+	}
+	b += cap(d.recv.samples) * 8
+	b += cap(d.echo.samples) * 8
+	return b
+}
+
+// FeedLogs replays whole logs through the decoder: sent and echo in
+// log order (order-insensitive), recv in RxTime order — already-sorted
+// receiver logs (every live capture) are fed in place, others via one
+// stable-sorted copy, exactly reproducing the batch decoder's
+// ordering.
+func (d *StreamDecoder) FeedLogs(sent, recv, echo *Log) {
+	if sent != nil {
+		for _, r := range sent.Records {
+			d.AddSent(r)
+		}
+	}
+	if recv != nil {
+		arrivals := recv.Records
+		if !sortedByRxTime(arrivals) {
+			arrivals = append([]Record(nil), arrivals...)
+			sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].RxTime < arrivals[j].RxTime })
+		}
+		for _, r := range arrivals {
+			d.AddRecv(r)
+		}
+	}
+	if echo != nil {
+		for _, r := range echo.Records {
+			d.AddEcho(r)
+		}
+	}
+}
+
+// DecodeStream is the drop-in streaming counterpart of Decode: one
+// pass over the logs through a StreamDecoder. With no options it uses
+// the quantile sketch for P95/P99; pass WithExactPercentiles for a
+// result byte-identical to Decode.
+func DecodeStream(sent, recv, echo *Log, window time.Duration, opts ...StreamOption) *Result {
+	d := NewStreamDecoder(window, opts...)
+	d.FeedLogs(sent, recv, echo)
+	return d.Finalize()
+}

@@ -218,6 +218,24 @@ func bucketLabel(i int) string {
 // Counter returns a counter's value from the snapshot (0 if absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
+// Gauge returns a gauge's snapshot (the zero GaugeSnapshot if absent).
+func (s Snapshot) Gauge(name string) GaugeSnapshot { return s.Gauges[name] }
+
+// GaugeSum totals the current values of every gauge whose name matches
+// prefix and suffix — e.g. GaugeSum("itg/stream/", "/retained_bytes")
+// totals the per-flow streaming-decoder footprints, which is meaningful
+// on merged multi-shard snapshots because each per-flow gauge is set
+// exactly once and MergeSnapshots sums gauge values.
+func (s Snapshot) GaugeSum(prefix, suffix string) float64 {
+	var total float64
+	for name, g := range s.Gauges {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			total += g.Value
+		}
+	}
+	return total
+}
+
 // CounterSum totals every counter whose name matches prefix up to a
 // slash boundary with suffix after it — e.g. CounterSum("netsim/link/",
 // "/tx_packets") aggregates the per-link transmit counters.

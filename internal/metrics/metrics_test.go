@@ -135,3 +135,33 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+func TestSnapshotGaugeAccessors(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("itg/stream/c0t0/retained_bytes").Set(1000)
+	r.Gauge("itg/stream/c0t1/retained_bytes").Set(250)
+	r.Gauge("itg/stream/c0t0/other").Set(7)
+	s := r.Snapshot()
+	if g := s.Gauge("itg/stream/c0t1/retained_bytes"); g.Value != 250 || g.Max != 250 {
+		t.Fatalf("Gauge accessor = %+v, want value/max 250", g)
+	}
+	if g := s.Gauge("missing"); g.Value != 0 || g.Max != 0 {
+		t.Fatalf("missing gauge = %+v, want zero", g)
+	}
+	if got := s.GaugeSum("itg/stream/", "/retained_bytes"); got != 1250 {
+		t.Fatalf("GaugeSum = %g, want 1250 (suffix must exclude /other)", got)
+	}
+}
+
+func TestGaugeSumSurvivesMerge(t *testing.T) {
+	// Per-flow gauges carry distinct names and are set exactly once, so
+	// merging shard snapshots (which sums gauge values) keeps the total
+	// placement-independent.
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("itg/stream/c0t0/retained_bytes").Set(100)
+	b.Gauge("itg/stream/c1t0/retained_bytes").Set(200)
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if got := merged.GaugeSum("itg/stream/", "/retained_bytes"); got != 300 {
+		t.Fatalf("merged GaugeSum = %g, want 300", got)
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkQuantileBound asserts the sketch's guarantee for one query: the
+// estimate must be within relative error α of an order statistic
+// adjacent to the exact rank (rank quantization moves the target by at
+// most one position on either side of the interpolation anchors).
+func checkQuantileBound(t *testing.T, s *QuantileSketch, samples []float64, p float64) {
+	t.Helper()
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	h := p / 100 * float64(n-1)
+	lo := int(math.Floor(h)) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int(math.Ceil(h)) + 1
+	if hi > n-1 {
+		hi = n - 1
+	}
+	a := s.RelErr()
+	got := s.Quantile(p)
+	lower := (1 - a) * sorted[lo]
+	upper := (1 + a) * sorted[hi]
+	if sorted[lo] < 0 {
+		lower = (1 + a) * sorted[lo]
+	}
+	// Tiny slack for the float64 log/pow round trip at bucket edges.
+	const eps = 1e-9
+	if got < lower*(1-eps)-eps || got > upper*(1+eps)+eps {
+		t.Errorf("Quantile(%v) = %v outside [%v, %v] (exact %v, n=%d)",
+			p, got, lower, upper, percentileSorted(sorted, p), n)
+	}
+}
+
+func TestQuantileSketchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		// Nanosecond-scale delays: wide dynamic range.
+		"uniform":     func() float64 { return 1e3 + rng.Float64()*5e9 },
+		"exponential": func() float64 { return rng.ExpFloat64() * 40e6 },
+		"bimodal": func() float64 {
+			if rng.Intn(2) == 0 {
+				return 2e6 + rng.Float64()*1e5
+			}
+			return 3.5e9 + rng.Float64()*1e8
+		},
+		"constant": func() float64 { return 123456789 },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			s := NewQuantileSketch(0.01)
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := draw()
+				samples = append(samples, v)
+				s.Add(v)
+			}
+			if s.Count() != 20000 {
+				t.Fatalf("Count = %d, want 20000", s.Count())
+			}
+			for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+				checkQuantileBound(t, s, samples, p)
+			}
+		})
+	}
+}
+
+func TestQuantileSketchExtremesAndEmpty(t *testing.T) {
+	s := NewQuantileSketch(0.02)
+	if !math.IsNaN(s.Quantile(50)) {
+		t.Errorf("empty sketch Quantile = %v, want NaN", s.Quantile(50))
+	}
+	for _, v := range []float64{7e6, 3e6, 9e6} {
+		s.Add(v)
+	}
+	if got := s.Quantile(0); got != 3e6 {
+		t.Errorf("Quantile(0) = %v, want exact min 3e6", got)
+	}
+	if got := s.Quantile(100); got != 9e6 {
+		t.Errorf("Quantile(100) = %v, want exact max 9e6", got)
+	}
+}
+
+func TestQuantileSketchLowBucket(t *testing.T) {
+	// Zero delays (and sub-cutoff values) carry no relative-error
+	// bound; the sketch reports the tracked minimum for ranks in that
+	// mass instead of degrading neighbouring buckets.
+	s := NewQuantileSketch(0.01)
+	for i := 0; i < 90; i++ {
+		s.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(1e6)
+	}
+	if got := s.Quantile(50); got != 0 {
+		t.Errorf("Quantile(50) = %v, want 0 (low-bucket mass)", got)
+	}
+	if got, want := s.Quantile(99), 1e6; math.Abs(got-want) > 0.01*want {
+		t.Errorf("Quantile(99) = %v, want ~%v", got, want)
+	}
+}
+
+func TestQuantileSketchMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewQuantileSketch(0.01)
+	parts := []*QuantileSketch{NewQuantileSketch(0.01), NewQuantileSketch(0.01), NewQuantileSketch(0.01)}
+	for i := 0; i < 9000; i++ {
+		v := rng.ExpFloat64() * 1e8
+		whole.Add(v)
+		parts[i%3].Add(v)
+	}
+	merged := NewQuantileSketch(0.01)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), whole.Count())
+	}
+	for _, p := range []float64{0, 5, 50, 95, 99, 100} {
+		if got, want := merged.Quantile(p), whole.Quantile(p); got != want {
+			t.Errorf("Quantile(%v): merged %v != combined %v", p, got, want)
+		}
+	}
+}
+
+func TestQuantileSketchMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging sketches with different error bounds must panic")
+		}
+	}()
+	a, b := NewQuantileSketch(0.01), NewQuantileSketch(0.02)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestQuantileSketchMemoryBoundedByRange(t *testing.T) {
+	// Same dynamic range, 100x the samples: the footprint must not move.
+	small := NewQuantileSketch(0.01)
+	big := NewQuantileSketch(0.01)
+	for i := 0; i < 1000; i++ {
+		small.Add(1e3 + float64(i%100)*1e7)
+	}
+	for i := 0; i < 100000; i++ {
+		big.Add(1e3 + float64(i%100)*1e7)
+	}
+	if small.RetainedBytes() != big.RetainedBytes() {
+		t.Errorf("footprint grew with sample count: %d bytes at n=1000 vs %d at n=100000",
+			small.RetainedBytes(), big.RetainedBytes())
+	}
+	// 1 ns .. 10 s at 1% is ~1200 buckets; anything near sample count
+	// would mean the sketch degenerated into a sample store.
+	if rb := big.RetainedBytes(); rb > 32*1024 {
+		t.Errorf("RetainedBytes = %d, want a bounded bucket array (<32 KiB)", rb)
+	}
+}

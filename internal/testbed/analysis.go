@@ -1,0 +1,93 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/onelab/umtslab/internal/itg"
+)
+
+// AnalysisMode selects how a run's flow logs become QoS reports.
+type AnalysisMode int
+
+const (
+	// AnalysisBatch is the reference pipeline: retain full per-packet
+	// logs and decode them post-hoc with itg.Decode (O(packets)
+	// analysis memory).
+	AnalysisBatch AnalysisMode = iota
+	// AnalysisStream runs both pipelines: logs are retained and batch-
+	// decoded as usual, AND an itg.StreamDecoder is fed live — results
+	// land in Streamed next to Decoded. This is the differential-
+	// testing mode; it costs the most memory and exists to prove the
+	// streaming path correct.
+	AnalysisStream
+	// AnalysisStreamOnly drops the per-packet logs entirely and decodes
+	// from the live stream alone: analysis memory is O(windows + flows)
+	// regardless of run horizon. Decoded aliases Streamed.
+	AnalysisStreamOnly
+)
+
+func (m AnalysisMode) String() string {
+	switch m {
+	case AnalysisBatch:
+		return "batch"
+	case AnalysisStream:
+		return "stream"
+	case AnalysisStreamOnly:
+		return "stream-only"
+	default:
+		return fmt.Sprintf("analysis(%d)", int(m))
+	}
+}
+
+// ParseAnalysisMode parses the -analysis flag values.
+func ParseAnalysisMode(s string) (AnalysisMode, error) {
+	switch s {
+	case "", "batch":
+		return AnalysisBatch, nil
+	case "stream":
+		return AnalysisStream, nil
+	case "stream-only":
+		return AnalysisStreamOnly, nil
+	default:
+		return 0, fmt.Errorf("testbed: unknown analysis mode %q (batch, stream, stream-only)", s)
+	}
+}
+
+// AnalysisConfig parameterizes the streaming analysis pipeline. The
+// zero value is the batch reference path.
+type AnalysisConfig struct {
+	Mode AnalysisMode
+	// SketchRelErr is the quantile sketch's relative error bound for
+	// P95/P99 (<= 0: stats.DefaultSketchRelErr). Ignored with Exact.
+	SketchRelErr float64
+	// Exact retains raw delay/RTT samples in the stream decoder so its
+	// percentiles match batch exactly (differential testing only: this
+	// restores O(packets) memory on the stream side).
+	Exact bool
+}
+
+// streaming reports whether a live StreamDecoder should be attached.
+func (c AnalysisConfig) streaming() bool { return c.Mode != AnalysisBatch }
+
+// newDecoder builds the per-flow stream decoder: window-aligned to the
+// flow start (mirroring the batch path's Log.Rebase) and configured
+// for sketch or exact percentiles.
+func (c AnalysisConfig) newDecoder(window, start time.Duration) *itg.StreamDecoder {
+	opts := []itg.StreamOption{itg.WithStart(start)}
+	if c.Exact {
+		opts = append(opts, itg.WithExactPercentiles())
+	} else if c.SketchRelErr > 0 {
+		opts = append(opts, itg.WithSketchRelErr(c.SketchRelErr))
+	}
+	return itg.NewStreamDecoder(window, opts...)
+}
+
+// attach wires the decoder into a flow's endpoints before the sender
+// starts; stream-only mode additionally drops the per-packet logs.
+func (c AnalysisConfig) attach(d *itg.StreamDecoder, snd *itg.Sender, recv *itg.Receiver) {
+	snd.Stream, recv.Stream = d, d
+	if c.Mode == AnalysisStreamOnly {
+		snd.DropLogs, recv.DropLogs = true, true
+	}
+}

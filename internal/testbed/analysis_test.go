@@ -1,0 +1,165 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/itg"
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/stats"
+)
+
+// stripPct zeroes the sketched percentile fields so everything else can
+// be compared with DeepEqual in sketch mode.
+func stripPct(r *itg.Result) *itg.Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.P95Delay, c.P99Delay, c.P95RTT, c.P99RTT = 0, 0, 0, 0
+	return &c
+}
+
+// pctWithin asserts a sketched percentile against its exact counterpart
+// within the declared relative-error bound (plus a small absolute slack
+// for the sketch's sub-nanosecond quantization of tiny samples).
+func pctWithin(t *testing.T, name string, got, exact time.Duration, relErr float64) {
+	t.Helper()
+	tol := time.Duration(relErr*float64(exact)) + 2*time.Millisecond
+	diff := got - exact
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Errorf("%s: sketch %v vs exact %v (diff %v > tol %v)", name, got, exact, diff, tol)
+	}
+}
+
+// TestScenarioStreamExactMatchesBatch is the end-to-end differential on
+// the paper's single-cell UMTS run: the live stream decoder, fed packet
+// by packet as the simulation delivers them, must reproduce the batch
+// decode of the retained logs byte for byte — on both sim schedulers.
+func TestScenarioStreamExactMatchesBatch(t *testing.T) {
+	for _, sched := range []sim.Scheduler{sim.SchedulerWheel, sim.SchedulerHeap} {
+		rep, err := NewScenario(
+			WithSeed(7), WithScheduler(sched),
+			WithDuration(20*time.Second),
+			WithAnalysis(AnalysisConfig{Mode: AnalysisStream, Exact: true}),
+		).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rep.Results[0]
+		if res.Streamed == nil {
+			t.Fatalf("%v: no streamed result in stream mode", sched)
+		}
+		if res.Streamed.Received == 0 {
+			t.Fatalf("%v: streamed result saw no packets", sched)
+		}
+		if !reflect.DeepEqual(res.Streamed, res.Decoded) {
+			t.Errorf("%v: streamed result differs from batch decode:\nstream: %+v\nbatch:  %+v",
+				sched, res.Streamed, res.Decoded)
+		}
+		if n := res.Metrics.Counter("itg/records_streamed"); n == 0 {
+			t.Errorf("%v: itg/records_streamed counter is zero", sched)
+		}
+		if g := res.Metrics.Gauge("itg/stream/flow1/retained_bytes"); g.Value <= 0 {
+			t.Errorf("%v: retained_bytes gauge not recorded", sched)
+		}
+	}
+}
+
+// TestScenarioStreamSketchBound runs the default sketch mode: counts,
+// bytes, per-window series, and loss still match batch exactly; only
+// P95/P99 are estimates, which must land within the declared bound.
+func TestScenarioStreamSketchBound(t *testing.T) {
+	rep, err := NewScenario(
+		WithSeed(9), WithDuration(20*time.Second),
+		WithAnalysis(AnalysisConfig{Mode: AnalysisStream}),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if !reflect.DeepEqual(stripPct(res.Streamed), stripPct(res.Decoded)) {
+		t.Errorf("sketch mode: non-percentile fields differ from batch")
+	}
+	relErr := stats.DefaultSketchRelErr
+	pctWithin(t, "P95Delay", res.Streamed.P95Delay, res.Decoded.P95Delay, relErr)
+	pctWithin(t, "P99Delay", res.Streamed.P99Delay, res.Decoded.P99Delay, relErr)
+	pctWithin(t, "P95RTT", res.Streamed.P95RTT, res.Decoded.P95RTT, relErr)
+	pctWithin(t, "P99RTT", res.Streamed.P99RTT, res.Decoded.P99RTT, relErr)
+}
+
+// TestScenarioStreamOnlyMatchesSeparateBatchRun drops the per-packet
+// logs entirely and still must produce the same report a log-retaining
+// batch run of the same seed produces — the determinism contract makes
+// the two runs' traffic identical, so this is a true equivalence check.
+func TestScenarioStreamOnlyMatchesSeparateBatchRun(t *testing.T) {
+	batch, err := NewScenario(WithSeed(5), WithDuration(15*time.Second)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamOnly, err := NewScenario(
+		WithSeed(5), WithDuration(15*time.Second),
+		WithAnalysis(AnalysisConfig{Mode: AnalysisStreamOnly, Exact: true}),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := streamOnly.Results[0]
+	if so.Decoded != so.Streamed {
+		t.Errorf("stream-only: Decoded should alias Streamed")
+	}
+	if !reflect.DeepEqual(so.Decoded, batch.Results[0].Decoded) {
+		t.Errorf("stream-only result differs from the batch run's decode:\nstream: %+v\nbatch:  %+v",
+			so.Decoded, batch.Results[0].Decoded)
+	}
+	if n := so.Metrics.Counter("itg/log_records_dropped"); n == 0 {
+		t.Errorf("stream-only: no log records dropped (counter zero)")
+	}
+	if n := batch.Results[0].Metrics.Counter("itg/log_records_dropped"); n != 0 {
+		t.Errorf("batch: %d log records dropped, want 0", n)
+	}
+}
+
+// TestMultiCellStreamShardedIdentical extends the shard-count
+// differential to the streaming pipeline: per-flow streamed results are
+// placement-independent (sender and receiver feed the same decoder from
+// different shards) and equal to the batch decode of the same flow.
+func TestMultiCellStreamShardedIdentical(t *testing.T) {
+	opts := MultiCellOptions{
+		Seed: 3, Cells: 2, Terminals: 2,
+		Analysis: AnalysisConfig{Mode: AnalysisStream, Exact: true},
+	}
+	diffMultiCell(t, opts, 3)
+
+	res, err := RunMultiCell(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Flows {
+		if f.Streamed == nil || f.Streamed.Received == 0 {
+			t.Fatalf("cell %d terminal %d: empty streamed result", f.Cell, f.Terminal)
+		}
+		if !reflect.DeepEqual(f.Streamed, f.Decoded) {
+			t.Errorf("cell %d terminal %d: streamed result differs from batch decode", f.Cell, f.Terminal)
+		}
+	}
+	merged := metrics.MergeSnapshots(res.Snapshots...)
+	if g := merged.GaugeSum("itg/stream/", "/retained_bytes"); g <= 0 {
+		t.Errorf("merged retained_bytes gauge sum %v, want > 0", g)
+	}
+}
+
+// TestMultiCellStreamOnlySharded runs the constant-memory mode across
+// shard counts: with the logs gone, the streamed report IS the decoded
+// report, and it must still be shard-count independent.
+func TestMultiCellStreamOnlySharded(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{
+		Seed: 5, Cells: 2, Terminals: 1,
+		Analysis: AnalysisConfig{Mode: AnalysisStreamOnly, Exact: true},
+	}, 3)
+}

@@ -80,12 +80,19 @@ type ExperimentSpec struct {
 	Duration time.Duration
 	// Window of the QoS samples (paper: 200 ms).
 	Window time.Duration
+	// Analysis selects the QoS pipeline: the batch reference decoder
+	// (zero value), batch plus a live stream decoder for differential
+	// comparison, or stream-only with per-packet logs dropped.
+	Analysis AnalysisConfig
 }
 
 // ExperimentResult carries the decoded flow plus testbed-side context.
 type ExperimentResult struct {
 	Spec    ExperimentSpec
 	Decoded *itg.Result
+	// Streamed is the live StreamDecoder's result (nil in batch mode).
+	// In stream-only mode Decoded aliases it.
+	Streamed *itg.Result
 	// Status is the final `umts status` (UMTS path only).
 	Status core.Status
 	// BearerEvents is the radio session log (UMTS path only) — the
@@ -171,17 +178,32 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 	}
 
 	start := tb.Loop.Now()
+	var stream *itg.StreamDecoder
+	if spec.Analysis.streaming() {
+		stream = spec.Analysis.newDecoder(spec.Window, start)
+		spec.Analysis.attach(stream, snd, receiver)
+	}
 	snd.Start()
 	// Run the flow plus drain time for queued packets and echoes.
 	tb.Loop.RunUntil(start + spec.Duration + 10*time.Second)
 
 	res.SenderErrors = snd.SendErrors
-	res.Decoded = itg.Decode(
-		snd.SentLog.Rebase(start),
-		receiver.RecvLog.Rebase(start),
-		snd.EchoLog.Rebase(start),
-		spec.Window,
-	)
+	if stream != nil {
+		res.Streamed = stream.Finalize()
+		// Recorded before the final snapshot so the decoder's footprint
+		// lands in the run's metrics next to the flow counters.
+		tb.Loop.Metrics().Gauge("itg/stream/flow1/retained_bytes").Set(float64(stream.RetainedBytes()))
+	}
+	if spec.Analysis.Mode == AnalysisStreamOnly {
+		res.Decoded = res.Streamed
+	} else {
+		res.Decoded = itg.Decode(
+			snd.SentLog.Rebase(start),
+			receiver.RecvLog.Rebase(start),
+			snd.EchoLog.Rebase(start),
+			spec.Window,
+		)
+	}
 
 	if spec.Path == PathUMTS {
 		res.BearerEvents = tb.Terminal.SessionEvents()

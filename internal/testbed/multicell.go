@@ -79,6 +79,14 @@ type MultiCellOptions struct {
 	// mode, as in Options.
 	SelfHeal   bool
 	HealPolicy *dialer.Policy
+	// Analysis selects the per-flow QoS pipeline (see AnalysisConfig).
+	// In the streaming modes every terminal gets a private
+	// StreamDecoder fed concurrently by its sender (cell shard) and
+	// the server-side receiver (core shard) — the two sides touch
+	// disjoint decoder state, and the engine's deterministic delivery
+	// order makes the streamed results placement-independent: the
+	// shard-count determinism contract extends to Streamed.
+	Analysis AnalysisConfig
 }
 
 func (o *MultiCellOptions) setDefaults() {
@@ -131,6 +139,9 @@ type FlowResult struct {
 	SetupTime time.Duration
 	// Decoded is the flow's QoS report over the sample window.
 	Decoded *itg.Result
+	// Streamed is the live StreamDecoder's result (nil in batch mode);
+	// in stream-only mode Decoded aliases it.
+	Streamed *itg.Result
 	// BearerEvents is the terminal's radio session log.
 	BearerEvents []string
 	// SendErrors counts packets the slice refused to send.
@@ -194,6 +205,7 @@ type mcTerminal struct {
 	fe        *core.Frontend
 	snd       *itg.Sender
 	recv      *itg.Receiver
+	stream    *itg.StreamDecoder
 
 	startRes vsys.Result
 	destRes  vsys.Result
@@ -299,18 +311,31 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 			return nil, fmt.Errorf("testbed: cell %d terminal %d: setup finished at %v, after flow start %v — raise FlowStart",
 				ts.cell, ts.idx, ts.setupAt, opts.FlowStart)
 		}
-		res.Flows = append(res.Flows, FlowResult{
+		fr := FlowResult{
 			Cell: ts.cell, Terminal: ts.idx, FlowID: ts.flowID,
-			SetupTime: ts.setupAt,
-			Decoded: itg.Decode(
+			SetupTime:    ts.setupAt,
+			BearerEvents: ts.term.SessionEvents(),
+			SendErrors:   ts.snd.SendErrors,
+		}
+		if ts.stream != nil {
+			fr.Streamed = ts.stream.Finalize()
+			// Per-flow footprint gauge, recorded before the snapshots
+			// below; distinct names make the merged GaugeSum
+			// placement-independent.
+			ts.loop.Metrics().Gauge(fmt.Sprintf("itg/stream/c%dt%d/retained_bytes", ts.cell, ts.idx)).
+				Set(float64(ts.stream.RetainedBytes()))
+		}
+		if opts.Analysis.Mode == AnalysisStreamOnly {
+			fr.Decoded = fr.Streamed
+		} else {
+			fr.Decoded = itg.Decode(
 				ts.snd.SentLog.Rebase(opts.FlowStart),
 				ts.recv.RecvLog.Rebase(opts.FlowStart),
 				ts.snd.EchoLog.Rebase(opts.FlowStart),
 				opts.Window,
-			),
-			BearerEvents: ts.term.SessionEvents(),
-			SendErrors:   ts.snd.SendErrors,
-		})
+			)
+		}
+		res.Flows = append(res.Flows, fr)
 	}
 	for i := 0; i < opts.Shards; i++ {
 		res.Snapshots = append(res.Snapshots, eng.Shard(i).Loop().Metrics().Snapshot())
@@ -421,6 +446,14 @@ func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, serve
 		func(pkt *netsim.Packet) error { return slice.Send(pkt) })
 	if err := slice.Bind(netsim.ProtoUDP, senderPort, ts.snd.HandleEcho); err != nil {
 		return nil, err
+	}
+	if opts.Analysis.streaming() {
+		// One decoder per flow, window-aligned to FlowStart exactly like
+		// the batch path's Rebase. The sender/echo side runs on this
+		// cell's shard loop and the receiver side on the core shard —
+		// a legal concurrent feed (disjoint accumulators).
+		ts.stream = opts.Analysis.newDecoder(opts.Window, opts.FlowStart)
+		opts.Analysis.attach(ts.stream, ts.snd, ts.recv)
 	}
 
 	// Asynchronous bring-up: the frontend commands complete via vsys

@@ -68,6 +68,9 @@ func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
 		if !reflect.DeepEqual(a.Decoded, b.Decoded) {
 			t.Errorf("cell %d terminal %d: decoded QoS differs between 1 and %d shards", a.Cell, a.Terminal, n)
 		}
+		if !reflect.DeepEqual(a.Streamed, b.Streamed) {
+			t.Errorf("cell %d terminal %d: streamed QoS differs between 1 and %d shards", a.Cell, a.Terminal, n)
+		}
 		if !reflect.DeepEqual(a.BearerEvents, b.BearerEvents) {
 			t.Errorf("cell %d terminal %d: bearer logs differ:\n1 shard:  %v\n%d shards: %v",
 				a.Cell, a.Terminal, a.BearerEvents, n, b.BearerEvents)

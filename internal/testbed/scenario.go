@@ -49,6 +49,8 @@ type Scenario struct {
 	selfHeal   bool
 	healPolicy *dialer.Policy
 
+	analysis AnalysisConfig
+
 	cells     int
 	terminals int
 	shards    int
@@ -128,6 +130,14 @@ func WithSelfHeal(policy *dialer.Policy) ScenarioOption {
 	}
 }
 
+// WithAnalysis selects the QoS pipeline: the batch reference decode
+// (zero value), batch plus a live stream decoder for differential
+// comparison, or stream-only constant-memory analysis with per-packet
+// logs dropped. Applies to single- and multi-cell scenarios alike.
+func WithAnalysis(cfg AnalysisConfig) ScenarioOption {
+	return func(sc *Scenario) { sc.analysis = cfg }
+}
+
 // WithCells switches the scenario to the multi-cell shard engine:
 // cells × terminals UMTS nodes streaming to one wired server.
 func WithCells(cells, terminals int) ScenarioOption {
@@ -185,6 +195,7 @@ func (sc *Scenario) Run() (*Report, error) {
 			FlowStart: sc.flowStart, Duration: sc.duration, Window: sc.window,
 			Scheduler: sc.sched, Faults: sc.faults,
 			SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
+			Analysis: sc.analysis,
 		})
 		if err != nil {
 			return nil, err
@@ -227,5 +238,6 @@ func (sc *Scenario) runRep(i int) (*ExperimentResult, error) {
 	return tb.RunExperiment(ExperimentSpec{
 		Path: sc.path, Workload: sc.workload,
 		Duration: sc.duration, Window: sc.window,
+		Analysis: sc.analysis,
 	})
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-analysis bench-compare bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke
 
 all: build
 
@@ -40,11 +40,21 @@ bench-sched:
 	$(GO) run ./cmd/experiments -bench-sched BENCH_sched.json -dur 30s -reps 3
 
 # bench-shard times the 4-cell scale-out scenario on one loop vs one
-# shard per cell plus the wired core, verifies both partitionings
-# produce byte-identical results, and records the comparison (including
-# the core count — speedup needs real cores) in BENCH_shard.json.
+# shard per cell plus the wired core — under both the global lockstep
+# window policy and the adaptive per-shard-horizon policy — verifies
+# every partitioning produces byte-identical results, and records the
+# comparison (including the core count — speedup needs real cores) in
+# BENCH_shard.json.
 bench-shard:
 	$(GO) run ./cmd/experiments -bench-shard BENCH_shard.json -cells 4 -terminals 2 -dur 30s
+
+# bench-compare-shard validates the committed shard artifact: both
+# policies recorded byte-identical results and the adaptive wall time
+# is within 1.05x of the global one — adaptive horizons only remove
+# synchronization, so a real slowdown is a regression. Run it before
+# committing changes to the shard engine.
+bench-compare-shard:
+	$(GO) run ./cmd/experiments -bench-shard-compare BENCH_shard.json
 
 # bench-fault proves the fault layer's two claims and records the
 # evidence in BENCH_fault.json: an explicitly armed empty schedule is

@@ -36,6 +36,11 @@ func TestBenchShardArtifact(t *testing.T) {
 		Windows     int64   `json:"windows"`
 		LookaheadMs float64 `json:"lookahead_ms"`
 		Messages    *int64  `json:"cross_shard_messages"`
+
+		WallAdaptiveS     float64 `json:"wall_nshard_adaptive_s"`
+		SpeedupAdaptive   float64 `json:"speedup_adaptive"`
+		AdaptiveIdentical *bool   `json:"adaptive_identical"`
+		WindowsAdaptive   int64   `json:"windows_adaptive"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("BENCH_shard.json does not parse: %v", err)
@@ -67,13 +72,40 @@ func TestBenchShardArtifact(t *testing.T) {
 	if rep.Speedup <= 0 {
 		t.Errorf("speedup %v not recorded", rep.Speedup)
 	}
+	// The adaptive-policy leg must be recorded alongside the global one
+	// and must have reproduced the same results.
+	if rep.WallAdaptiveS <= 0 || rep.SpeedupAdaptive <= 0 {
+		t.Errorf("adaptive leg not measured: wall=%v speedup=%v (regenerate with `make bench-shard`)",
+			rep.WallAdaptiveS, rep.SpeedupAdaptive)
+	}
+	if rep.AdaptiveIdentical == nil || !*rep.AdaptiveIdentical {
+		t.Error("adaptive_identical must be recorded true: the window policy must not change simulation output")
+	}
+	if rep.WindowsAdaptive < 1 {
+		t.Errorf("windows_adaptive = %d; the adaptive engine must have run windows", rep.WindowsAdaptive)
+	}
 	// The 2x bar only binds where it is physically achievable: >=4-way
-	// sharding measured with >=4 schedulable cores.
+	// sharding measured with >=4 schedulable cores. The same condition
+	// gates the adaptive-vs-global comparison — adaptive horizons only
+	// remove synchronization, so with real cores they must not lose to
+	// the lockstep window.
 	if *rep.NumCPU >= 4 && *rep.GOMAXPROCS >= 4 && rep.Shards >= 4 {
 		if rep.Speedup < 2 {
 			t.Errorf("speedup %.2f below the 2x acceptance bar on a %d-core machine", rep.Speedup, *rep.NumCPU)
 		}
-	} else if rep.Speedup < 0.5 {
-		t.Errorf("speedup %.2f: sharding pathologically slow even for a %d-core machine", rep.Speedup, *rep.NumCPU)
+		if rep.WallAdaptiveS > rep.WallNS {
+			t.Errorf("adaptive wall %.2fs slower than global %.2fs on a %d-core machine",
+				rep.WallAdaptiveS, rep.WallNS, *rep.NumCPU)
+		}
+	} else {
+		if rep.Speedup < 0.5 {
+			t.Errorf("speedup %.2f: sharding pathologically slow even for a %d-core machine", rep.Speedup, *rep.NumCPU)
+		}
+		// On a starved machine adaptive can only be honest about ~1x;
+		// hold it to "not pathologically worse than global".
+		if rep.WallNS > 0 && rep.WallAdaptiveS > 1.5*rep.WallNS {
+			t.Errorf("adaptive wall %.2fs more than 1.5x global %.2fs even on a %d-core machine",
+				rep.WallAdaptiveS, rep.WallNS, *rep.NumCPU)
+		}
 	}
 }

@@ -10,10 +10,12 @@
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
 //	            [-cells K] [-terminals M] [-shards S]
+//	            [-shard-policy global|adaptive]
 //	            [-analysis batch|stream|stream-only]
 //	            [-fault-profile name] [-self-heal]
 //	            [-bench-parallel file] [-bench-sched file]
 //	            [-bench-shard file] [-bench-sched-compare file]
+//	            [-bench-shard-compare file]
 //	            [-bench-fault file] [-bench-analysis file]
 //	            [-cpuprofile file] [-memprofile file] [-v]
 //
@@ -59,13 +61,19 @@
 // figures: K cells x M terminals (-terminals) run as one simulation,
 // partitioned over S shards (-shards; default one shard per cell plus
 // one for the wired core) by the conservative parallel engine in
-// internal/sim/shard. The per-flow QoS summary is identical for every
-// shard count. -bench-shard times the same scenario on 1 shard vs S
-// shards, verifies the results match, and writes the comparison as JSON
-// (the `make bench-shard` artifact). -bench-sched-compare re-measures
-// the scheduler benchmark and exits non-zero if the shipping
-// configuration regressed more than 25% against the committed JSON
-// (the `make bench-compare` gate).
+// internal/sim/shard. -shard-policy selects the engine's window policy:
+// global lockstep windows (default) or adaptive per-shard horizons from
+// shortest-path distances over the edge graph. The per-flow QoS summary
+// is identical for every shard count AND policy. -bench-shard times the
+// same scenario on 1 shard vs S shards under both policies, verifies
+// all runs match, and writes the comparison as JSON (the `make
+// bench-shard` artifact). -bench-sched-compare re-measures the
+// scheduler benchmark and exits non-zero if the shipping configuration
+// regressed more than 25% against the committed JSON (the `make
+// bench-compare` gate). -bench-shard-compare validates the committed
+// shard artifact instead: both policies recorded identical, and the
+// adaptive wall time within 1.05x of the global one (the `make
+// bench-compare-shard` gate).
 package main
 
 import (
@@ -86,6 +94,7 @@ import (
 	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
 	"github.com/onelab/umtslab/internal/stats"
 	"github.com/onelab/umtslab/internal/testbed"
 )
@@ -121,6 +130,7 @@ var (
 	faultSched  fault.Schedule
 	selfHeal    bool
 	analysisCfg testbed.AnalysisConfig
+	shardPolicy shard.Policy
 )
 
 // cellScenario builds the Scenario for one (workload, path) cell at the
@@ -242,8 +252,10 @@ func main() {
 	cells := flag.Int("cells", 0, "run the K-cell scale-out scenario instead of the paper figures")
 	terminals := flag.Int("terminals", 1, "terminals per cell for -cells")
 	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
-	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards, write JSON to this file, and exit")
+	shardPolicyFlag := flag.String("shard-policy", "global", "shard engine window policy for -cells: global (lockstep windows) or adaptive (per-shard horizons)")
+	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards under both window policies, write JSON to this file, and exit")
 	benchSchedCmp := flag.String("bench-sched-compare", "", "re-measure the scheduler benchmark and fail if wheel_pool wall time regressed >25% vs this committed JSON")
+	benchShardCmp := flag.String("bench-shard-compare", "", "validate this committed bench-shard JSON: both policies identical and adaptive wall <= 1.05x global")
 	analysisFlag := flag.String("analysis", "batch", "QoS pipeline: batch (reference), stream (batch + live stream decoder), stream-only (constant-memory, per-packet logs dropped)")
 	benchAnalysisOut := flag.String("bench-analysis", "", "time batch vs streaming decode over identical paper-scale logs, write JSON to this file, and exit")
 	faultProfile := flag.String("fault-profile", "none", "deterministic fault preset injected into every run: none, drops, fades, degrade, regloss, flaps, flaky")
@@ -261,6 +273,11 @@ func main() {
 		os.Exit(2)
 	}
 	analysisCfg.Mode, err = testbed.ParseAnalysisMode(*analysisFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	shardPolicy, err = shard.ParsePolicy(*shardPolicyFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
@@ -332,6 +349,14 @@ func main() {
 	if *benchShardOut != "" {
 		if err := benchShard(*benchShardOut, *seed, *cells, *terminals, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchShardCmp != "" {
+		if err := benchShardCompare(*benchShardCmp); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-shard-compare: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -667,30 +692,57 @@ func measureSched(seed int64, reps int) (schedBenchReport, error) {
 }
 
 // shardBenchReport is the `make bench-shard` artifact: the K-cell
-// scenario timed on one loop vs N shards. The CPU fields are recorded
-// so the schema test can scale its speedup expectation to the machine
-// that produced the artifact — conservative parallelism cannot beat 2x
-// on a single-core runner.
+// scenario timed on one loop vs N shards, under both window policies.
+// The CPU fields are recorded so the schema test can scale its speedup
+// expectation to the machine that produced the artifact — conservative
+// parallelism cannot beat 2x on a single-core runner, and the adaptive
+// policy cannot beat the global one without cores to run ahead on.
 type shardBenchReport struct {
-	NumCPU      int     `json:"num_cpu"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	Cells       int     `json:"cells"`
-	Terminals   int     `json:"terminals"`
-	Shards      int     `json:"shards"`
-	FlowS       float64 `json:"flow_duration_s"`
-	Wall1S      float64 `json:"wall_1shard_s"`
-	WallNS      float64 `json:"wall_nshard_s"`
-	Speedup     float64 `json:"speedup"`
-	Identical   bool    `json:"results_identical"`
-	Windows     int64   `json:"windows"`
-	LookaheadMs float64 `json:"lookahead_ms"`
-	Messages    int64   `json:"cross_shard_messages"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Cells      int     `json:"cells"`
+	Terminals  int     `json:"terminals"`
+	Shards     int     `json:"shards"`
+	FlowS      float64 `json:"flow_duration_s"`
+	Wall1S     float64 `json:"wall_1shard_s"`
+	// WallNS and Speedup measure the global (lockstep) policy — the
+	// field names predate the policy knob and stay stable for tooling.
+	WallNS    float64 `json:"wall_nshard_s"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"results_identical"`
+	// The adaptive-policy leg of the same scenario: per-shard horizons,
+	// same byte-identical results, its own wall time and window count.
+	WallAdaptiveS     float64 `json:"wall_nshard_adaptive_s"`
+	SpeedupAdaptive   float64 `json:"speedup_adaptive"`
+	AdaptiveIdentical bool    `json:"adaptive_identical"`
+	WindowsAdaptive   int64   `json:"windows_adaptive"`
+	Windows           int64   `json:"windows"`
+	LookaheadMs       float64 `json:"lookahead_ms"`
+	Messages          int64   `json:"cross_shard_messages"`
+}
+
+// flowsIdentical compares two multi-cell runs on the determinism
+// contract: per-flow QoS, bearer logs, setup times, and the
+// placement-independent counters.
+func flowsIdentical(a, b *testbed.MultiCellResult) bool {
+	if len(a.Flows) != len(b.Flows) || !reflect.DeepEqual(a.Counters, b.Counters) {
+		return false
+	}
+	for i := range a.Flows {
+		x, y := a.Flows[i], b.Flows[i]
+		if !reflect.DeepEqual(x.Decoded, y.Decoded) ||
+			!reflect.DeepEqual(x.BearerEvents, y.BearerEvents) ||
+			x.SetupTime != y.SetupTime || x.SendErrors != y.SendErrors {
+			return false
+		}
+	}
+	return true
 }
 
 // benchShard times the multi-cell scenario on a single loop and on the
-// requested shard count, verifies the sharded run is byte-identical
-// (per-flow QoS, bearer logs, and the placement-independent counters),
-// and writes the comparison as JSON.
+// requested shard count under both window policies, verifies every
+// sharded run is byte-identical to the single-loop reference, and
+// writes the comparison as JSON.
 func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	if cells <= 0 {
 		cells = 4
@@ -715,30 +767,34 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 		return err
 	}
 	wallN := time.Since(t0)
-
-	identical := len(single.Flows) == len(sharded.Flows) &&
-		reflect.DeepEqual(single.Counters, sharded.Counters)
-	for i := 0; identical && i < len(single.Flows); i++ {
-		a, b := single.Flows[i], sharded.Flows[i]
-		identical = reflect.DeepEqual(a.Decoded, b.Decoded) &&
-			reflect.DeepEqual(a.BearerEvents, b.BearerEvents) &&
-			a.SetupTime == b.SetupTime && a.SendErrors == b.SendErrors
+	opts.Shards = shards
+	opts.ShardPolicy = shard.PolicyAdaptive
+	t0 = time.Now()
+	adaptive, err := testbed.RunMultiCell(opts)
+	if err != nil {
+		return err
 	}
+	wallA := time.Since(t0)
+
 	msgs := metrics.MergeSnapshots(sharded.Snapshots...).Counters["shard/msgs_out"]
 	rep := shardBenchReport{
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Cells:       cells,
-		Terminals:   terminals,
-		Shards:      sharded.Opts.Shards,
-		FlowS:       dur.Seconds(),
-		Wall1S:      wall1.Seconds(),
-		WallNS:      wallN.Seconds(),
-		Speedup:     wall1.Seconds() / wallN.Seconds(),
-		Identical:   identical,
-		Windows:     sharded.Windows,
-		LookaheadMs: sharded.Lookahead.Seconds() * 1000,
-		Messages:    msgs,
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Cells:             cells,
+		Terminals:         terminals,
+		Shards:            sharded.Opts.Shards,
+		FlowS:             dur.Seconds(),
+		Wall1S:            wall1.Seconds(),
+		WallNS:            wallN.Seconds(),
+		Speedup:           wall1.Seconds() / wallN.Seconds(),
+		Identical:         flowsIdentical(single, sharded),
+		WallAdaptiveS:     wallA.Seconds(),
+		SpeedupAdaptive:   wall1.Seconds() / wallA.Seconds(),
+		AdaptiveIdentical: flowsIdentical(single, adaptive),
+		WindowsAdaptive:   adaptive.Windows,
+		Windows:           sharded.Windows,
+		LookaheadMs:       sharded.Lookahead.Seconds() * 1000,
+		Messages:          msgs,
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -748,9 +804,42 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench-shard: %d cells x %d terminals, %v flows: 1 shard %.2f s, %d shards %.2f s, speedup %.2fx (GOMAXPROCS=%d), %d cross-shard msgs, identical=%v -> %s\n",
+	fmt.Printf("bench-shard: %d cells x %d terminals, %v flows: 1 shard %.2f s, %d shards global %.2f s (%.2fx) adaptive %.2f s (%.2fx), GOMAXPROCS=%d, %d cross-shard msgs, identical=%v/%v -> %s\n",
 		cells, terminals, dur, rep.Wall1S, rep.Shards, rep.WallNS, rep.Speedup,
-		rep.GOMAXPROCS, msgs, identical, path)
+		rep.WallAdaptiveS, rep.SpeedupAdaptive,
+		rep.GOMAXPROCS, msgs, rep.Identical, rep.AdaptiveIdentical, path)
+	return nil
+}
+
+// benchShardCompare validates the committed bench-shard artifact: both
+// policies must have produced byte-identical results, and the adaptive
+// wall time must be within 1.05x of the global one (adaptive horizons
+// are a strict relaxation of the global window — they may only remove
+// synchronization, so any real slowdown is a regression).
+func benchShardCompare(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep shardBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.WallNS <= 0 || rep.WallAdaptiveS <= 0 {
+		return fmt.Errorf("%s: missing wall times (global %v, adaptive %v) — regenerate with `make bench-shard`",
+			path, rep.WallNS, rep.WallAdaptiveS)
+	}
+	if !rep.Identical || !rep.AdaptiveIdentical {
+		return fmt.Errorf("%s: recorded results not identical (global=%v adaptive=%v)",
+			path, rep.Identical, rep.AdaptiveIdentical)
+	}
+	ratio := rep.WallAdaptiveS / rep.WallNS
+	fmt.Printf("bench-shard-compare: adaptive %.2f s vs global %.2f s (x%.3f)\n",
+		rep.WallAdaptiveS, rep.WallNS, ratio)
+	if ratio > 1.05 {
+		return fmt.Errorf("adaptive wall time x%.3f of global (>1.05) in %s", ratio, path)
+	}
+	fmt.Println("bench-shard-compare: within budget")
 	return nil
 }
 
@@ -871,12 +960,13 @@ func benchFault(path string, seed int64, profile string) error {
 }
 
 // runMultiCell reproduces the scale-out scenario and prints one QoS
-// line per flow. The report is identical for every -shards value — the
-// flag only changes how the wall-clock work is partitioned.
+// line per flow. The report is identical for every -shards and
+// -shard-policy value — those flags only change how the wall-clock
+// work is partitioned and synchronized.
 func runMultiCell(seed int64, cells, terminals, shards int) error {
 	opts := testbed.MultiCellOptions{
 		Seed: seed, Cells: cells, Terminals: terminals,
-		Shards: shards, Duration: dur,
+		Shards: shards, ShardPolicy: shardPolicy, Duration: dur,
 		Faults: faultSched, SelfHeal: selfHeal,
 		Analysis: analysisCfg,
 	}
@@ -884,8 +974,8 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Multi-cell scale-out: %d cells x %d terminals on %d shard(s)\n",
-		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards)
+	fmt.Printf("Multi-cell scale-out: %d cells x %d terminals on %d shard(s), %v windows\n",
+		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards, shardPolicy)
 	fmt.Printf("flows: %v each, lookahead %v, %d synchronization windows\n",
 		res.Opts.Duration, res.Lookahead, res.Windows)
 	for _, w := range res.Outages {

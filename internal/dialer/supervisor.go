@@ -21,15 +21,31 @@ type Policy struct {
 	MaxBackoff     time.Duration
 	Multiplier     float64
 	// JitterFrac spreads each holdoff by ±frac (default 0.1), drawn
-	// from the loop's named RNG stream so runs stay reproducible.
+	// from the loop's named RNG stream so runs stay reproducible. A
+	// zero value keeps the default — set NoJitter for exact holdoffs.
 	JitterFrac float64
+	// NoJitter disables holdoff jitter entirely. The explicit flag
+	// exists because JitterFrac 0 means "unset, use the default": the
+	// zero Policy must keep paper behaviour.
+	NoJitter bool
 	// MaxAttempts bounds the redials per outage (default 8); the
 	// budget resets when a connection comes up. Negative means
-	// unlimited.
+	// unlimited; a zero value keeps the default — set NoRetry to
+	// disable redialing entirely.
 	MaxAttempts int
+	// NoRetry makes every failure final: a failed dial or a lost
+	// connection puts the supervisor down without redialing. The
+	// explicit flag exists because MaxAttempts 0 means "unset, use
+	// the default". MaxAttempts is ignored when NoRetry is set.
+	NoRetry bool
 }
 
 func (p Policy) withDefaults() Policy {
+	if p.Multiplier != 0 && p.Multiplier < 1 {
+		// A shrinking multiplier would walk the holdoff toward zero and
+		// turn every outage into a redial hot-loop; refuse it up front.
+		panic(fmt.Sprintf("dialer: Policy.Multiplier = %v; backoff must not shrink (want >= 1)", p.Multiplier))
+	}
 	if p.InitialBackoff == 0 {
 		p.InitialBackoff = 2 * time.Second
 	}
@@ -41,6 +57,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.JitterFrac == 0 {
 		p.JitterFrac = 0.1
+	}
+	if p.NoJitter {
+		p.JitterFrac = 0
 	}
 	if p.MaxAttempts == 0 {
 		p.MaxAttempts = 8
@@ -59,7 +78,9 @@ func (p Policy) backoff(n int, rng *rand.Rand) time.Duration {
 			break
 		}
 	}
-	d *= 1 + p.JitterFrac*(2*rng.Float64()-1)
+	if p.JitterFrac != 0 {
+		d *= 1 + p.JitterFrac*(2*rng.Float64()-1)
+	}
 	if d > float64(p.MaxBackoff) {
 		d = float64(p.MaxBackoff)
 	}
@@ -294,6 +315,10 @@ func (s *Supervisor) connLost(reason string) {
 	}
 	s.conn = nil
 	s.leaveUp()
+	if s.cfg.Policy.NoRetry {
+		s.giveUp(fmt.Sprintf("connection lost (%s), redialing disabled", reason))
+		return
+	}
 	s.transition(SupervisorDegraded, reason)
 	if s.cfg.OnDown != nil {
 		s.cfg.OnDown(reason)
@@ -309,6 +334,10 @@ func (s *Supervisor) dialFailed(err error) {
 	}
 	if s.state == SupervisorConnecting {
 		s.transition(SupervisorDegraded, fmt.Sprintf("bring-up failed: %v", err))
+	}
+	if s.cfg.Policy.NoRetry {
+		s.giveUp(fmt.Sprintf("dial failed, redialing disabled: %v", err))
+		return
 	}
 	max := s.cfg.Policy.MaxAttempts
 	if max >= 0 && s.epoch >= max {

@@ -201,3 +201,101 @@ func TestSupervisorBackoffDeterminism(t *testing.T) {
 		t.Errorf("backoff observations = %d, want 4 for 5 attempts", c1)
 	}
 }
+
+// TestPolicyZeroVsUnset pins the defaulting contract: the zero Policy
+// keeps every paper default, while the explicit NoJitter/NoRetry flags
+// — not zero field values — turn features off.
+func TestPolicyZeroVsUnset(t *testing.T) {
+	def := Policy{}.withDefaults()
+	if def.JitterFrac != 0.1 || def.MaxAttempts != 8 {
+		t.Errorf("zero policy lost its defaults: jitter %v, attempts %d", def.JitterFrac, def.MaxAttempts)
+	}
+	if got := (Policy{NoJitter: true, JitterFrac: 0.5}).withDefaults().JitterFrac; got != 0 {
+		t.Errorf("NoJitter policy kept JitterFrac %v, want 0", got)
+	}
+	if !(Policy{NoRetry: true}).withDefaults().NoRetry {
+		t.Error("withDefaults dropped NoRetry")
+	}
+}
+
+// TestPolicyNoJitterExactBackoff: with jitter disabled the holdoff
+// sequence is the exact exponential series, no RNG involved.
+func TestPolicyNoJitterExactBackoff(t *testing.T) {
+	p := Policy{InitialBackoff: time.Second, NoJitter: true}.withDefaults()
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if got := p.backoff(i+1, nil); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestPolicyShrinkingMultiplierRejected: a multiplier below 1 would
+// walk the holdoff toward zero and hot-loop the redialer; the policy
+// must refuse it instead of quietly misbehaving.
+func TestPolicyShrinkingMultiplierRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Multiplier 0.5 did not panic")
+		}
+	}()
+	Policy{Multiplier: 0.5}.withDefaults()
+}
+
+// TestSupervisorNoRetryGivesUpOnFirstFailure: with NoRetry the first
+// failed dial is final — one attempt, one give-up, no holdoffs.
+func TestSupervisorNoRetryGivesUpOnFirstFailure(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	cfg := r.dialerConfig()
+	cfg.APN = "no-such-apn" // every dial ends in NO CARRIER
+	sup := NewSupervisor(SupervisorConfig{
+		Dialer: New(cfg),
+		Policy: Policy{NoRetry: true},
+	})
+	sup.Start()
+	r.loop.RunUntil(10 * time.Minute)
+	if sup.State() != SupervisorDown {
+		t.Fatalf("state = %v, want down after the only permitted attempt", sup.State())
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "attempts"); got != 1 {
+		t.Errorf("attempts = %d, want 1 with NoRetry", got)
+	}
+	if got := snap.Counter(prefix + "give_ups"); got != 1 {
+		t.Errorf("give_ups = %d, want 1", got)
+	}
+	if got := snap.Histograms[prefix+"backoff_ns"].Count; got != 0 {
+		t.Errorf("backoff observations = %d, want none with NoRetry", got)
+	}
+}
+
+// TestSupervisorNoRetryDropIsFinal: a carrier drop under NoRetry puts
+// the supervisor down instead of redialing.
+func TestSupervisorNoRetryDropIsFinal(t *testing.T) {
+	r := newRig(t, umts.Commercial(), modem.Globetrotter, "")
+	var downs []string
+	sup := NewSupervisor(SupervisorConfig{
+		Dialer: New(r.dialerConfig()),
+		Policy: Policy{NoRetry: true},
+		OnDown: func(reason string) { downs = append(downs, reason) },
+	})
+	sup.Start()
+	r.loop.RunUntil(60 * time.Second)
+	if sup.State() != SupervisorUp {
+		t.Fatalf("state = %v after bring-up", sup.State())
+	}
+	r.op.DropAllSessions("fault: drop")
+	r.loop.RunUntil(r.loop.Now() + 10*time.Minute)
+	if sup.State() != SupervisorDown {
+		t.Fatalf("state = %v, want down — NoRetry must not redial after a drop", sup.State())
+	}
+	snap := r.loop.Metrics().Snapshot()
+	prefix := "dialer/supervisor/planetlab-napoli/ppp0/"
+	if got := snap.Counter(prefix + "attempts"); got != 1 {
+		t.Errorf("attempts = %d, want only the initial bring-up", got)
+	}
+	if len(downs) != 1 {
+		t.Errorf("OnDown fired %d times, want 1", len(downs))
+	}
+}

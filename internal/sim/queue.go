@@ -15,6 +15,7 @@ type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	pri int8 // priority band at the same instant: priHead before priNormal
 	gen uint32
 	// where records which container currently holds the event: a wheel
 	// level (0..numLevels-1) or one of the ev* sentinels below.
@@ -32,8 +33,20 @@ const (
 	evFree     int8 = -4 // on the loop freelist
 )
 
+// Priority bands. Within one instant, head-band events (Loop.AtHead)
+// fire before every normal-band event no matter which was inserted
+// first; within a band, insertion order (seq) still breaks ties. The
+// sharded engine schedules cross-shard deliveries in the head band so
+// the delivery-vs-local interleaving at a shared nanosecond does not
+// depend on when the coordinator flushed — a prerequisite for window
+// policies with different flush points to stay byte-identical.
+const (
+	priHead   int8 = -1
+	priNormal int8 = 0
+)
+
 // eventQueue is the scheduler backend contract. pop and peek return the
-// next live event in (at, seq) order; implementations discard (and
+// next live event in (at, pri, seq) order; implementations discard (and
 // free) cancelled entries internally, so callers never see dead events.
 type eventQueue interface {
 	push(ev *event)
@@ -50,7 +63,7 @@ type eventQueue interface {
 	len() int
 }
 
-// eventHeap is a binary min-heap over (at, seq), shared by the heap
+// eventHeap is a binary min-heap over (at, pri, seq), shared by the heap
 // scheduler and the wheel's ready/overflow sub-heaps. index fields are
 // kept current so heap.Remove can cancel in O(log n).
 type eventHeap []*event
@@ -59,6 +72,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }

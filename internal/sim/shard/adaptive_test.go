@@ -1,0 +1,172 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
+)
+
+// TestAdaptiveMatchesGlobal pins the policy half of the determinism
+// contract: for every scheduler backend and placement, the adaptive
+// per-shard-horizon engine must produce traces byte-identical to the
+// lockstep global-window engine (which the placement tests already tie
+// to the single-shard reference).
+func TestAdaptiveMatchesGlobal(t *testing.T) {
+	const nParts = 4
+	until := 200 * time.Millisecond
+	mappings := map[string][]int{
+		"1shard":  {0, 0, 0, 0},
+		"2shards": {0, 1, 0, 1},
+		"4shards": {0, 1, 2, 3},
+	}
+	for _, sched := range []sim.Scheduler{sim.SchedulerWheel, sim.SchedulerHeap} {
+		global := shard.NewEngine(7, 4, sched)
+		ref := pingPong(t, 7, nParts, global, []int{0, 1, 2, 3}, until)
+		for name, mapping := range mappings {
+			n := 1
+			for _, m := range mapping {
+				if m >= n {
+					n = m + 1
+				}
+			}
+			eng := shard.NewEngine(7, n, sched)
+			eng.SetPolicy(shard.PolicyAdaptive)
+			got := pingPong(t, 7, nParts, eng, mapping, until)
+			for i := 0; i < nParts; i++ {
+				if ref[i] != got[i] {
+					t.Fatalf("sched %v %s: station %d trace differs global vs adaptive:\n--- global ---\n%s--- adaptive ---\n%s",
+						sched, name, i, ref[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveRunsAhead verifies the point of the adaptive policy: a
+// shard whose only incoming path is long must not be throttled to the
+// global minimum edge delay. With a 1ms edge 0->1 and a 20ms edge 0->2,
+// the global policy holds every shard to 1ms windows (200 of them over
+// 200ms) while adaptive lets shard 2 advance in 20ms strides.
+func TestAdaptiveRunsAhead(t *testing.T) {
+	until := 200 * time.Millisecond
+	windows := func(p shard.Policy) int64 {
+		eng := shard.NewEngine(1, 3, sim.SchedulerWheel)
+		eng.SetPolicy(p)
+		eng.NewEdge(eng.Shard(0), eng.Shard(1), time.Millisecond, func(shard.Message) {})
+		ed := eng.NewEdge(eng.Shard(0), eng.Shard(2), 20*time.Millisecond, func(shard.Message) {})
+		eng.Shard(0).Loop().Post(func() { ed.Send(20*time.Millisecond, "x") })
+		eng.Run(until)
+		return eng.Shard(2).Loop().Metrics().Snapshot().Counter("shard/windows")
+	}
+	g, a := windows(shard.PolicyGlobal), windows(shard.PolicyAdaptive)
+	if g < 100 {
+		t.Fatalf("global policy ran %d windows on the long-edge shard, expected lockstep ~200", g)
+	}
+	if a > 15 {
+		t.Fatalf("adaptive policy ran %d windows on the long-edge shard, want <= ~10 (20ms strides)", a)
+	}
+}
+
+// TestFinalWindowHorizonSend is the regression test for the
+// final-window horizon drop: a message sent from INSIDE the last
+// inclusive window with At exactly at the horizon used to be stranded
+// in its mailbox when Run returned, because the flush ran before the
+// window and nothing drained afterwards. The engine must deliver it and
+// leave every mailbox empty (zero final backlog gauge).
+func TestFinalWindowHorizonSend(t *testing.T) {
+	for _, p := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+		eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
+		eng.SetPolicy(p)
+		d := 2 * time.Millisecond
+		until := 10 * time.Millisecond
+		var deliveredAt time.Duration
+		ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(m shard.Message) {
+			deliveredAt = eng.Shard(1).Loop().Now()
+		})
+		// Fires at until-d, inside the final inclusive window [8ms, 10ms],
+		// after the engine's last pre-window flush has already run.
+		eng.Shard(0).Loop().At(until-d, func() { ed.Send(until, "last") })
+		eng.Run(until)
+		if deliveredAt != until {
+			t.Errorf("policy %v: horizon message delivered at %v, want exactly %v", p, deliveredAt, until)
+		}
+		for i := 0; i < eng.N(); i++ {
+			g := eng.Shard(i).Loop().Metrics().Snapshot().Gauges["shard/mailbox_backlog"]
+			if g.Value != 0 {
+				t.Errorf("policy %v: shard %d final mailbox backlog = %v, want 0", p, i, g.Value)
+			}
+		}
+	}
+}
+
+// TestRunReentryNoOp: calling Run twice with the same horizon must not
+// re-execute the inclusive window — metrics (window counts, deliveries)
+// and loop state stay exactly as the first call left them.
+func TestRunReentryNoOp(t *testing.T) {
+	for _, p := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+		eng := shard.NewEngine(3, 2, sim.SchedulerWheel)
+		eng.SetPolicy(p)
+		d := 2 * time.Millisecond
+		ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(shard.Message) {})
+		eng.Shard(0).Loop().Post(func() { ed.Send(d, 1) })
+		ticks := 0
+		eng.Shard(1).Loop().At(5*time.Millisecond, func() { ticks++ })
+		eng.Run(10 * time.Millisecond)
+
+		snap := make([]string, eng.N())
+		for i := range snap {
+			snap[i] = fmt.Sprintf("%v %d %v", eng.Shard(i).Loop().Metrics().Snapshot().Counters,
+				eng.Shard(i).Loop().Len(), eng.Shard(i).Loop().Now())
+		}
+		eng.Run(10 * time.Millisecond)
+		if ticks != 1 {
+			t.Fatalf("policy %v: event ran %d times across re-entrant Run calls, want 1", p, ticks)
+		}
+		for i := range snap {
+			got := fmt.Sprintf("%v %d %v", eng.Shard(i).Loop().Metrics().Snapshot().Counters,
+				eng.Shard(i).Loop().Len(), eng.Shard(i).Loop().Now())
+			if got != snap[i] {
+				t.Errorf("policy %v: shard %d state changed on re-entrant Run:\nbefore: %s\nafter:  %s",
+					p, i, snap[i], got)
+			}
+		}
+	}
+}
+
+// TestParsePolicy covers the flag round-trip.
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want shard.Policy
+		ok   bool
+	}{
+		{"global", shard.PolicyGlobal, true},
+		{"", shard.PolicyGlobal, true},
+		{"adaptive", shard.PolicyAdaptive, true},
+		{"fancy", shard.PolicyGlobal, false},
+	} {
+		got, err := shard.ParsePolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if shard.PolicyAdaptive.String() != "adaptive" || shard.PolicyGlobal.String() != "global" {
+		t.Error("Policy.String round-trip broken")
+	}
+}
+
+// TestSetPolicyAfterRunPanics: the window policy is part of the run
+// configuration and must be frozen once shards have advanced.
+func TestSetPolicyAfterRunPanics(t *testing.T) {
+	eng := shard.NewEngine(1, 1, sim.SchedulerWheel)
+	eng.Run(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPolicy after Run did not panic")
+		}
+	}()
+	eng.SetPolicy(shard.PolicyAdaptive)
+}

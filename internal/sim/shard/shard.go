@@ -4,15 +4,34 @@
 // registry), and advances all shards in bounded virtual-time windows.
 //
 // Shards interact only through Edges — directed cross-shard channels
-// with a declared minimum propagation delay. The smallest such delay is
-// the engine's lookahead: during a window [t, t+W) no shard can emit a
-// message that another shard must see inside the same window, so every
-// shard may execute the window without synchronizing. At each window
-// barrier the coordinator drains the per-edge FIFO mailboxes and
-// schedules the released messages on their destination loops.
+// with a declared minimum propagation delay. Two window policies share
+// the same delivery machinery:
+//
+//   - PolicyGlobal (default): the smallest edge delay is the engine's
+//     lookahead; all shards advance in lockstep windows of that size,
+//     exchanging messages at each barrier. Simple, and the reference
+//     the adaptive policy is differentially tested against.
+//   - PolicyAdaptive: each shard gets its own horizon from the edge
+//     graph — h(i) = min over shards j of (barrier(j) + dist(j, i)),
+//     where dist is the all-pairs shortest path over edge min-delays.
+//     A shard with long or no incoming paths runs far ahead; a short
+//     edge throttles only its own destination. The coordinator releases
+//     a shard the moment its specific predecessors have advanced far
+//     enough, instead of holding every shard at a global barrier.
+//
+// Message hand-off is batched and allocation-free on the hot path.
+// Send appends to the edge's outbox, owned by the source shard while
+// its window runs. When the shard completes a window the coordinator
+// moves the outbox into the edge's mailbox (a swap when possible — the
+// arenas are reused across barriers). A release drains the due mailbox
+// messages into the destination shard's inbox, sorts them once by the
+// (At, edge, seq) key precomputed at Send, and arms one pre-bound
+// trigger event per message on the destination loop — no per-message
+// closure is ever allocated.
 //
 // Determinism. A run is bit-identical for a given seed regardless of
-// how partitions are mapped onto shards (including all-on-one-shard):
+// how partitions are mapped onto shards (including all-on-one-shard)
+// AND regardless of the window policy:
 //
 //   - Every shard loop is created with the same seed, so a named RNG
 //     stream ("link/x", "serial/y", ...) yields the same sequence on
@@ -29,17 +48,28 @@
 //     identical for every shard count. (This strengthens the obvious
 //     (At, source shard, seq) order, which would depend on how sources
 //     are grouped into shards.)
+//   - Deliveries are armed in the loop's head priority band
+//     (sim.Loop.AtHead): at a shared nanosecond a delivery always runs
+//     before locally scheduled events, no matter which window's flush
+//     inserted it. Policies flush at different points — global at grid
+//     barriers, adaptive at per-shard releases — and the head band is
+//     what makes that difference invisible to the model. Two same-At
+//     messages for one shard always travel in the same flush (the
+//     horizon guarantee puts any not-yet-flushed message at or beyond
+//     the release horizon), so the sorted batch fixes their order.
 //
 // Each shard's registry carries the engine's instruments: counters
 // shard/windows, shard/msgs_in, shard/msgs_out, the wall-clock
 // shard/stall_wall_ns (time spent waiting for the slowest shard at
-// barriers — placement-dependent by nature, so excluded from
-// differential comparisons), and the gauge shard/mailbox_backlog (held
-// messages per barrier, with its peak).
+// global barriers — placement-dependent by nature, so excluded from
+// differential comparisons, and zero under PolicyAdaptive which has no
+// global barrier), and the gauge shard/mailbox_backlog (messages held
+// in the shard's outgoing mailboxes, with its peak).
 package shard
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -48,15 +78,66 @@ import (
 	"github.com/onelab/umtslab/internal/sim"
 )
 
+// Policy selects how the engine windows shard execution. Both policies
+// produce byte-identical simulations; they differ only in how much
+// wall-clock parallelism the window schedule exposes.
+type Policy int
+
+const (
+	// PolicyGlobal advances all shards in lockstep windows sized by the
+	// global minimum edge delay.
+	PolicyGlobal Policy = iota
+	// PolicyAdaptive gives each shard its own horizon from per-shard
+	// shortest-path distances and releases shards independently.
+	PolicyAdaptive
+)
+
+// String returns the flag-friendly name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAdaptive:
+		return "adaptive"
+	default:
+		return "global"
+	}
+}
+
+// ParsePolicy converts a flag value ("global" or "adaptive") into a
+// Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "global", "":
+		return PolicyGlobal, nil
+	case "adaptive":
+		return PolicyAdaptive, nil
+	}
+	return PolicyGlobal, fmt.Errorf("shard: unknown policy %q (want global or adaptive)", s)
+}
+
 // Message is one cross-shard delivery: a payload that becomes visible
 // to the destination shard at virtual time At. Edge and Seq identify
 // its provenance and fully determine ordering among same-instant
-// arrivals.
+// arrivals — the struct is its own sort key, filled in at Send.
 type Message struct {
 	At      time.Duration
 	Edge    int    // creation index of the carrying Edge
 	Seq     uint64 // per-edge send sequence
 	Payload any
+}
+
+// byKey sorts messages by the delivery-order contract (At, edge, seq).
+type byKey []Message
+
+func (b byKey) Len() int      { return len(b) }
+func (b byKey) Swap(i, j int) { b[i], b[j] = b[j], b[i] }
+func (b byKey) Less(i, j int) bool {
+	if b[i].At != b[j].At {
+		return b[i].At < b[j].At
+	}
+	if b[i].Edge != b[j].Edge {
+		return b[i].Edge < b[j].Edge
+	}
+	return b[i].Seq < b[j].Seq
 }
 
 // Shard is one partition of the scenario: a private sim.Loop plus the
@@ -73,6 +154,26 @@ type Shard struct {
 	gBacklog *metrics.Gauge
 
 	runCh chan windowReq
+
+	inEdges  []*Edge
+	outEdges []*Edge
+
+	// Coordinator-owned window state. barrier is the time the shard has
+	// completed through: events strictly before it have executed (and at
+	// it too, once done is set by an inclusive window).
+	barrier   time.Duration
+	done      bool
+	running   bool
+	target    time.Duration
+	inclusive bool
+
+	// inbox is the sorted arena of released-but-not-yet-executed
+	// deliveries. One pre-bound trigger (deliverFn) is armed per entry in
+	// the loop's head band; triggers fire in the same order the sorted
+	// entries were armed, so deliverNext just pops sequentially.
+	inbox     []Message
+	inboxHead int
+	deliverFn func()
 }
 
 // ID returns the shard's index in the engine.
@@ -81,6 +182,22 @@ func (s *Shard) ID() int { return s.id }
 // Loop returns the shard's private simulation loop. Model components of
 // this partition are built on it exactly as on a standalone loop.
 func (s *Shard) Loop() *sim.Loop { return s.loop }
+
+// deliverNext executes the next released delivery. It runs on the
+// shard's loop, in the head priority band at the message's At; the
+// arming order matches the inbox sort order, so sequential pops track
+// the firing order exactly.
+func (s *Shard) deliverNext() {
+	m := s.inbox[s.inboxHead]
+	s.inbox[s.inboxHead] = Message{}
+	s.inboxHead++
+	if s.inboxHead == len(s.inbox) {
+		s.inbox = s.inbox[:0]
+		s.inboxHead = 0
+	}
+	s.mMsgsIn.Inc()
+	s.eng.edges[m.Edge].deliver(m)
+}
 
 // Edge is a directed cross-shard channel with a minimum propagation
 // delay. The source shard's model code calls Send during its window;
@@ -91,7 +208,14 @@ type Edge struct {
 	minDelay time.Duration
 	deliver  func(Message)
 	seq      uint64
-	pending  []Message // mailbox, drained by the coordinator at barriers
+
+	// outbox collects sends during the source shard's window; only the
+	// source touches it while the shard runs. When the window completes,
+	// the coordinator moves it into mailbox (swapping arenas when it
+	// can), which only the coordinator ever touches — so releasing a
+	// destination never races with a still-running source.
+	outbox  []Message
+	mailbox []Message
 }
 
 // MinDelay returns the edge's declared minimum propagation delay.
@@ -106,23 +230,36 @@ func (ed *Edge) Send(at time.Duration, payload any) {
 			ed.id, at, now, ed.minDelay))
 	}
 	ed.seq++
-	ed.pending = append(ed.pending, Message{At: at, Edge: ed.id, Seq: ed.seq, Payload: payload})
+	ed.outbox = append(ed.outbox, Message{At: at, Edge: ed.id, Seq: ed.seq, Payload: payload})
 	ed.src.mMsgsOut.Inc()
 }
 
 // Engine coordinates the shards.
 type Engine struct {
 	seed   int64
+	policy Policy
 	shards []*Shard
 	edges  []*Edge
 	now    time.Duration
 
+	// inclusiveDone records that the horizon at now was executed
+	// inclusively, making a repeated Run(now) a no-op.
+	inclusiveDone bool
+	started       bool
+
+	// dist[j][i] is the shortest cross-shard path delay from j to i
+	// (noPath when i is unreachable from j); dist[i][i] is the shortest
+	// cycle through i, so self-edges and loops bound a shard's own
+	// horizon. Recomputed at each Run from the edge set.
+	dist [][]time.Duration
+
 	doneCh chan windowDone
 	walls  []time.Duration
-	held   []int // per-shard mailbox backlog, recomputed each flush
-	batch  []flushItem
 	wg     sync.WaitGroup
 }
+
+// noPath marks an absent shard-to-shard path in the distance matrix.
+const noPath = time.Duration(math.MaxInt64)
 
 type windowReq struct {
 	target    time.Duration
@@ -134,22 +271,18 @@ type windowDone struct {
 	wall time.Duration
 }
 
-type flushItem struct {
-	edge *Edge
-	msg  Message
-}
-
 // NewEngine creates n shards whose loops all share the given seed and
-// scheduler backend.
+// scheduler backend. The engine starts under PolicyGlobal; use
+// SetPolicy before the first Run to select adaptive windowing.
 func NewEngine(seed int64, n int, sched sim.Scheduler) *Engine {
 	if n < 1 {
 		panic(fmt.Sprintf("shard: engine needs at least one shard, got %d", n))
 	}
-	e := &Engine{seed: seed, walls: make([]time.Duration, n), held: make([]int, n)}
+	e := &Engine{seed: seed, walls: make([]time.Duration, n)}
 	for i := 0; i < n; i++ {
 		loop := sim.NewLoopScheduler(seed, sched)
 		reg := loop.Metrics()
-		e.shards = append(e.shards, &Shard{
+		s := &Shard{
 			id:       i,
 			eng:      e,
 			loop:     loop,
@@ -158,7 +291,9 @@ func NewEngine(seed int64, n int, sched sim.Scheduler) *Engine {
 			mMsgsOut: reg.Counter("shard/msgs_out"),
 			mStall:   reg.Counter("shard/stall_wall_ns"),
 			gBacklog: reg.Gauge("shard/mailbox_backlog"),
-		})
+		}
+		s.deliverFn = s.deliverNext
+		e.shards = append(e.shards, s)
 	}
 	return e
 }
@@ -175,8 +310,20 @@ func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
 // Shards returns all shards in index order.
 func (e *Engine) Shards() []*Shard { return e.shards }
 
-// Now returns the engine's virtual time (the last barrier reached).
+// Now returns the engine's virtual time (the horizon of the last Run).
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Policy returns the engine's window policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// SetPolicy selects the window policy. It must be called before the
+// first Run; the policy cannot change once shards have advanced.
+func (e *Engine) SetPolicy(p Policy) {
+	if e.started {
+		panic("shard: SetPolicy after Run")
+	}
+	e.policy = p
+}
 
 // NewEdge declares a directed cross-shard channel. minDelay must be
 // positive — it is the time a message spends in flight at minimum, and
@@ -194,12 +341,14 @@ func (e *Engine) NewEdge(src, dst *Shard, minDelay time.Duration, deliver func(M
 	}
 	ed := &Edge{id: len(e.edges), src: src, dst: dst, minDelay: minDelay, deliver: deliver}
 	e.edges = append(e.edges, ed)
+	src.outEdges = append(src.outEdges, ed)
+	dst.inEdges = append(dst.inEdges, ed)
 	return ed
 }
 
-// Lookahead returns the synchronization window: the minimum MinDelay
-// over all edges, or 0 if the engine has no edges (shards are then
-// fully independent and run the whole span as one window).
+// Lookahead returns the global synchronization window: the minimum
+// MinDelay over all edges, or 0 if the engine has no edges (shards are
+// then fully independent and run the whole span as one window).
 func (e *Engine) Lookahead() time.Duration {
 	var w time.Duration
 	for _, ed := range e.edges {
@@ -210,28 +359,324 @@ func (e *Engine) Lookahead() time.Duration {
 	return w
 }
 
+// computeDist fills e.dist with all-pairs shortest path delays over the
+// edge graph (Floyd–Warshall; n is small — one entry per shard). The
+// diagonal is NOT seeded with zero: dist[i][i] ends up as the shortest
+// cycle through i, which is exactly the bound a self-edge or loop puts
+// on how far i may run ahead of its own unflushed output.
+func (e *Engine) computeDist() {
+	n := len(e.shards)
+	if e.dist == nil {
+		e.dist = make([][]time.Duration, n)
+		for i := range e.dist {
+			e.dist[i] = make([]time.Duration, n)
+		}
+	}
+	for i := range e.dist {
+		for j := range e.dist[i] {
+			e.dist[i][j] = noPath
+		}
+	}
+	for _, ed := range e.edges {
+		if ed.minDelay < e.dist[ed.src.id][ed.dst.id] {
+			e.dist[ed.src.id][ed.dst.id] = ed.minDelay
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := e.dist[i][k]
+			if dik == noPath {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := e.dist[k][j]; dkj != noPath && dik+dkj < e.dist[i][j] {
+					e.dist[i][j] = dik + dkj
+				}
+			}
+		}
+	}
+}
+
+// horizonFor returns how far shard s may safely advance: the earliest
+// time a message from any still-live shard could reach it. Live shard j
+// executing its window from barrier b can only emit messages with
+// At >= b + direct edge delay >= b + dist(j, s), so everything before
+// the returned horizon is already in a mailbox (or will never exist).
+// Shards that are done contribute nothing; noPath means unconstrained.
+func (e *Engine) horizonFor(s *Shard) time.Duration {
+	h := noPath
+	for j, src := range e.shards {
+		if src.done {
+			continue
+		}
+		d := e.dist[j][s.id]
+		if d == noPath {
+			continue
+		}
+		if b := src.barrier + d; b < h {
+			h = b
+		}
+	}
+	return h
+}
+
 // Run advances every shard to virtual time until (inclusive, like
-// sim.Loop.RunUntil) in lookahead-sized windows, exchanging cross-shard
-// messages at the window barriers.
+// sim.Loop.RunUntil), exchanging cross-shard messages as the window
+// policy allows. Calling Run again with the same horizon is a no-op;
+// a later horizon resumes from the current one.
+//
+// When Run returns, every mailbox and outbox is empty of messages with
+// At <= until: after the inclusive horizon window the engine keeps
+// draining (a delivery at the horizon may itself Send), and only
+// messages provably beyond the horizon stay held for the next Run.
 func (e *Engine) Run(until time.Duration) {
-	if until < e.now {
+	if until < e.now || (until == e.now && e.inclusiveDone) {
 		return
 	}
-	w := e.Lookahead()
+	e.started = true
+	for _, s := range e.shards {
+		s.barrier = e.now
+		s.done = false
+	}
 	e.startWorkers()
-	for t := e.now; w > 0 && t+w < until; {
+	if e.policy == PolicyAdaptive {
+		e.computeDist()
+		e.runAdaptive(until)
+	} else {
+		e.runGlobal(until)
+	}
+	e.stopWorkers()
+	e.now = until
+	e.inclusiveDone = true
+}
+
+// runGlobal is the lockstep policy: windows sized by the global minimum
+// edge delay, all shards barriered together, then a drain loop for
+// messages emitted at the horizon itself.
+func (e *Engine) runGlobal(until time.Duration) {
+	w := e.Lookahead()
+	for t := e.now; w > 0 && t+w < until; t += w {
 		end := t + w
-		e.flush(end)
-		e.runWindow(end, false)
-		t = end
+		e.flushAll(end)
+		e.globalWindow(end, false)
 		e.now = end
 	}
 	// Final, inclusive window: release messages due at exactly until and
-	// execute events at the horizon itself.
-	e.flush(until + 1)
-	e.runWindow(until, true)
-	e.now = until
-	e.stopWorkers()
+	// execute events at the horizon itself. A delivery at the horizon
+	// may Send a message due at the horizon of a later Run but never at
+	// this one (At >= until + minDelay), yet a send from an ordinary
+	// last-window event CAN land exactly at until — hence the drain
+	// loop, which repeats the flush-and-run step until no mailbox holds
+	// a due message. Each pass only executes at time until, so every
+	// send it provokes lands strictly later and the loop terminates.
+	for {
+		e.flushAll(until + 1)
+		e.globalWindow(until, true)
+		if !e.anyDue(until) {
+			return
+		}
+	}
+}
+
+// runAdaptive is the per-shard-horizon policy. The coordinator loop
+// releases every shard whose horizon moved past its barrier, waits for
+// one completion, and repeats. A completed (inclusive) shard is
+// reopened when a later handoff parks a due message in one of its
+// mailboxes — that replaces the global drain loop.
+//
+// The loop cannot stall: among live shards, the one with the minimum
+// barrier b has horizon >= b + (smallest positive distance) > b, so at
+// least one shard is always releasable until all are done.
+func (e *Engine) runAdaptive(until time.Duration) {
+	for {
+		progressed := false
+		for _, s := range e.shards {
+			if s.running {
+				continue
+			}
+			if s.done {
+				if !e.dueInbound(s, until) {
+					continue
+				}
+				s.done = false
+			}
+			h := e.horizonFor(s)
+			var target time.Duration
+			var inclusive bool
+			switch {
+			case h > until:
+				target, inclusive = until, true
+			case h > s.barrier:
+				target, inclusive = h, false
+			default:
+				continue // a predecessor must advance first
+			}
+			if inclusive {
+				e.release(s, until+1, target, true)
+			} else {
+				e.release(s, target, target, false)
+			}
+			progressed = true
+		}
+		if e.anyRunning() {
+			e.awaitOne()
+			continue
+		}
+		if !progressed {
+			break
+		}
+		// Single-shard engines release inline; loop back to reassess.
+	}
+	for _, s := range e.shards {
+		if !s.done || e.dueInbound(s, until) {
+			panic("shard: adaptive coordinator stalled with undelivered messages")
+		}
+	}
+}
+
+// release flushes due mailbox messages into s and starts its window.
+func (e *Engine) release(s *Shard, flushHorizon, target time.Duration, inclusive bool) {
+	e.flushInto(s, flushHorizon)
+	s.running = true
+	s.target = target
+	s.inclusive = inclusive
+	if e.doneCh == nil { // single shard: run inline
+		s.runWindow(target, inclusive)
+		e.complete(s)
+		return
+	}
+	s.runCh <- windowReq{target, inclusive}
+}
+
+// awaitOne blocks for one worker completion and retires that window.
+func (e *Engine) awaitOne() {
+	d := <-e.doneCh
+	e.complete(e.shards[d.id])
+}
+
+// complete retires shard s's finished window: barrier advances to the
+// window target, outboxes hand off to the coordinator-owned mailboxes,
+// and the backlog gauge is refreshed (safe — the worker is idle again,
+// and the doneCh receive ordered its writes before ours).
+func (e *Engine) complete(s *Shard) {
+	s.running = false
+	s.barrier = s.target
+	if s.inclusive {
+		s.done = true
+	}
+	s.mWindows.Inc()
+	for _, ed := range s.outEdges {
+		ed.handoff()
+	}
+	e.updateBacklog(s)
+}
+
+// anyRunning reports whether any shard window is in flight.
+func (e *Engine) anyRunning() bool {
+	for _, s := range e.shards {
+		if s.running {
+			return true
+		}
+	}
+	return false
+}
+
+// dueInbound reports whether a mailbox into s holds a message due at or
+// before until.
+func (e *Engine) dueInbound(s *Shard, until time.Duration) bool {
+	for _, ed := range s.inEdges {
+		for _, m := range ed.mailbox {
+			if m.At <= until {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// anyDue reports whether any mailbox holds a message due at or before
+// until.
+func (e *Engine) anyDue(until time.Duration) bool {
+	for _, s := range e.shards {
+		if e.dueInbound(s, until) {
+			return true
+		}
+	}
+	return false
+}
+
+// handoff moves the edge's outbox into its coordinator-owned mailbox.
+// The common case (empty mailbox) is a pure arena swap.
+func (ed *Edge) handoff() {
+	if len(ed.outbox) == 0 {
+		return
+	}
+	if len(ed.mailbox) == 0 {
+		ed.mailbox, ed.outbox = ed.outbox, ed.mailbox[:0]
+		return
+	}
+	ed.mailbox = append(ed.mailbox, ed.outbox...)
+	for i := range ed.outbox {
+		ed.outbox[i] = Message{}
+	}
+	ed.outbox = ed.outbox[:0]
+}
+
+// flushInto drains every mailbox into shard s of messages due before
+// horizon, sorts s's inbox by (At, edge, seq), and arms one head-band
+// trigger per message on s's loop. Messages due later (sent near the
+// end of a window across a long edge) stay in the mailbox for a later
+// release. Must be called while s is idle with its inbox fully
+// consumed.
+func (e *Engine) flushInto(s *Shard, horizon time.Duration) {
+	for _, ed := range s.inEdges {
+		kept := ed.mailbox[:0]
+		for _, m := range ed.mailbox {
+			if m.At < horizon {
+				s.inbox = append(s.inbox, m)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		tail := ed.mailbox[len(kept):]
+		for i := range tail {
+			tail[i] = Message{}
+		}
+		ed.mailbox = kept
+	}
+	if len(s.inbox) == 0 {
+		return
+	}
+	sort.Sort(byKey(s.inbox))
+	for _, m := range s.inbox {
+		s.loop.AtHead(m.At, s.deliverFn)
+	}
+	for _, ed := range s.inEdges {
+		e.updateBacklog(ed.src)
+	}
+}
+
+// updateBacklog refreshes src's mailbox-backlog gauge. Skipped while
+// the shard runs — its registry belongs to the worker then — and
+// recomputed at its next completion instead.
+func (e *Engine) updateBacklog(src *Shard) {
+	if src.running {
+		return
+	}
+	n := 0
+	for _, ed := range src.outEdges {
+		n += len(ed.mailbox)
+	}
+	src.gBacklog.Set(float64(n))
+}
+
+// runWindow executes one window on the shard's loop.
+func (s *Shard) runWindow(target time.Duration, inclusive bool) {
+	if inclusive {
+		s.loop.RunUntil(target)
+	} else {
+		s.loop.RunBefore(target)
+	}
 }
 
 // startWorkers launches one persistent goroutine per shard (none for a
@@ -249,11 +694,7 @@ func (e *Engine) startWorkers() {
 			defer e.wg.Done()
 			for req := range s.runCh {
 				t0 := time.Now()
-				if req.inclusive {
-					s.loop.RunUntil(req.target)
-				} else {
-					s.loop.RunBefore(req.target)
-				}
+				s.runWindow(req.target, req.inclusive)
 				e.doneCh <- windowDone{s.id, time.Since(t0)}
 			}
 		}(s)
@@ -272,19 +713,31 @@ func (e *Engine) stopWorkers() {
 	e.doneCh = nil
 }
 
-// runWindow executes one window on every shard and waits for all of
+// flushAll releases due messages into every shard (global policy: all
+// shards are idle at a barrier, so every mailbox may drain at once).
+func (e *Engine) flushAll(horizon time.Duration) {
+	for _, s := range e.shards {
+		e.flushInto(s, horizon)
+	}
+	for _, s := range e.shards {
+		e.updateBacklog(s)
+	}
+}
+
+// globalWindow executes one window on every shard and waits for all of
 // them (the barrier). The channel handshake also publishes each
-// worker's writes (mailbox appends, loop state) to the coordinator and
+// worker's writes (outbox appends, loop state) to the coordinator and
 // the coordinator's flush writes back to the workers.
-func (e *Engine) runWindow(target time.Duration, inclusive bool) {
-	if len(e.shards) == 1 {
+func (e *Engine) globalWindow(target time.Duration, inclusive bool) {
+	for _, s := range e.shards {
+		s.running = true
+		s.target = target
+		s.inclusive = inclusive
+	}
+	if e.doneCh == nil {
 		s := e.shards[0]
-		if inclusive {
-			s.loop.RunUntil(target)
-		} else {
-			s.loop.RunBefore(target)
-		}
-		s.mWindows.Inc()
+		s.runWindow(target, inclusive)
+		e.complete(s)
 		return
 	}
 	for _, s := range e.shards {
@@ -299,57 +752,7 @@ func (e *Engine) runWindow(target time.Duration, inclusive bool) {
 		}
 	}
 	for _, s := range e.shards {
-		s.mWindows.Inc()
+		e.complete(s)
 		s.mStall.Add(int64(maxWall - e.walls[s.id]))
 	}
-}
-
-// flush drains every edge mailbox of messages due before horizon and
-// schedules them on their destination loops in (At, edge, seq) order.
-// Messages due later (sent near the end of the previous window across a
-// long edge) stay in the mailbox for a later barrier.
-func (e *Engine) flush(horizon time.Duration) {
-	batch := e.batch[:0]
-	for i := range e.held {
-		e.held[i] = 0
-	}
-	for _, ed := range e.edges {
-		kept := ed.pending[:0]
-		for _, m := range ed.pending {
-			if m.At < horizon {
-				batch = append(batch, flushItem{ed, m})
-			} else {
-				kept = append(kept, m)
-			}
-		}
-		tail := ed.pending[len(kept):]
-		for i := range tail {
-			tail[i] = Message{}
-		}
-		ed.pending = kept
-		e.held[ed.src.id] += len(kept)
-	}
-	for _, s := range e.shards {
-		s.gBacklog.Set(float64(e.held[s.id]))
-	}
-	sort.Slice(batch, func(i, j int) bool {
-		a, b := batch[i].msg, batch[j].msg
-		if a.At != b.At {
-			return a.At < b.At
-		}
-		if a.Edge != b.Edge {
-			return a.Edge < b.Edge
-		}
-		return a.Seq < b.Seq
-	})
-	for i := range batch {
-		ed, m := batch[i].edge, batch[i].msg
-		ed.dst.mMsgsIn.Inc()
-		deliver := ed.deliver
-		ed.dst.loop.At(m.At, func() { deliver(m) })
-	}
-	for i := range batch {
-		batch[i] = flushItem{}
-	}
-	e.batch = batch[:0]
 }

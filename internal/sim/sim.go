@@ -138,6 +138,7 @@ func (l *Loop) allocEvent(at time.Duration, fn func()) *event {
 	ev.at = at
 	ev.seq = l.seq
 	ev.fn = fn
+	ev.pri = priNormal
 	l.seq++
 	return ev
 }
@@ -199,6 +200,26 @@ func (l *Loop) At(at time.Duration, fn func()) Timer {
 		at = l.now
 	}
 	ev := l.allocEvent(at, fn)
+	l.q.push(ev)
+	if d := float64(l.q.len()); d > l.mDepthPeak.Max() {
+		l.mDepthPeak.Set(d)
+	}
+	return Timer{loop: l, ev: ev, gen: ev.gen}
+}
+
+// AtHead schedules fn at absolute virtual time at, in the head priority
+// band: among events sharing the same instant, every head-band event
+// fires before every normally scheduled one, regardless of insertion
+// order (head-band events order among themselves by insertion, like At).
+// The sharded engine uses it for cross-shard deliveries, so whether a
+// delivery was flushed into the loop before or during the window that
+// contains its timestamp cannot change the execution order.
+func (l *Loop) AtHead(at time.Duration, fn func()) Timer {
+	if at < l.now {
+		at = l.now
+	}
+	ev := l.allocEvent(at, fn)
+	ev.pri = priHead
 	l.q.push(ev)
 	if d := float64(l.q.len()); d > l.mDepthPeak.Max() {
 		l.mDepthPeak.Set(d)

@@ -382,3 +382,51 @@ func TestRunUntilIdleBeyondHorizon(t *testing.T) {
 		t.Fatalf("Now = %v, want 1s", l.Now())
 	}
 }
+
+// TestAtHeadPrecedesSameInstant: head-band events fire before every
+// normal-band event at the same instant regardless of insertion order,
+// and keep FIFO order among themselves — on both scheduler backends,
+// including events already due when scheduled (the Post-like path).
+func TestAtHeadPrecedesSameInstant(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		l := NewLoopScheduler(1, sched)
+		at := 5 * time.Millisecond
+		var got []string
+		l.At(at, func() { got = append(got, "n0") })
+		l.AtHead(at, func() { got = append(got, "h0") })
+		l.At(at, func() { got = append(got, "n1") })
+		l.AtHead(at, func() { got = append(got, "h1") })
+		// A due head event scheduled from inside the instant still beats
+		// the queued normal events at that instant.
+		l.At(at, func() { got = append(got, "n2") })
+		l.AtHead(2*time.Millisecond, func() {
+			l.AtHead(at, func() { got = append(got, "h2") })
+		})
+		l.Run()
+		want := "h0,h1,h2,n0,n1,n2"
+		joined := ""
+		for i, s := range got {
+			if i > 0 {
+				joined += ","
+			}
+			joined += s
+		}
+		if joined != want {
+			t.Fatalf("sched %v: order %s, want %s", sched, joined, want)
+		}
+	}
+}
+
+// TestAtHeadPastClamps: like At, AtHead in the past fires immediately
+// at the current instant.
+func TestAtHeadPastClamps(t *testing.T) {
+	l := NewLoop(1)
+	fired := time.Duration(-1)
+	l.At(time.Millisecond, func() {
+		l.AtHead(0, func() { fired = l.Now() })
+	})
+	l.Run()
+	if fired != time.Millisecond {
+		t.Fatalf("past AtHead fired at %v, want clamped to 1ms", fired)
+	}
+}

@@ -20,17 +20,17 @@ import (
 // events beyond that horizon wait in an overflow heap and are migrated
 // into the wheel a whole epoch at a time.
 //
-// Determinism: firing order must be exactly the (at, seq) total order
-// the reference heap produces, byte-for-byte. The wheel guarantees it
-// structurally — events only ever fire from the ready heap, which
-// orders by (at, seq):
+// Determinism: firing order must be exactly the (at, pri, seq) total
+// order the reference heap produces, byte-for-byte. The wheel
+// guarantees it structurally — events only ever fire from the ready
+// heap, which orders by (at, pri, seq):
 //
 //   - every event in the wheel or overflow has tick > curTick, and a
 //     tick strictly greater means at strictly greater (at values within
 //     one tick differ by < 2^tickShift ns, across ticks by >= that), so
 //     nothing outside ready can be due before anything inside it;
 //   - a level-0 slot holds exactly one tick's events, and draining it
-//     into ready re-sorts same-tick events whose (at, seq) order
+//     into ready re-sorts same-tick events whose (at, pri, seq) order
 //     differs from insertion order;
 //   - new events that land at or before curTick (Post, or scheduling
 //     after RunUntil peeked past its horizon) go straight into ready,

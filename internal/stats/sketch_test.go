@@ -162,3 +162,123 @@ func TestQuantileSketchMemoryBoundedByRange(t *testing.T) {
 		t.Errorf("RetainedBytes = %d, want a bounded bucket array (<32 KiB)", rb)
 	}
 }
+
+// TestQuantileSketchSelfMerge: Merge(s) on itself must exactly double
+// every count — the bucket loop reads pre-merge counts even though
+// source and destination share a backing array — and leave the
+// quantile estimates where they were.
+func TestQuantileSketchSelfMerge(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	rng := rand.New(rand.NewSource(5))
+	var samples []float64
+	for i := 0; i < 500; i++ {
+		v := math.Exp(rng.Float64() * 10)
+		samples = append(samples, v)
+		s.Add(v)
+	}
+	s.Add(0) // one sample in the low bucket too
+	samples = append(samples, 0)
+
+	before := map[float64]float64{}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		before[p] = s.Quantile(p)
+	}
+	s.Merge(s)
+	if got, want := s.Count(), uint64(2*len(samples)); got != want {
+		t.Fatalf("self-merge count = %d, want %d", got, want)
+	}
+	if s.low != 2 {
+		t.Errorf("self-merge low bucket = %d, want 2", s.low)
+	}
+	var bucketSum uint64
+	for _, c := range s.buckets {
+		bucketSum += c
+	}
+	if bucketSum+s.low != s.Count() {
+		t.Errorf("bucket mass %d + low %d != count %d", bucketSum, s.low, s.Count())
+	}
+	// Doubling every count moves no bucket boundary and no rank
+	// proportion: quantiles are unchanged, and still within bound.
+	for p, want := range before {
+		if got := s.Quantile(p); got != want {
+			t.Errorf("Quantile(%v) changed across self-merge: %v -> %v", p, want, got)
+		}
+	}
+	for _, p := range []float64{25, 50, 90, 99} {
+		checkQuantileBound(t, s, append(append([]float64(nil), samples...), samples...), p)
+	}
+}
+
+// TestQuantileSketchMergeLowOnly: merging a sketch whose entire mass
+// sits below the representable cutoff must fold into the low bucket
+// and the tracked minimum without touching the log buckets.
+func TestQuantileSketchMergeLowOnly(t *testing.T) {
+	dst := NewQuantileSketch(0.01)
+	for _, v := range []float64{10, 100, 1000} {
+		dst.Add(v)
+	}
+	src := NewQuantileSketch(0.01)
+	for _, v := range []float64{0, 0.25, 0.5} {
+		src.Add(v)
+	}
+	bucketsBefore := len(dst.buckets)
+	dst.Merge(src)
+	if got := dst.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if dst.low != 3 {
+		t.Errorf("low bucket = %d, want all 3 sub-cutoff samples", dst.low)
+	}
+	if len(dst.buckets) != bucketsBefore {
+		t.Errorf("log buckets grew %d -> %d on a low-only merge", bucketsBefore, len(dst.buckets))
+	}
+	if got := dst.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want the merged minimum 0", got)
+	}
+	// Ranks 1..3 are sub-cutoff mass: reported as the minimum.
+	if got := dst.Quantile(50); got != 0 {
+		t.Errorf("Quantile(50) = %v, want min (rank 3 of 6 is in the low bucket)", got)
+	}
+	if got := dst.Quantile(100); got != 1000 {
+		t.Errorf("Quantile(100) = %v, want max 1000", got)
+	}
+}
+
+// TestQuantileSketchMergeAfterGrow: merging a source whose buckets sit
+// below the destination's offset forces the dense array to grow
+// downward and shift; every count must land in the right bucket
+// afterwards.
+func TestQuantileSketchMergeAfterGrow(t *testing.T) {
+	dst := NewQuantileSketch(0.01)
+	var samples []float64
+	for _, v := range []float64{1e6, 2e6, 4e6} { // high buckets first
+		dst.Add(v)
+		samples = append(samples, v)
+	}
+	offsetBefore := dst.offset
+	src := NewQuantileSketch(0.01)
+	for _, v := range []float64{1.5, 3, 6, 12} { // far below dst's range
+		src.Add(v)
+		samples = append(samples, v)
+	}
+	dst.Merge(src)
+	if dst.offset >= offsetBefore {
+		t.Fatalf("offset %d did not shift down from %d; the merge should have grown the array downward", dst.offset, offsetBefore)
+	}
+	if got, want := dst.Count(), uint64(len(samples)); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var bucketSum uint64
+	for _, c := range dst.buckets {
+		bucketSum += c
+	}
+	if bucketSum != dst.Count() {
+		t.Errorf("bucket mass %d != count %d after offset shift", bucketSum, dst.Count())
+	}
+	if dst.Quantile(0) != 1.5 || dst.Quantile(100) != 4e6 {
+		t.Errorf("extremes = (%v, %v), want (1.5, 4e6)", dst.Quantile(0), dst.Quantile(100))
+	}
+	for _, p := range []float64{10, 50, 75, 95} {
+		checkQuantileBound(t, dst, samples, p)
+	}
+}

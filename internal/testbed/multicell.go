@@ -69,6 +69,12 @@ type MultiCellOptions struct {
 	Operator func(cell int) umts.Config
 	// Scheduler selects the sim kernel backend on every shard.
 	Scheduler sim.Scheduler
+	// ShardPolicy selects the engine window policy: shard.PolicyGlobal
+	// (lockstep lookahead windows, the default) or shard.PolicyAdaptive
+	// (per-shard distance-based horizons). The policy must not change
+	// results — the engine's determinism contract covers it, enforced by
+	// the same differential tests as the shard count.
+	ShardPolicy shard.Policy
 	// Faults is armed once per cell, on the cell's shard loop: every
 	// event hits that cell's operator, all of its terminals, and its Gi
 	// uplink (uplink-direction loss for link flaps). The empty schedule
@@ -228,6 +234,7 @@ func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	opts.setDefaults()
 	eng := shard.NewEngine(opts.Seed, opts.Shards, opts.Scheduler)
+	eng.SetPolicy(opts.ShardPolicy)
 
 	// One netsim.Network per shard; node names are globally unique so
 	// any number of partitions can share a shard.

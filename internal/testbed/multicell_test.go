@@ -1,12 +1,14 @@
 package testbed
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 	"time"
 
 	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
 )
 
 // TestMultiCellFlowsDeliver sanity-checks the scenario itself: every
@@ -45,49 +47,57 @@ func TestMultiCellFlowsDeliver(t *testing.T) {
 	}
 }
 
-// diffMultiCell runs the same options with shard counts 1 and n and
-// asserts byte-identical QoS reports, bearer logs, and the
-// placement-independent kernel counters.
+// diffMultiCell runs the same options with shard count 1 (the
+// reference), shard count n under the global window policy, and shard
+// count n under the adaptive per-shard-horizon policy, and asserts
+// byte-identical QoS reports, bearer logs, and placement-independent
+// kernel counters across all three — the determinism contract covers
+// placement AND window policy.
 func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
 	t.Helper()
 	opts.Shards = 1
+	opts.ShardPolicy = shard.PolicyGlobal
 	single, err := RunMultiCell(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Shards = n
-	sharded, err := RunMultiCell(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(single.Flows) != len(sharded.Flows) {
-		t.Fatalf("flow counts differ: %d vs %d", len(single.Flows), len(sharded.Flows))
-	}
-	for i := range single.Flows {
-		a, b := single.Flows[i], sharded.Flows[i]
-		if !reflect.DeepEqual(a.Decoded, b.Decoded) {
-			t.Errorf("cell %d terminal %d: decoded QoS differs between 1 and %d shards", a.Cell, a.Terminal, n)
+	for _, policy := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+		opts.Shards = n
+		opts.ShardPolicy = policy
+		sharded, err := RunMultiCell(opts)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(a.Streamed, b.Streamed) {
-			t.Errorf("cell %d terminal %d: streamed QoS differs between 1 and %d shards", a.Cell, a.Terminal, n)
+		label := fmt.Sprintf("%d shards/%v", n, policy)
+		if len(single.Flows) != len(sharded.Flows) {
+			t.Fatalf("flow counts differ: %d vs %d (%s)", len(single.Flows), len(sharded.Flows), label)
 		}
-		if !reflect.DeepEqual(a.BearerEvents, b.BearerEvents) {
-			t.Errorf("cell %d terminal %d: bearer logs differ:\n1 shard:  %v\n%d shards: %v",
-				a.Cell, a.Terminal, a.BearerEvents, n, b.BearerEvents)
-		}
-		if a.SetupTime != b.SetupTime || a.SendErrors != b.SendErrors {
-			t.Errorf("cell %d terminal %d: setup/senderrors differ", a.Cell, a.Terminal)
-		}
-	}
-	if !reflect.DeepEqual(single.Counters, sharded.Counters) {
-		for name, v := range single.Counters {
-			if sharded.Counters[name] != v {
-				t.Errorf("counter %s: %d (1 shard) vs %d (%d shards)", name, v, sharded.Counters[name], n)
+		for i := range single.Flows {
+			a, b := single.Flows[i], sharded.Flows[i]
+			if !reflect.DeepEqual(a.Decoded, b.Decoded) {
+				t.Errorf("cell %d terminal %d: decoded QoS differs between 1 shard and %s", a.Cell, a.Terminal, label)
+			}
+			if !reflect.DeepEqual(a.Streamed, b.Streamed) {
+				t.Errorf("cell %d terminal %d: streamed QoS differs between 1 shard and %s", a.Cell, a.Terminal, label)
+			}
+			if !reflect.DeepEqual(a.BearerEvents, b.BearerEvents) {
+				t.Errorf("cell %d terminal %d: bearer logs differ:\n1 shard:  %v\n%s: %v",
+					a.Cell, a.Terminal, a.BearerEvents, label, b.BearerEvents)
+			}
+			if a.SetupTime != b.SetupTime || a.SendErrors != b.SendErrors {
+				t.Errorf("cell %d terminal %d: setup/senderrors differ (%s)", a.Cell, a.Terminal, label)
 			}
 		}
-		for name, v := range sharded.Counters {
-			if _, ok := single.Counters[name]; !ok {
-				t.Errorf("counter %s only present in the %d-shard run (%d)", name, n, v)
+		if !reflect.DeepEqual(single.Counters, sharded.Counters) {
+			for name, v := range single.Counters {
+				if sharded.Counters[name] != v {
+					t.Errorf("counter %s: %d (1 shard) vs %d (%s)", name, v, sharded.Counters[name], label)
+				}
+			}
+			for name, v := range sharded.Counters {
+				if _, ok := single.Counters[name]; !ok {
+					t.Errorf("counter %s only present in the %s run (%d)", name, label, v)
+				}
 			}
 		}
 	}

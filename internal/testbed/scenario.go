@@ -9,6 +9,7 @@ import (
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/modem"
 	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
 	"github.com/onelab/umtslab/internal/umts"
 )
 
@@ -51,10 +52,11 @@ type Scenario struct {
 
 	analysis AnalysisConfig
 
-	cells     int
-	terminals int
-	shards    int
-	flowStart time.Duration
+	cells       int
+	terminals   int
+	shards      int
+	shardPolicy shard.Policy
+	flowStart   time.Duration
 
 	dump  func(metrics.Snapshot)
 	trace func(format string, args ...any)
@@ -152,6 +154,13 @@ func WithCells(cells, terminals int) ScenarioOption {
 // change results).
 func WithShards(n int) ScenarioOption { return func(sc *Scenario) { sc.shards = n } }
 
+// WithShardPolicy selects the shard engine's window policy — global
+// lockstep windows (default) or adaptive per-shard horizons. Like the
+// shard count, the policy must not change results.
+func WithShardPolicy(p shard.Policy) ScenarioOption {
+	return func(sc *Scenario) { sc.shardPolicy = p }
+}
+
 // WithFlowStart delays the multi-cell senders (default 15 s, after
 // dial-up settles).
 func WithFlowStart(d time.Duration) ScenarioOption {
@@ -191,7 +200,7 @@ func (sc *Scenario) Run() (*Report, error) {
 		}
 		mc, err := runMultiCell(MultiCellOptions{
 			Seed: sc.seed, Cells: sc.cells, Terminals: sc.terminals,
-			Shards: sc.shards, Workload: sc.workload,
+			Shards: sc.shards, ShardPolicy: sc.shardPolicy, Workload: sc.workload,
 			FlowStart: sc.flowStart, Duration: sc.duration, Window: sc.window,
 			Scheduler: sc.sched, Faults: sc.faults,
 			SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,

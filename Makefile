@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke
 
 all: build
 
@@ -47,6 +47,17 @@ bench-sched:
 # BENCH_shard.json.
 bench-shard:
 	$(GO) run ./cmd/experiments -bench-shard BENCH_shard.json -cells 4 -terminals 2 -dur 30s
+
+# bench-fleet measures the fleet scale-out: 4 cells x (2 active +
+# 24000 idle + 1000 population) = 100,008 terminals over a 55 s
+# horizon, the per-terminal footprint of the compact idle
+# representation vs the eager full-stack build, peak RSS, the
+# population model's differential validation against real dialed
+# terminals, and the 1-vs-N-shard identity check. The committed
+# BENCH_fleet.json is validated by bench_fleet_schema_test.go on every
+# `make test`, and bench-smoke runs the fleet path once per verify.
+bench-fleet:
+	$(GO) run ./cmd/experiments -bench-fleet BENCH_fleet.json -cells 4 -terminals 2 -fleet 24000 -population 1000 -dur 30s
 
 # bench-compare-shard validates the committed shard artifact: both
 # policies recorded byte-identical results and the adaptive wall time

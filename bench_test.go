@@ -566,3 +566,63 @@ func BenchmarkFaultRecovery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFleetScale runs a scaled-down fleet scenario end to end per
+// iteration — real flows plus a compact idle fleet plus aggregate
+// background populations on the shard engine. Its presence in the
+// bench-smoke gate keeps the whole fleet path (lazy materialization,
+// cohort registration, population attach/tick/detach, fleet counters)
+// exercised on every verify; `make bench-fleet` measures the full
+// 100k-terminal figure.
+func BenchmarkFleetScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunMultiCell(testbed.MultiCellOptions{
+			Seed: int64(i + 1), Cells: 2, Terminals: 1,
+			IdleTerminals: 5000, Population: 200,
+			Duration: 8 * time.Second, Drain: 6 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IdleTerminals != 10000 || len(res.Populations) != 2 {
+			b.Fatalf("fleet wiring: idle %d, populations %d", res.IdleTerminals, len(res.Populations))
+		}
+		if res.Populations[0].CarriedBytes <= 0 {
+			b.Fatal("population carried nothing")
+		}
+	}
+}
+
+// BenchmarkFleetFootprint measures the resident bytes of one compact
+// powered-on terminal (the `bytes_per_idle_terminal` figure of
+// BENCH_fleet.json) and reports it as a benchmark metric.
+func BenchmarkFleetFootprint(b *testing.B) {
+	var per float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		per, err = testbed.FleetFootprint(4096, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(per, "B/terminal")
+}
+
+// BenchmarkPopulationProbe times one leg of the population model's
+// differential validation: the fluid ensemble under the standard
+// 64 kbps probe spec (the real-terminal reference leg is measured by
+// `make bench-fleet`).
+func BenchmarkPopulationProbe(b *testing.B) {
+	cfg := umts.FleetCell(0)
+	cfg.Fades = umts.FadeConfig{}
+	spec := umts.PopulationSpec{RateBps: 64e3, Start: 5 * time.Second, Duration: 20 * time.Second}
+	for i := 0; i < b.N; i++ {
+		res, _, err := umts.MeasurePopulation(int64(i+1), sim.SchedulerHeap, cfg, 40, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CarriedBytes <= 0 {
+			b.Fatal("probe carried nothing")
+		}
+	}
+}

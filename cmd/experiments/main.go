@@ -10,6 +10,7 @@
 //	experiments [-figure all|1..7] [-dur 120s] [-reps 1] [-seed 1]
 //	            [-workers N] [-every 5] [-series] [-metrics file]
 //	            [-cells K] [-terminals M] [-shards S]
+//	            [-fleet N] [-population P] [-bench-fleet file]
 //	            [-shard-policy global|adaptive]
 //	            [-analysis batch|stream|stream-only]
 //	            [-fault-profile name] [-self-heal]
@@ -74,6 +75,17 @@
 // shard artifact instead: both policies recorded identical, and the
 // adaptive wall time within 1.05x of the global one (the `make
 // bench-compare-shard` gate).
+//
+// -fleet N powers on N additional compact idle terminals per cell
+// (registered, never dialing; the full node stack materializes only on
+// first dial) and -population P attaches P modeled background
+// subscribers per cell as one aggregate fluid ensemble — together they
+// scale a -cells run to 100k+ subscribers. -bench-fleet runs the
+// fleet-scale benchmark: per-terminal footprint (compact vs eager),
+// the 100k-terminal scenario's wall time and peak RSS, the population
+// model's differential validation against real dialed terminals, and
+// the 1-vs-N-shard identity check, written as JSON (the `make
+// bench-fleet` artifact).
 package main
 
 import (
@@ -251,6 +263,9 @@ func main() {
 	benchSchedOut := flag.String("bench-sched", "", "time the heap/wheel scheduler and pooling configurations, write JSON to this file, and exit")
 	cells := flag.Int("cells", 0, "run the K-cell scale-out scenario instead of the paper figures")
 	terminals := flag.Int("terminals", 1, "terminals per cell for -cells")
+	fleetIdle := flag.Int("fleet", 0, "additional idle (never-dialing) compact terminals per cell for -cells")
+	populationN := flag.Int("population", 0, "aggregate background subscribers per cell for -cells (fluid ensemble, O(1) cost)")
+	benchFleetOut := flag.String("bench-fleet", "", "run the 100k-terminal fleet benchmark (footprint, throughput, population validation), write JSON to this file, and exit")
 	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
 	shardPolicyFlag := flag.String("shard-policy", "global", "shard engine window policy for -cells: global (lockstep windows) or adaptive (per-shard horizons)")
 	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards under both window policies, write JSON to this file, and exit")
@@ -378,8 +393,16 @@ func main() {
 		return
 	}
 
+	if *benchFleetOut != "" {
+		if err := benchFleet(*benchFleetOut, *seed, *cells, *terminals, *fleetIdle, *populationN); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *cells > 0 {
-		if err := runMultiCell(*seed, *cells, *terminals, *shards); err != nil {
+		if err := runMultiCell(*seed, *cells, *terminals, *shards, *fleetIdle, *populationN); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: multicell: %v\n", err)
 			os.Exit(1)
 		}
@@ -963,12 +986,13 @@ func benchFault(path string, seed int64, profile string) error {
 // line per flow. The report is identical for every -shards and
 // -shard-policy value — those flags only change how the wall-clock
 // work is partitioned and synchronized.
-func runMultiCell(seed int64, cells, terminals, shards int) error {
+func runMultiCell(seed int64, cells, terminals, shards, fleetIdle, population int) error {
 	opts := testbed.MultiCellOptions{
 		Seed: seed, Cells: cells, Terminals: terminals,
 		Shards: shards, ShardPolicy: shardPolicy, Duration: dur,
 		Faults: faultSched, SelfHeal: selfHeal,
-		Analysis: analysisCfg,
+		Analysis:      analysisCfg,
+		IdleTerminals: fleetIdle, Population: population,
 	}
 	res, err := testbed.RunMultiCell(opts)
 	if err != nil {
@@ -976,6 +1000,14 @@ func runMultiCell(seed int64, cells, terminals, shards int) error {
 	}
 	fmt.Printf("Multi-cell scale-out: %d cells x %d terminals on %d shard(s), %v windows\n",
 		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards, shardPolicy)
+	if res.IdleTerminals > 0 {
+		fmt.Printf("idle fleet: %d compact terminals (%d per cell), powered on and registered, never dialing\n",
+			res.IdleTerminals, fleetIdle)
+	}
+	for i, st := range res.Populations {
+		fmt.Printf("cell %d population: %d modeled subscribers, carried %.0f B (util %.3f), dropped %.0f B\n",
+			i, st.Subscribers, st.CarriedBytes, st.Utilization, st.DroppedBytes)
+	}
 	fmt.Printf("flows: %v each, lookahead %v, %d synchronization windows\n",
 		res.Opts.Duration, res.Lookahead, res.Windows)
 	for _, w := range res.Outages {

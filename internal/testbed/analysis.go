@@ -86,8 +86,25 @@ func (c AnalysisConfig) newDecoder(window, start time.Duration) *itg.StreamDecod
 // attach wires the decoder into a flow's endpoints before the sender
 // starts; stream-only mode additionally drops the per-packet logs.
 func (c AnalysisConfig) attach(d *itg.StreamDecoder, snd *itg.Sender, recv *itg.Receiver) {
-	snd.Stream, recv.Stream = d, d
+	c.attachSend(d, snd)
+	c.attachRecv(d, recv)
+}
+
+// attachRecv wires the decoder's receiver side. The multi-cell scenario
+// calls it eagerly (the receiver lives on the core shard and must be
+// bound before the engine runs) while the sender side attaches lazily
+// when the terminal's stack materializes.
+func (c AnalysisConfig) attachRecv(d *itg.StreamDecoder, recv *itg.Receiver) {
+	recv.Stream = d
 	if c.Mode == AnalysisStreamOnly {
-		snd.DropLogs, recv.DropLogs = true, true
+		recv.DropLogs = true
+	}
+}
+
+// attachSend wires the decoder's sender side; see attachRecv.
+func (c AnalysisConfig) attachSend(d *itg.StreamDecoder, snd *itg.Sender) {
+	snd.Stream = d
+	if c.Mode == AnalysisStreamOnly {
+		snd.DropLogs = true
 	}
 }

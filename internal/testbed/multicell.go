@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 	"net/netip"
 	"strings"
 	"time"
@@ -93,6 +94,27 @@ type MultiCellOptions struct {
 	// order makes the streamed results placement-independent: the
 	// shard-count determinism contract extends to Streamed.
 	Analysis AnalysisConfig
+	// IdleTerminals powers on this many additional subscribers per
+	// cell that register but never dial: each is a compact
+	// umts.Terminal (no node, modem, PPP, serial or ITG machinery —
+	// that stack materializes only on first dial), so fleets of 100k+
+	// are cheap. When any fleet field is set the default Operator
+	// switches from CommercialCell to FleetCell (a /16 pool).
+	IdleTerminals int
+	// Population attaches an aggregate background ensemble of this
+	// many modeled CBR subscribers per cell (umts.Population): same
+	// offered radio load and pool occupancy as real terminals, O(1)
+	// cost in the subscriber count. Populations live on their cell's
+	// loop, so they round-robin over shards with their cells.
+	Population int
+	// PopulationSpec overrides the default background workload (64
+	// kbps CBR over the flow window).
+	PopulationSpec *umts.PopulationSpec
+	// FlowGaugeLimit caps per-flow metrics cardinality: above this
+	// many flows (default 256) the per-flow itg/stream/*/retained_bytes
+	// gauges collapse into per-cell sum + max gauges, recorded by the
+	// itg/stream/flows_aggregated counter. Negative disables the cap.
+	FlowGaugeLimit int
 }
 
 func (o *MultiCellOptions) setDefaults() {
@@ -100,7 +122,13 @@ func (o *MultiCellOptions) setDefaults() {
 		o.Cells = 2
 	}
 	if o.Terminals <= 0 {
-		o.Terminals = 1
+		// A cell with only background load (idle fleet or population)
+		// is legal; otherwise keep the one-terminal default.
+		if o.Population > 0 || o.IdleTerminals > 0 {
+			o.Terminals = 0
+		} else {
+			o.Terminals = 1
+		}
 	}
 	if o.Shards <= 0 {
 		o.Shards = o.Cells + 1
@@ -132,9 +160,21 @@ func (o *MultiCellOptions) setDefaults() {
 		o.BackhaulJitter = 300 * time.Microsecond
 	}
 	if o.Operator == nil {
-		o.Operator = umts.CommercialCell
+		if o.Population > 0 || o.IdleTerminals > 0 {
+			// Fleet scales need the /16 pool variant.
+			o.Operator = umts.FleetCell
+		} else {
+			o.Operator = umts.CommercialCell
+		}
+	}
+	if o.FlowGaugeLimit == 0 {
+		o.FlowGaugeLimit = defaultFlowGaugeLimit
 	}
 }
+
+// defaultFlowGaugeLimit is the flow count past which per-flow
+// retained-bytes gauges collapse into per-cell aggregates.
+const defaultFlowGaugeLimit = 256
 
 // FlowResult is one terminal's outcome.
 type FlowResult struct {
@@ -173,6 +213,11 @@ type MultiCellResult struct {
 	// Outages lists the per-cell fault windows (empty without a fault
 	// schedule). Every cell sees the same schedule, so one copy is kept.
 	Outages []fault.Window
+	// IdleTerminals is the total powered-on never-dialing fleet across
+	// all cells; Populations holds one background-ensemble stats entry
+	// per cell, in cell order (both empty without the fleet options).
+	IdleTerminals int
+	Populations   []umts.PopulationStats
 }
 
 // placementDependent lists the instruments whose values legitimately
@@ -202,17 +247,55 @@ func DeterministicCounters(snaps []metrics.Snapshot) map[string]int64 {
 	return out
 }
 
+// terminalIdentity centralizes flow and subscriber naming for cell c,
+// terminal m: the ITG flow ID, the server-side receiver port, and the
+// positional identity the IMSI derives from (umts.SubscriberIMSI keeps
+// the string format the scenario always used). It guards the two silent
+// wraps the old inline expressions had: uint32 flow-ID overflow at huge
+// K×M products and uint16 receiver-port overflow past flow 56535.
+func terminalIdentity(c, m, perCell int) (uint32, uint16, umts.TerminalID, error) {
+	id := int64(c)*int64(perCell) + int64(m) + 1
+	if id > math.MaxUint32 {
+		return 0, 0, umts.TerminalID{}, fmt.Errorf(
+			"testbed: flow id %d (cell %d terminal %d) overflows uint32", id, c, m)
+	}
+	port := 9000 + id
+	if port > math.MaxUint16 {
+		return 0, 0, umts.TerminalID{}, fmt.Errorf(
+			"testbed: receiver port %d for flow %d overflows uint16 — at most %d active flows per run; model additional subscribers as IdleTerminals or Population",
+			port, id, math.MaxUint16-9000)
+	}
+	return uint32(id), uint16(port), umts.TerminalID{Cell: int32(c), Sub: int32(m + 1)}, nil
+}
+
+// cellEnv is the per-cell build context shared by that cell's
+// terminals; lazy materialization needs it at dial time.
+type cellEnv struct {
+	loop   *sim.Loop
+	nw     *netsim.Network
+	server *netsim.Node
+	op     *umts.Operator
+	cfg    umts.Config
+	card   modem.CardProfile
+	opts   *MultiCellOptions
+}
+
 // mcTerminal is the per-terminal assembly plus its run-time state.
+// Until materialize runs, it holds only identity, the compact
+// umts.Terminal, and the server-side receiver.
 type mcTerminal struct {
 	cell, idx int
 	flowID    uint32
+	rPort     uint16
 	loop      *sim.Loop
+	env       *cellEnv
 	term      *umts.Terminal
 	fe        *core.Frontend
 	snd       *itg.Sender
 	recv      *itg.Receiver
 	stream    *itg.StreamDecoder
 
+	buildErr error
 	startRes vsys.Result
 	destRes  vsys.Result
 	started  bool
@@ -267,6 +350,8 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 
 	card := modem.Globetrotter
 	var terms []*mcTerminal
+	var idleFleets [][]umts.Terminal
+	var pops []*umts.Population
 	for c := 0; c < opts.Cells; c++ {
 		if c > 57 {
 			// 172.16.(200+c) would leave the Gi /24 plan; far beyond any
@@ -287,9 +372,13 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: cfg.Pool, Iface: fmt.Sprintf("to-cell%d", c), Gateway: giAddr})
 		coreRouter.AddRoute(iproute.TableMain, iproute.Route{Dst: netip.PrefixFrom(giAddr, 32), Iface: fmt.Sprintf("to-cell%d", c)})
 
+		env := &cellEnv{
+			loop: sc.Loop(), nw: nets[sc.ID()], server: server,
+			op: op, cfg: cfg, card: card, opts: &opts,
+		}
 		cellTerms := make([]*mcTerminal, 0, opts.Terminals)
 		for m := 0; m < opts.Terminals; m++ {
-			ts, err := buildTerminal(eng, sc, nets[sc.ID()], server, op, cfg, card, c, m, opts)
+			ts, err := buildTerminal(env, c, m)
 			if err != nil {
 				return nil, err
 			}
@@ -302,12 +391,42 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 		if _, err := fault.Arm(sc.Loop(), opts.Faults, cellHooks(op, xl, cellTerms)); err != nil {
 			return nil, fmt.Errorf("testbed: cell %d: %w", c, err)
 		}
+
+		// Background fleet: compact powered-on subscribers that register
+		// (one cohort timer per cell) but never dial, numbered after the
+		// active terminals.
+		if opts.IdleTerminals > 0 {
+			fleet := op.NewTerminalFleet(c, opts.Terminals+1, opts.IdleTerminals)
+			idleFleets = append(idleFleets, fleet)
+			sc.Loop().Metrics().Counter("fleet/idle_terminals").Add(int64(opts.IdleTerminals))
+		}
+		// Aggregate background ensemble, round-robined over shards with
+		// its cell (it lives on the cell's loop).
+		if opts.Population > 0 {
+			pop, err := umts.NewPopulation(op, opts.Population, populationSpec(&opts))
+			if err != nil {
+				return nil, fmt.Errorf("testbed: cell %d: %w", c, err)
+			}
+			pops = append(pops, pop)
+		}
 	}
 
 	eng.Run(opts.FlowStart + opts.Duration + opts.Drain)
 
 	res := &MultiCellResult{Opts: opts, Lookahead: eng.Lookahead()}
+	// Per-flow retained-bytes gauges are O(flows) metric cardinality;
+	// past the limit they collapse into per-cell sum + max aggregates
+	// (satellite: metrics stay bounded at fleet scale).
+	aggregateGauges := opts.Analysis.streaming() && opts.FlowGaugeLimit > 0 && len(terms) > opts.FlowGaugeLimit
+	type gaugeAgg struct {
+		sum, max float64
+		count    int64
+	}
+	cellAggs := make([]gaugeAgg, opts.Cells)
 	for _, ts := range terms {
+		if ts.buildErr != nil {
+			return nil, fmt.Errorf("testbed: cell %d terminal %d: %w", ts.cell, ts.idx, ts.buildErr)
+		}
 		if !ts.started || !ts.startRes.Ok() {
 			return nil, fmt.Errorf("testbed: cell %d terminal %d: umts start failed: %v", ts.cell, ts.idx, ts.startRes.Errs)
 		}
@@ -326,11 +445,21 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 		}
 		if ts.stream != nil {
 			fr.Streamed = ts.stream.Finalize()
-			// Per-flow footprint gauge, recorded before the snapshots
-			// below; distinct names make the merged GaugeSum
-			// placement-independent.
-			ts.loop.Metrics().Gauge(fmt.Sprintf("itg/stream/c%dt%d/retained_bytes", ts.cell, ts.idx)).
-				Set(float64(ts.stream.RetainedBytes()))
+			if aggregateGauges {
+				rb := float64(ts.stream.RetainedBytes())
+				a := &cellAggs[ts.cell]
+				a.sum += rb
+				if rb > a.max {
+					a.max = rb
+				}
+				a.count++
+			} else {
+				// Per-flow footprint gauge, recorded before the snapshots
+				// below; distinct names make the merged GaugeSum
+				// placement-independent.
+				ts.loop.Metrics().Gauge(fmt.Sprintf("itg/stream/c%dt%d/retained_bytes", ts.cell, ts.idx)).
+					Set(float64(ts.stream.RetainedBytes()))
+			}
 		}
 		if opts.Analysis.Mode == AnalysisStreamOnly {
 			fr.Decoded = fr.Streamed
@@ -344,6 +473,28 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 		}
 		res.Flows = append(res.Flows, fr)
 	}
+	if aggregateGauges {
+		// Per-cell aggregates, written on the cell's own loop in cell
+		// order: gauge names stay unique (placement-independent GaugeSum)
+		// and the counter merges identically for every shard count.
+		for c := 0; c < opts.Cells; c++ {
+			a := cellAggs[c]
+			if a.count == 0 {
+				continue
+			}
+			reg := cellShard(c).Loop().Metrics()
+			reg.Gauge(fmt.Sprintf("itg/stream/cell%d/retained_bytes", c)).Set(a.sum)
+			reg.Gauge(fmt.Sprintf("itg/stream/cell%d/retained_bytes_max", c)).Set(a.max)
+			reg.Counter("itg/stream/flows_aggregated").Add(a.count)
+		}
+	}
+	for _, pop := range pops {
+		if err := pop.Err(); err != nil {
+			return nil, err
+		}
+		res.Populations = append(res.Populations, pop.Stats())
+	}
+	res.IdleTerminals = len(idleFleets) * opts.IdleTerminals
 	for i := 0; i < opts.Shards; i++ {
 		res.Snapshots = append(res.Snapshots, eng.Shard(i).Loop().Metrics().Snapshot())
 	}
@@ -351,6 +502,15 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	res.Windows = res.Snapshots[0].Counter("shard/windows")
 	res.Outages = opts.Faults.Windows()
 	return res, nil
+}
+
+// populationSpec resolves the background workload: the caller's
+// override, or 64 kbps CBR per modeled subscriber over the flow window.
+func populationSpec(opts *MultiCellOptions) umts.PopulationSpec {
+	if opts.PopulationSpec != nil {
+		return *opts.PopulationSpec
+	}
+	return umts.PopulationSpec{RateBps: 64e3, Start: opts.FlowStart, Duration: opts.Duration}
 }
 
 // cellHooks binds one cell's injector to its operator, all of its
@@ -378,80 +538,29 @@ func cellHooks(op *umts.Operator, xl *netsim.CrossLink, terms []*mcTerminal) fau
 	}
 }
 
-// buildTerminal assembles one PlanetLab-style node with a datacard on
-// the cell's shard, a receiver+echo endpoint for its flow on the
-// server, and schedules the dial-up (umts start, then add-dest) from
-// virtual time zero and the sender at FlowStart.
-func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, server *netsim.Node,
-	op *umts.Operator, cfg umts.Config, card modem.CardProfile, c, m int, opts MultiCellOptions) (*mcTerminal, error) {
-
-	loop := sc.Loop()
-	flowID := uint32(c*opts.Terminals + m + 1)
-	ts := &mcTerminal{cell: c, idx: m, flowID: flowID, loop: loop}
-
-	node := nw.AddNode(fmt.Sprintf("pl-c%dt%d", c, m))
-	host := vserver.NewHost(node)
-	router := iproute.New(node)
-	router.InstallConnected()
-	filter := netfilter.New(node)
-	kmods := kmod.NewRegistry()
-	kmod.RegisterPPPFamily(kmods)
-	kmods.Register(&kmod.Module{Name: "nozomi"})
-	kmods.Register(&kmod.Module{Name: "usbserial"})
-	kmods.Register(&kmod.Module{Name: "pl2303", Deps: []string{"usbserial"}})
-	vsysm := vsys.NewManager(loop, host)
-
-	imsi := fmt.Sprintf("22201%03d%04d", c, m+1)
-	ts.term = op.NewTerminal(imsi)
-	tcard := card
-	tcard.TTYName = fmt.Sprintf("/dev/noz-c%dt%d", c, m)
-	line := serial.NewLine(loop, tcard.TTYName, tcard.LineRate)
-	mdm := modem.New(loop, tcard, line, ts.term, "")
-	ts.term.OnCarrierLost = mdm.CarrierLost
-
-	mgr, err := core.NewManager(core.Config{
-		Loop: loop, Host: host, Router: router, Filter: filter,
-		Kmods: kmods, Vsys: vsysm, Card: tcard, Line: line, Radio: ts.term,
-		APN: cfg.APN, Creds: operatorCreds(cfg),
-		Recover: recoverPolicy(opts.SelfHeal, opts.HealPolicy),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("testbed: cell %d terminal %d: %w", c, m, err)
-	}
-	slice, err := host.CreateSlice("umts")
+// buildTerminal sets up one active terminal's compact state: identity,
+// the umts.Terminal, and the server-side flow endpoint (which lives on
+// the core shard and must be bound before the engine runs). The heavy
+// PlanetLab stack — node, vserver host, kmods, vsys, serial line,
+// datacard, pppd manager, ITG sender — materializes lazily on the
+// cell's loop at dial time (virtual time zero for the standard
+// scenario), so construction cost tracks the dialing population, not
+// the powered-on one.
+func buildTerminal(env *cellEnv, c, m int) (*mcTerminal, error) {
+	opts := env.opts
+	loop := env.loop
+	flowID, rPort, tid, err := terminalIdentity(c, m, opts.Terminals)
 	if err != nil {
 		return nil, err
 	}
-	mgr.Allow("umts")
-	fe, err := core.OpenFrontend(vsysm, slice)
-	if err != nil {
-		return nil, err
-	}
-	ts.fe = fe
+	ts := &mcTerminal{cell: c, idx: m, flowID: flowID, rPort: rPort, loop: loop, env: env}
+	ts.term = env.op.NewTerminalID(tid)
 
-	// Flow endpoints: receiver + echo on the server (core shard), sender
-	// in the terminal's slice.
-	rPort := uint16(9000 + flowID)
-	ts.recv = itg.NewReceiver(server.Loop, func(pkt *netsim.Packet) error { return server.Send(pkt) })
-	if err := server.Bind(netsim.ProtoUDP, rPort, ts.recv.Handle); err != nil {
-		return nil, err
-	}
-	var flow itg.FlowSpec
-	switch opts.Workload {
-	case WorkloadVoIP:
-		flow = itg.VoIPG711(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
-	case WorkloadCBR1M:
-		flow = itg.CBR1Mbps(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
-	case WorkloadVoIPG729:
-		flow = itg.VoIPG729(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
-	case WorkloadTelnet:
-		flow = itg.Telnet(flowID, mcServerAddr, senderPort, rPort, opts.Duration)
-	default:
-		return nil, fmt.Errorf("unknown workload %v", opts.Workload)
-	}
-	ts.snd = itg.NewSender(loop, fmt.Sprintf("mc/c%dt%d", c, m), flow,
-		func(pkt *netsim.Packet) error { return slice.Send(pkt) })
-	if err := slice.Bind(netsim.ProtoUDP, senderPort, ts.snd.HandleEcho); err != nil {
+	// Flow receiver + echo on the server (core shard): eager, because
+	// binding mutates core-shard state and must not happen from a
+	// cell-shard event.
+	ts.recv = itg.NewReceiver(env.server.Loop, func(pkt *netsim.Packet) error { return env.server.Send(pkt) })
+	if err := env.server.Bind(netsim.ProtoUDP, rPort, ts.recv.Handle); err != nil {
 		return nil, err
 	}
 	if opts.Analysis.streaming() {
@@ -460,13 +569,18 @@ func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, serve
 		// cell's shard loop and the receiver side on the core shard —
 		// a legal concurrent feed (disjoint accumulators).
 		ts.stream = opts.Analysis.newDecoder(opts.Window, opts.FlowStart)
-		opts.Analysis.attach(ts.stream, ts.snd, ts.recv)
+		opts.Analysis.attachRecv(ts.stream, ts.recv)
 	}
 
-	// Asynchronous bring-up: the frontend commands complete via vsys
-	// callbacks on this shard's loop, so the whole dial happens inside
-	// the engine run (RunWhile-style draining would break windowing).
+	// Asynchronous bring-up: materialize the stack, then run the
+	// frontend commands, whose vsys callbacks complete on this shard's
+	// loop — the whole dial happens inside the engine run
+	// (RunWhile-style draining would break windowing).
 	loop.Post(func() {
+		if err := ts.materialize(); err != nil {
+			ts.buildErr = err
+			return
+		}
 		ts.fe.Start(func(r vsys.Result) {
 			ts.startRes = r
 			ts.started = true
@@ -480,6 +594,85 @@ func buildTerminal(eng *shard.Engine, sc *shard.Shard, nw *netsim.Network, serve
 			})
 		})
 	})
-	loop.At(opts.FlowStart, func() { ts.snd.Start() })
+	loop.At(opts.FlowStart, func() {
+		if ts.snd != nil {
+			ts.snd.Start()
+		}
+	})
 	return ts, nil
+}
+
+// materialize assembles the terminal's full PlanetLab-style stack on
+// the cell's shard. It runs as a loop event (first dial), touches only
+// cell-shard state, and releases the build context when done.
+func (ts *mcTerminal) materialize() error {
+	env := ts.env
+	if env == nil {
+		return nil
+	}
+	ts.env = nil
+	c, m := ts.cell, ts.idx
+	opts := env.opts
+	loop := env.loop
+
+	node := env.nw.AddNode(fmt.Sprintf("pl-c%dt%d", c, m))
+	host := vserver.NewHost(node)
+	router := iproute.New(node)
+	router.InstallConnected()
+	filter := netfilter.New(node)
+	kmods := kmod.NewRegistry()
+	kmod.RegisterPPPFamily(kmods)
+	kmods.Register(&kmod.Module{Name: "nozomi"})
+	kmods.Register(&kmod.Module{Name: "usbserial"})
+	kmods.Register(&kmod.Module{Name: "pl2303", Deps: []string{"usbserial"}})
+	vsysm := vsys.NewManager(loop, host)
+
+	tcard := env.card
+	tcard.TTYName = fmt.Sprintf("/dev/noz-c%dt%d", c, m)
+	line := serial.NewLine(loop, tcard.TTYName, tcard.LineRate)
+	mdm := modem.New(loop, tcard, line, ts.term, "")
+	ts.term.OnCarrierLost = mdm.CarrierLost
+
+	mgr, err := core.NewManager(core.Config{
+		Loop: loop, Host: host, Router: router, Filter: filter,
+		Kmods: kmods, Vsys: vsysm, Card: tcard, Line: line, Radio: ts.term,
+		APN: env.cfg.APN, Creds: operatorCreds(env.cfg),
+		Recover: recoverPolicy(opts.SelfHeal, opts.HealPolicy),
+	})
+	if err != nil {
+		return fmt.Errorf("testbed: cell %d terminal %d: %w", c, m, err)
+	}
+	slice, err := host.CreateSlice("umts")
+	if err != nil {
+		return err
+	}
+	mgr.Allow("umts")
+	fe, err := core.OpenFrontend(vsysm, slice)
+	if err != nil {
+		return err
+	}
+	ts.fe = fe
+
+	var flow itg.FlowSpec
+	switch opts.Workload {
+	case WorkloadVoIP:
+		flow = itg.VoIPG711(ts.flowID, mcServerAddr, senderPort, ts.rPort, opts.Duration)
+	case WorkloadCBR1M:
+		flow = itg.CBR1Mbps(ts.flowID, mcServerAddr, senderPort, ts.rPort, opts.Duration)
+	case WorkloadVoIPG729:
+		flow = itg.VoIPG729(ts.flowID, mcServerAddr, senderPort, ts.rPort, opts.Duration)
+	case WorkloadTelnet:
+		flow = itg.Telnet(ts.flowID, mcServerAddr, senderPort, ts.rPort, opts.Duration)
+	default:
+		return fmt.Errorf("unknown workload %v", opts.Workload)
+	}
+	ts.snd = itg.NewSender(loop, fmt.Sprintf("mc/c%dt%d", c, m), flow,
+		func(pkt *netsim.Packet) error { return slice.Send(pkt) })
+	if err := slice.Bind(netsim.ProtoUDP, senderPort, ts.snd.HandleEcho); err != nil {
+		return err
+	}
+	if ts.stream != nil {
+		opts.Analysis.attachSend(ts.stream, ts.snd)
+	}
+	return nil
 }

@@ -58,6 +58,11 @@ type Scenario struct {
 	shardPolicy shard.Policy
 	flowStart   time.Duration
 
+	idleTerminals  int
+	population     int
+	populationSpec *umts.PopulationSpec
+	flowGaugeLimit int
+
 	dump  func(metrics.Snapshot)
 	trace func(format string, args ...any)
 }
@@ -167,6 +172,34 @@ func WithFlowStart(d time.Duration) ScenarioOption {
 	return func(sc *Scenario) { sc.flowStart = d }
 }
 
+// WithIdleTerminals powers on n additional never-dialing subscribers
+// per cell of a multi-cell scenario. Each is a compact umts.Terminal —
+// the node/modem/PPP/ITG stack materializes only on first dial — so
+// fleets of 100k+ are cheap. Requires WithCells.
+func WithIdleTerminals(n int) ScenarioOption {
+	return func(sc *Scenario) { sc.idleTerminals = n }
+}
+
+// WithPopulation attaches an aggregate background ensemble of n modeled
+// CBR subscribers per cell (umts.Population): the same offered radio
+// load and address-pool occupancy as n real terminals at O(1) cost in
+// n. spec overrides the default workload (64 kbps CBR over the flow
+// window); nil keeps it. Requires WithCells.
+func WithPopulation(n int, spec *umts.PopulationSpec) ScenarioOption {
+	return func(sc *Scenario) {
+		sc.population = n
+		sc.populationSpec = spec
+	}
+}
+
+// WithFlowGaugeLimit caps per-flow metrics cardinality of a multi-cell
+// run: above this many flows the per-flow retained-bytes gauges
+// collapse into per-cell sum + max aggregates (default 256; negative
+// disables the cap).
+func WithFlowGaugeLimit(n int) ScenarioOption {
+	return func(sc *Scenario) { sc.flowGaugeLimit = n }
+}
+
 // WithMetricsDump registers a callback that receives each
 // repetition's final metrics snapshot (or the merged per-shard
 // snapshot of a multi-cell run), after Run completes, in repetition
@@ -194,6 +227,9 @@ type Report struct {
 // else is single-threaded inside the simulation's virtual time.
 func (sc *Scenario) Run() (*Report, error) {
 	rep := &Report{Outages: sc.faults.Windows()}
+	if sc.cells <= 0 && (sc.idleTerminals > 0 || sc.population > 0) {
+		return nil, fmt.Errorf("testbed: WithIdleTerminals/WithPopulation need a multi-cell scenario (WithCells)")
+	}
 	if sc.cells > 0 {
 		if sc.reps > 1 {
 			return nil, fmt.Errorf("testbed: WithReps applies to single-cell scenarios only")
@@ -205,6 +241,8 @@ func (sc *Scenario) Run() (*Report, error) {
 			Scheduler: sc.sched, Faults: sc.faults,
 			SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
 			Analysis: sc.analysis,
+			IdleTerminals: sc.idleTerminals, Population: sc.population,
+			PopulationSpec: sc.populationSpec, FlowGaugeLimit: sc.flowGaugeLimit,
 		})
 		if err != nil {
 			return nil, err

@@ -6,8 +6,10 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/onelab/umtslab/internal/modem"
 	"github.com/onelab/umtslab/internal/netsim"
 	"github.com/onelab/umtslab/internal/ppp"
 	"github.com/onelab/umtslab/internal/sim"
@@ -139,6 +141,46 @@ func CommercialCell(i int) Config {
 	return cfg
 }
 
+// FleetCell derives the fleet-scale variant of CommercialCell: the same
+// calibrated radio and core behaviour and the same naming scheme, but
+// the subscriber pool widens from a /24 (253 usable addresses) to the
+// cell's whole 10.(16+i).0.0/16, so one cell can attach tens of
+// thousands of subscribers (real or population-modeled). The GGSN keeps
+// its 10.(16+i).0.1 address — inside the widened pool but never handed
+// out, because the allocator skips the .0 network and .1 gateway slots.
+func FleetCell(i int) Config {
+	cfg := CommercialCell(i)
+	cfg.Pool = netsim.MustPrefix(fmt.Sprintf("10.%d.0.0/16", 16+i))
+	return cfg
+}
+
+// Config interning: fleets of operators built from equal configurations
+// share one immutable *Config instance instead of each holding a ~300
+// byte copy (plus ladders and secrets). The key is the full printed
+// value — fmt prints map fields in sorted key order, so the key is
+// deterministic — NOT the profile name: ablation runs reuse a name with
+// different radio parameters and must stay distinct.
+var (
+	internMu  sync.Mutex
+	internCfg = map[string]*Config{}
+)
+
+// InternConfig returns the canonical shared instance of cfg. The result
+// must be treated as immutable; NewOperator interns its configuration
+// automatically.
+func InternConfig(cfg Config) *Config {
+	key := fmt.Sprintf("%+v", cfg)
+	internMu.Lock()
+	defer internMu.Unlock()
+	if c, ok := internCfg[key]; ok {
+		return c
+	}
+	c := new(Config)
+	*c = cfg
+	internCfg[key] = c
+	return c
+}
+
 // Microcell returns the profile of the Alcatel-Lucent private UMTS
 // micro-cell at the 3G Reality Center in Vimercate (§2.1): a clean,
 // lightly loaded cell with a fixed 384 kbps bearer, no fades, no inbound
@@ -171,13 +213,24 @@ func Microcell() Config {
 // Operator is one UMTS network: cell, core, GGSN, firewall.
 type Operator struct {
 	loop *sim.Loop
-	cfg  Config
+	cfg  *Config // interned, immutable
 	ggsn *netsim.Node
 	gi   *netsim.Iface
 
 	sessions  map[netip.Addr]*session
 	usedAddrs map[netip.Addr]bool
 	nextIface int
+
+	// regCohort batches registration timers: every terminal powered on
+	// at the same virtual instant shares one After(RegistrationTime)
+	// timer instead of scheduling its own.
+	regCohort   *regCohort
+	regCohortAt time.Duration
+
+	// pops are the attached aggregate background populations; cell-wide
+	// radio faults (PauseRadio/ResumeRadio/ScaleRates) apply to them
+	// like to every real session.
+	pops []*Population
 
 	conntrack     map[netsim.FlowKey]bool
 	FirewallDrops uint64
@@ -189,7 +242,7 @@ type Operator struct {
 func NewOperator(loop *sim.Loop, nw *netsim.Network, cfg Config) *Operator {
 	op := &Operator{
 		loop:      loop,
-		cfg:       cfg,
+		cfg:       InternConfig(cfg),
 		sessions:  make(map[netip.Addr]*session),
 		usedAddrs: make(map[netip.Addr]bool),
 		conntrack: make(map[netsim.FlowKey]bool),
@@ -207,8 +260,39 @@ func sanitize(s string) string {
 	return strings.ToLower(strings.ReplaceAll(s, " ", "-"))
 }
 
-// Config returns the operator configuration.
-func (op *Operator) Config() Config { return op.cfg }
+// Config returns a copy of the operator configuration.
+func (op *Operator) Config() Config { return *op.cfg }
+
+// regCohort is one batch of terminals powered on at the same instant,
+// all registering when the shared timer fires.
+type regCohort struct {
+	terms []*Terminal
+}
+
+// enrollRegistration adds a freshly powered-on terminal to the current
+// instant's registration cohort, creating the cohort — and its single
+// After(RegistrationTime) timer — on first use. Bulk bring-up of M
+// terminals therefore schedules one timer per creation batch instead of
+// M; the per-terminal semantics are unchanged (each flips to RegHome at
+// creation+RegistrationTime, unconditionally, exactly like the old
+// per-terminal timers did).
+func (op *Operator) enrollRegistration(t *Terminal) {
+	now := op.loop.Now()
+	if op.regCohort == nil || op.regCohortAt != now {
+		c := &regCohort{}
+		op.regCohort, op.regCohortAt = c, now
+		op.loop.After(op.cfg.RegistrationTime, func() {
+			if op.regCohort == c {
+				op.regCohort = nil
+			}
+			for _, t := range c.terms {
+				t.reg = modem.RegHome
+			}
+			op.loop.Metrics().Counter("umts/registrations").Add(int64(len(c.terms)))
+		})
+	}
+	op.regCohort.terms = append(op.regCohort.terms, t)
+}
 
 // GGSN returns the operator's gateway node, for wiring to the Internet.
 func (op *Operator) GGSN() *netsim.Node { return op.ggsn }
@@ -267,6 +351,36 @@ func (op *Operator) allocAddr() (netip.Addr, error) {
 	return netip.Addr{}, ErrPoolExhausted
 }
 
+// reserveAddrs takes n free addresses from the pool in a single scan —
+// the bulk path populations use. Per-dial allocAddr restarts its scan
+// each call, which is fine one address at a time but O(n²) when an
+// ensemble attaches. All-or-nothing: on exhaustion every reservation is
+// rolled back.
+func (op *Operator) reserveAddrs(n int) ([]netip.Addr, error) {
+	out := make([]netip.Addr, 0, n)
+	for a := op.cfg.Pool.Addr().Next().Next(); op.cfg.Pool.Contains(a) && len(out) < n; a = a.Next() {
+		if !op.usedAddrs[a] {
+			op.usedAddrs[a] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) < n {
+		op.releaseAddrs(out)
+		return nil, ErrPoolExhausted
+	}
+	return out, nil
+}
+
+func (op *Operator) releaseAddrs(addrs []netip.Addr) {
+	for _, a := range addrs {
+		delete(op.usedAddrs, a)
+	}
+}
+
+// PoolOccupancy returns the number of pool addresses currently held —
+// by established PDP contexts and by attached populations.
+func (op *Operator) PoolOccupancy() int { return len(op.usedAddrs) }
+
 // ActiveSessions returns the number of established PDP contexts.
 func (op *Operator) ActiveSessions() int { return len(op.sessions) }
 
@@ -299,7 +413,7 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 	sess := &session{op: op, term: term, addr: addr}
 	loop := op.loop
 
-	rng := loop.RNG("umts/radio/" + term.imsi)
+	rng := loop.RNG("umts/radio/" + term.IMSI())
 	sess.srvCh = &srvChannel{sess: sess}
 	sess.bearer = &bearer{sess: sess}
 	sess.ul = newRadioDir(loop, rng, "umts/ul", op.cfg.Uplink, func(p []byte) {
@@ -335,7 +449,7 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 	}))
 
 	sess.srv = ppp.NewServer(ppp.ServerConfig{
-		Name: "nas/" + term.imsi, Loop: loop, Channel: sess.srvCh,
+		Name: "nas/" + term.IMSI(), Loop: loop, Channel: sess.srvCh,
 		Auth: op.cfg.Auth, Secrets: op.cfg.Secrets,
 		LocalAddr: op.cfg.GGSNAddr,
 		Assign:    func(string) netip.Addr { return addr },
@@ -364,6 +478,7 @@ func (op *Operator) newSession(term *Terminal) (*session, error) {
 	}
 
 	op.sessions[addr] = sess
+	op.loop.Metrics().Counter("umts/pdp_activations").Inc()
 	sess.logf("PDP context activated, addr %s", addr)
 	return sess, nil
 }
@@ -434,7 +549,7 @@ func (sess *session) scheduleFade(rng interface{ ExpFloat64() float64 }) {
 		span := cfg.MaxDuration - cfg.MinDuration
 		dur := cfg.MinDuration
 		if span > 0 {
-			dur += time.Duration(sess.op.loop.RNG("umts/fade/" + sess.term.imsi).Int63n(int64(span)))
+			dur += time.Duration(sess.op.loop.RNG("umts/fade/" + sess.term.IMSI()).Int63n(int64(span)))
 		}
 		sess.ul.pause()
 		sess.dl.pause()
@@ -462,6 +577,7 @@ func (op *Operator) closeSession(sess *session, reason string, notifyTerminal bo
 	op.ggsn.RemoveIface(sess.iface.Name)
 	delete(op.sessions, sess.addr)
 	delete(op.usedAddrs, sess.addr)
+	op.loop.Metrics().Counter("umts/pdp_releases").Inc()
 	if sess.term != nil && sess.term.sess == sess {
 		sess.term.sess = nil
 		if notifyTerminal && sess.term.OnCarrierLost != nil {
@@ -486,6 +602,9 @@ func (op *Operator) PauseRadio() {
 		sess.ul.pause()
 		sess.dl.pause()
 	}
+	for _, p := range op.pops {
+		p.pause()
+	}
 }
 
 // ResumeRadio ends a PauseRadio fade.
@@ -493,6 +612,9 @@ func (op *Operator) ResumeRadio() {
 	for _, sess := range op.sessionsSnapshot() {
 		sess.ul.resume()
 		sess.dl.resume()
+	}
+	for _, p := range op.pops {
+		p.resume()
 	}
 }
 
@@ -503,6 +625,9 @@ func (op *Operator) ScaleRates(scale float64) {
 	for _, sess := range op.sessionsSnapshot() {
 		sess.ul.setScale(scale)
 		sess.dl.setScale(scale)
+	}
+	for _, p := range op.pops {
+		p.setScale(scale)
 	}
 }
 

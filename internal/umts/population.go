@@ -1,0 +1,241 @@
+package umts
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/onelab/umtslab/internal/metrics"
+	"github.com/onelab/umtslab/internal/sim"
+)
+
+// DefaultPopulationTolerance is the declared differential tolerance of
+// the fluid model against an ensemble of real dialed terminals driving
+// the same CBR workload straight into their radio bearers (no PPP
+// framing): the only divergences are tick quantization, the packets
+// still in flight when the window closes, and per-packet serialization
+// granularity. Full-stack comparisons (PPP/HDLC-framed traffic) carry
+// framing overhead the model does not represent and need a looser bound
+// chosen by the caller (see testbed's fleet tests).
+const DefaultPopulationTolerance = 0.02
+
+// PopulationSpec describes the aggregate CBR workload one background
+// population offers: every modeled subscriber sends PacketBytes-sized
+// packets at RateBps (measured at the radio bearer) from Start for
+// Duration.
+type PopulationSpec struct {
+	// RateBps is each modeled subscriber's offered uplink rate in bits
+	// per second, counted at the radio bearer — include whatever
+	// framing overhead the comparison target carries.
+	RateBps float64
+	// PacketBytes is the modeled CBR packet size (default 200); the
+	// fluid accounting is packet-size independent, the value only
+	// feeds the offered-packet counter.
+	PacketBytes int
+	// Tick is the fluid accounting granularity (default 100 ms). One
+	// event per population per tick replaces per-packet machinery.
+	Tick time.Duration
+	// Start is when the ensemble attaches (reserving pool addresses)
+	// and begins offering traffic; Duration bounds the active window
+	// (0: until the end of the run).
+	Start    time.Duration
+	Duration time.Duration
+	// Tolerance is the declared differential-validation bound
+	// (default DefaultPopulationTolerance).
+	Tolerance float64
+}
+
+func (s *PopulationSpec) setDefaults() {
+	if s.PacketBytes <= 0 {
+		s.PacketBytes = 200
+	}
+	if s.Tick <= 0 {
+		s.Tick = 100 * time.Millisecond
+	}
+	if s.Tolerance <= 0 {
+		s.Tolerance = DefaultPopulationTolerance
+	}
+}
+
+// PopulationStats is a population's accounting snapshot.
+type PopulationStats struct {
+	Subscribers   int
+	AddrsReserved int
+	Attached      bool
+	// Byte totals over the active window so far.
+	OfferedBytes, CarriedBytes, DroppedBytes float64
+	// BacklogBytes is the aggregate radio-buffer occupancy right now.
+	BacklogBytes float64
+	// ActiveFor is the accounted model time.
+	ActiveFor time.Duration
+	// Utilization is carried bytes over the ensemble's nominal radio
+	// capacity (n subscribers × the cell's uplink rate × ActiveFor).
+	Utilization float64
+}
+
+// Population is an aggregate background ensemble: n modeled subscribers
+// loading one cell's radio scheduler and address pool with the same
+// offered traffic as n real CBR terminals, without per-packet
+// machinery. The model is fluid: each Tick it offers n·RateBps·Tick
+// bits, carries up to the ensemble's radio capacity (n × uplink rate,
+// honoring PauseRadio fades and ScaleRates degradation), holds the
+// excess in an aggregate drop-tail backlog bounded by n × QueueBytes,
+// and drops the rest — mirroring, in expectation, what n private
+// radioDir instances would do. Memory and event cost are O(1) in n.
+//
+// Populations are deterministic (no RNG draws) and live on their
+// operator's loop, so in sharded scenarios they follow their cell's
+// shard placement and their counters merge placement-independently.
+type Population struct {
+	op   *Operator
+	n    int
+	spec PopulationSpec
+
+	addrs    []netip.Addr
+	attached bool
+	done     bool
+	err      error
+	paused   bool
+	scale    float64
+	tick     *sim.Ticker
+
+	offered, carried, dropped, backlog float64
+	activeFor                          time.Duration
+
+	mOffered, mCarried, mDropped, mPackets *metrics.Counter
+	accOffered, accCarried, accDropped     int64
+	accPackets                             int64
+	mBacklog                               *metrics.Gauge
+}
+
+// NewPopulation attaches an n-subscriber background ensemble to the
+// operator's cell. Address reservation happens at spec.Start (bulk, one
+// pool scan); a pool too small for n surfaces via Err after the run.
+// Cell-wide radio faults applied through the operator (PauseRadio,
+// ResumeRadio, ScaleRates) act on the population exactly like on real
+// sessions; per-session random fades (Config.Fades) are not modeled,
+// so differential validation declares a fade-free configuration.
+func NewPopulation(op *Operator, n int, spec PopulationSpec) (*Population, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("umts: population needs at least one subscriber, got %d", n)
+	}
+	if spec.RateBps <= 0 {
+		return nil, fmt.Errorf("umts: population needs a positive RateBps")
+	}
+	spec.setDefaults()
+	p := &Population{op: op, n: n, spec: spec, scale: 1}
+	reg := op.loop.Metrics()
+	p.mOffered = reg.Counter("umts/pop/offered_bytes")
+	p.mCarried = reg.Counter("umts/pop/carried_bytes")
+	p.mDropped = reg.Counter("umts/pop/dropped_bytes")
+	p.mPackets = reg.Counter("umts/pop/offered_packets")
+	// The backlog gauge is per-cell (operator names are unique), so
+	// its merged sum stays placement-independent when several cells
+	// share one shard.
+	p.mBacklog = reg.Gauge("umts/pop/" + sanitize(op.cfg.Name) + "/backlog_bytes")
+	op.pops = append(op.pops, p)
+	op.loop.At(spec.Start, p.attach)
+	if spec.Duration > 0 {
+		op.loop.At(spec.Start+spec.Duration, p.detach)
+	}
+	return p, nil
+}
+
+func (p *Population) attach() {
+	addrs, err := p.op.reserveAddrs(p.n)
+	if err != nil {
+		p.err = fmt.Errorf("umts: population of %d in pool %v: %w", p.n, p.op.cfg.Pool, err)
+		return
+	}
+	p.addrs = addrs
+	p.attached = true
+	p.op.loop.Metrics().Counter("umts/pop/attached").Add(int64(p.n))
+	p.tick = p.op.loop.NewTicker(p.spec.Tick, p.step)
+}
+
+func (p *Population) detach() {
+	if !p.attached || p.done {
+		return
+	}
+	p.done = true
+	p.attached = false
+	p.tick.Stop()
+	p.op.releaseAddrs(p.addrs)
+	p.addrs = nil
+	p.op.loop.Metrics().Counter("umts/pop/detached").Add(int64(p.n))
+}
+
+// step advances the fluid accounting by one tick. All arithmetic is a
+// fixed sequence of float64 operations per tick, so the trajectory is
+// bit-deterministic for a given spec and fault history.
+func (p *Population) step() {
+	if !p.attached {
+		return
+	}
+	d := p.spec.Tick.Seconds()
+	offered := float64(p.n) * p.spec.RateBps * d / 8
+	p.offered += offered
+	var capacity float64
+	if !p.paused {
+		capacity = float64(p.n) * p.op.cfg.Uplink.RateBps * p.scale * d / 8
+	}
+	carried := p.backlog + offered
+	if carried > capacity {
+		carried = capacity
+	}
+	p.backlog += offered - carried
+	if limit := float64(p.n) * float64(p.op.cfg.Uplink.QueueBytes); p.op.cfg.Uplink.QueueBytes > 0 && p.backlog > limit {
+		p.dropped += p.backlog - limit
+		p.backlog = limit
+	}
+	p.carried += carried
+	p.activeFor += p.spec.Tick
+
+	// Mirror the float totals into monotonic integer counters: add the
+	// not-yet-accounted delta so the counters track the truncated
+	// totals exactly (placement-independent under MergeSnapshots).
+	p.mOffered.Add(int64(p.offered) - p.accOffered)
+	p.accOffered = int64(p.offered)
+	p.mCarried.Add(int64(p.carried) - p.accCarried)
+	p.accCarried = int64(p.carried)
+	p.mDropped.Add(int64(p.dropped) - p.accDropped)
+	p.accDropped = int64(p.dropped)
+	pkts := int64(p.offered / float64(p.spec.PacketBytes))
+	p.mPackets.Add(pkts - p.accPackets)
+	p.accPackets = pkts
+	p.mBacklog.Set(p.backlog)
+}
+
+// pause/resume/setScale are the operator's fault hooks; see PauseRadio,
+// ResumeRadio and ScaleRates.
+func (p *Population) pause()             { p.paused = true }
+func (p *Population) resume()            { p.paused = false }
+func (p *Population) setScale(s float64) { p.scale = s }
+
+// Err reports an attach failure (pool exhaustion at Start); check it
+// after the run.
+func (p *Population) Err() error { return p.err }
+
+// Tolerance returns the spec's declared differential-validation bound.
+func (p *Population) Tolerance() float64 { return p.spec.Tolerance }
+
+// Subscribers returns the modeled ensemble size.
+func (p *Population) Subscribers() int { return p.n }
+
+// Stats returns the population's accounting snapshot.
+func (p *Population) Stats() PopulationStats {
+	st := PopulationStats{
+		Subscribers:   p.n,
+		AddrsReserved: len(p.addrs),
+		Attached:      p.attached,
+		OfferedBytes:  p.offered,
+		CarriedBytes:  p.carried,
+		DroppedBytes:  p.dropped,
+		BacklogBytes:  p.backlog,
+		ActiveFor:     p.activeFor,
+	}
+	if capBytes := float64(p.n) * p.op.cfg.Uplink.RateBps / 8 * p.activeFor.Seconds(); capBytes > 0 {
+		st.Utilization = p.carried / capBytes
+	}
+	return st
+}

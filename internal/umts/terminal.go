@@ -1,14 +1,62 @@
 package umts
 
 import (
+	"strconv"
+
 	"github.com/onelab/umtslab/internal/modem"
 	"github.com/onelab/umtslab/internal/sim"
 )
 
+// TerminalID names a subscriber by position — cell index plus 1-based
+// subscriber number — instead of a pre-formatted IMSI string, so a fleet
+// of powered-on terminals costs 8 bytes of identity each instead of a
+// heap string. The zero value is not a valid identity (Sub is 1-based),
+// which lets Terminal tell "identity assigned, IMSI not derived yet"
+// apart from "explicit IMSI supplied".
+type TerminalID struct {
+	Cell, Sub int32
+}
+
+func (id TerminalID) valid() bool { return id.Sub > 0 }
+
+// SubscriberIMSI derives the canonical IMSI for a (cell, sub) identity:
+// MCC+MNC 22201 (the paper's Italian operator), a 3-digit cell field,
+// and a 4-digit subscriber field — byte-identical to the string the
+// multi-cell scenario used to format eagerly per terminal. Subscribers
+// past 9999 widen the subscriber field to 7 digits; the two widths
+// cannot collide (the strings differ in length).
+func SubscriberIMSI(cell, sub int) string {
+	b := make([]byte, 0, 16)
+	b = append(b, "22201"...)
+	b = appendPadded(b, int64(cell), 3)
+	if sub < 10000 {
+		b = appendPadded(b, int64(sub), 4)
+	} else {
+		b = appendPadded(b, int64(sub), 7)
+	}
+	return string(b)
+}
+
+// appendPadded appends v in decimal, zero-padded to at least width
+// digits, without the fmt machinery.
+func appendPadded(b []byte, v int64, width int) []byte {
+	digits := 1
+	for x := v; x >= 10; x /= 10 {
+		digits++
+	}
+	for i := digits; i < width; i++ {
+		b = append(b, '0')
+	}
+	return strconv.AppendInt(b, v, 10)
+}
+
 // Terminal is one subscriber's radio interface: the piece of the modem
-// that talks to the cell. It implements modem.RadioNet.
+// that talks to the cell. It implements modem.RadioNet. An idle
+// (never-dialed) terminal is only this struct — the radio session and
+// everything above it exists per active PDP context.
 type Terminal struct {
 	op   *Operator
+	id   TerminalID
 	imsi string
 	reg  modem.RegState
 
@@ -20,16 +68,54 @@ type Terminal struct {
 	pendingDial sim.Timer
 }
 
-// NewTerminal powers a subscriber terminal on in this operator's cell.
-// Registration completes after the operator's RegistrationTime.
+// NewTerminal powers a subscriber terminal on in this operator's cell
+// with an explicit IMSI. Registration completes after the operator's
+// RegistrationTime (terminals powered on at the same instant share one
+// registration timer — see enrollRegistration).
 func (op *Operator) NewTerminal(imsi string) *Terminal {
 	t := &Terminal{op: op, imsi: imsi, reg: modem.RegSearching}
-	op.loop.After(op.cfg.RegistrationTime, func() { t.reg = modem.RegHome })
+	op.enrollRegistration(t)
 	return t
 }
 
-// IMSI returns the terminal's subscriber identity.
-func (t *Terminal) IMSI() string { return t.imsi }
+// NewTerminalID powers a terminal on with a positional identity; the
+// IMSI string is derived on first use (dial, logging) instead of at
+// creation, so bulk bring-up formats nothing.
+func (op *Operator) NewTerminalID(id TerminalID) *Terminal {
+	t := &Terminal{op: op, id: id, reg: modem.RegSearching}
+	op.enrollRegistration(t)
+	return t
+}
+
+// NewTerminalFleet powers on n terminals with consecutive subscriber
+// numbers firstSub..firstSub+n-1 in cell, backed by one contiguous
+// allocation and one shared registration timer. The returned slice owns
+// the terminals; take pointers into it (&fleet[i]) to operate on one.
+func (op *Operator) NewTerminalFleet(cell, firstSub, n int) []Terminal {
+	fleet := make([]Terminal, n)
+	for i := range fleet {
+		fleet[i] = Terminal{
+			op:  op,
+			id:  TerminalID{Cell: int32(cell), Sub: int32(firstSub + i)},
+			reg: modem.RegSearching,
+		}
+		op.enrollRegistration(&fleet[i])
+	}
+	return fleet
+}
+
+// IMSI returns the terminal's subscriber identity, deriving (and
+// caching) it from the positional identity on first use.
+func (t *Terminal) IMSI() string {
+	if t.imsi == "" && t.id.valid() {
+		t.imsi = SubscriberIMSI(int(t.id.Cell), int(t.id.Sub))
+	}
+	return t.imsi
+}
+
+// ID returns the positional identity (zero for terminals created from
+// an explicit IMSI).
+func (t *Terminal) ID() TerminalID { return t.id }
 
 // Registration implements modem.RadioNet.
 func (t *Terminal) Registration() (modem.RegState, string) {

@@ -41,6 +41,18 @@ func TestBenchShardArtifact(t *testing.T) {
 		SpeedupAdaptive   float64 `json:"speedup_adaptive"`
 		AdaptiveIdentical *bool   `json:"adaptive_identical"`
 		WindowsAdaptive   int64   `json:"windows_adaptive"`
+
+		WallDynamicS     float64 `json:"wall_nshard_dynamic_s"`
+		SpeedupDynamic   float64 `json:"speedup_dynamic"`
+		DynamicIdentical *bool   `json:"dynamic_identical"`
+		WindowsDynamic   int64   `json:"windows_dynamic"`
+
+		FleetIdleTerminals   int     `json:"fleet_idle_terminals"`
+		FleetPopulation      int     `json:"fleet_population"`
+		FleetWindowsAdaptive int64   `json:"fleet_windows_adaptive"`
+		FleetWindowsDynamic  int64   `json:"fleet_windows_dynamic"`
+		FleetWindowReduction float64 `json:"fleet_window_reduction"`
+		FleetIdentical       *bool   `json:"fleet_identical"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("BENCH_shard.json does not parse: %v", err)
@@ -84,6 +96,40 @@ func TestBenchShardArtifact(t *testing.T) {
 	if rep.WindowsAdaptive < 1 {
 		t.Errorf("windows_adaptive = %d; the adaptive engine must have run windows", rep.WindowsAdaptive)
 	}
+	// The dynamic-policy (EOT promise) leg: identical results, and —
+	// since the dynamic horizon is max(adaptive bound, promise) — never
+	// more windows than adaptive on the same scenario.
+	if rep.WallDynamicS <= 0 || rep.SpeedupDynamic <= 0 {
+		t.Errorf("dynamic leg not measured: wall=%v speedup=%v (regenerate with `make bench-shard`)",
+			rep.WallDynamicS, rep.SpeedupDynamic)
+	}
+	if rep.DynamicIdentical == nil || !*rep.DynamicIdentical {
+		t.Error("dynamic_identical must be recorded true: the window policy must not change simulation output")
+	}
+	if rep.WindowsDynamic < 1 || rep.WindowsDynamic > rep.WindowsAdaptive {
+		t.Errorf("windows_dynamic = %d vs windows_adaptive = %d; promises may only extend horizons",
+			rep.WindowsDynamic, rep.WindowsAdaptive)
+	}
+	// The idle-fleet leg is the policy's acceptance criterion: on the
+	// BENCH_fleet cohort (>= 24k idle + population per cell, no active
+	// flows) dynamic must release at least 5x fewer windows than
+	// adaptive — a deterministic, CPU-count-independent claim, so it is
+	// gated on every machine.
+	if rep.FleetIdleTerminals < 24000 || rep.FleetPopulation < 1000 {
+		t.Errorf("idle-fleet leg too small: %d idle + %d population per cell (want >= 24000 + 1000)",
+			rep.FleetIdleTerminals, rep.FleetPopulation)
+	}
+	if rep.FleetIdentical == nil || !*rep.FleetIdentical {
+		t.Error("fleet_identical must be recorded true: the window policy must not change the idle-fleet output")
+	}
+	if rep.FleetWindowsAdaptive < 1 || rep.FleetWindowsDynamic < 1 {
+		t.Errorf("idle-fleet window counts not recorded: adaptive=%d dynamic=%d",
+			rep.FleetWindowsAdaptive, rep.FleetWindowsDynamic)
+	}
+	if rep.FleetWindowReduction < 5 {
+		t.Errorf("idle-fleet window reduction %.2fx (adaptive %d vs dynamic %d) below the 5x acceptance bar",
+			rep.FleetWindowReduction, rep.FleetWindowsAdaptive, rep.FleetWindowsDynamic)
+	}
 	// The 2x bar only binds where it is physically achievable: >=4-way
 	// sharding measured with >=4 schedulable cores. The same condition
 	// gates the adaptive-vs-global comparison — adaptive horizons only
@@ -97,15 +143,23 @@ func TestBenchShardArtifact(t *testing.T) {
 			t.Errorf("adaptive wall %.2fs slower than global %.2fs on a %d-core machine",
 				rep.WallAdaptiveS, rep.WallNS, *rep.NumCPU)
 		}
+		if rep.WallDynamicS > rep.WallNS {
+			t.Errorf("dynamic wall %.2fs slower than global %.2fs on a %d-core machine",
+				rep.WallDynamicS, rep.WallNS, *rep.NumCPU)
+		}
 	} else {
 		if rep.Speedup < 0.5 {
 			t.Errorf("speedup %.2f: sharding pathologically slow even for a %d-core machine", rep.Speedup, *rep.NumCPU)
 		}
-		// On a starved machine adaptive can only be honest about ~1x;
-		// hold it to "not pathologically worse than global".
+		// On a starved machine the per-shard policies can only be honest
+		// about ~1x; hold them to "not pathologically worse than global".
 		if rep.WallNS > 0 && rep.WallAdaptiveS > 1.5*rep.WallNS {
 			t.Errorf("adaptive wall %.2fs more than 1.5x global %.2fs even on a %d-core machine",
 				rep.WallAdaptiveS, rep.WallNS, *rep.NumCPU)
+		}
+		if rep.WallNS > 0 && rep.WallDynamicS > 1.5*rep.WallNS {
+			t.Errorf("dynamic wall %.2fs more than 1.5x global %.2fs even on a %d-core machine",
+				rep.WallDynamicS, rep.WallNS, *rep.NumCPU)
 		}
 	}
 }

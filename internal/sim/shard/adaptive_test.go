@@ -2,6 +2,7 @@ package shard_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -77,7 +78,7 @@ func TestAdaptiveRunsAhead(t *testing.T) {
 // window and nothing drained afterwards. The engine must deliver it and
 // leave every mailbox empty (zero final backlog gauge).
 func TestFinalWindowHorizonSend(t *testing.T) {
-	for _, p := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+	for _, p := range shard.Policies {
 		eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
 		eng.SetPolicy(p)
 		d := 2 * time.Millisecond
@@ -106,7 +107,7 @@ func TestFinalWindowHorizonSend(t *testing.T) {
 // re-execute the inclusive window — metrics (window counts, deliveries)
 // and loop state stay exactly as the first call left them.
 func TestRunReentryNoOp(t *testing.T) {
-	for _, p := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+	for _, p := range shard.Policies {
 		eng := shard.NewEngine(3, 2, sim.SchedulerWheel)
 		eng.SetPolicy(p)
 		d := 2 * time.Millisecond
@@ -146,6 +147,7 @@ func TestParsePolicy(t *testing.T) {
 		{"global", shard.PolicyGlobal, true},
 		{"", shard.PolicyGlobal, true},
 		{"adaptive", shard.PolicyAdaptive, true},
+		{"dynamic", shard.PolicyDynamic, true},
 		{"fancy", shard.PolicyGlobal, false},
 	} {
 		got, err := shard.ParsePolicy(tc.in)
@@ -153,8 +155,13 @@ func TestParsePolicy(t *testing.T) {
 			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if shard.PolicyAdaptive.String() != "adaptive" || shard.PolicyGlobal.String() != "global" {
-		t.Error("Policy.String round-trip broken")
+	for _, p := range shard.Policies {
+		if got, err := shard.ParsePolicy(p.String()); err != nil || got != p {
+			t.Errorf("Policy.String round-trip broken for %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := shard.ParsePolicy("fancy"); err == nil || !strings.Contains(err.Error(), "global, adaptive, dynamic") {
+		t.Errorf("unknown-policy error must list the allowed set, got %v", err)
 	}
 }
 

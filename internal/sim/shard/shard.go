@@ -4,13 +4,13 @@
 // registry), and advances all shards in bounded virtual-time windows.
 //
 // Shards interact only through Edges — directed cross-shard channels
-// with a declared minimum propagation delay. Two window policies share
-// the same delivery machinery:
+// with a declared minimum propagation delay. Three window policies
+// share the same delivery machinery:
 //
 //   - PolicyGlobal (default): the smallest edge delay is the engine's
 //     lookahead; all shards advance in lockstep windows of that size,
 //     exchanging messages at each barrier. Simple, and the reference
-//     the adaptive policy is differentially tested against.
+//     the other policies are differentially tested against.
 //   - PolicyAdaptive: each shard gets its own horizon from the edge
 //     graph — h(i) = min over shards j of (barrier(j) + dist(j, i)),
 //     where dist is the all-pairs shortest path over edge min-delays.
@@ -18,6 +18,18 @@
 //     edge throttles only its own destination. The coordinator releases
 //     a shard the moment its specific predecessors have advanced far
 //     enough, instead of holding every shard at a global barrier.
+//   - PolicyDynamic: adaptive's distance bound assumes every shard is
+//     about to emit; dynamic asks instead. At each coordinator pass
+//     every idle shard reports, per outbound edge, its Earliest Output
+//     Time — min(earliest pending message already in the mailbox, next
+//     local event time + edge min-delay) — and promises propagate
+//     through the edge graph to a fixpoint (see computeEOT). A shard's
+//     horizon becomes max(adaptive bound, min over inbound edges of
+//     EOT), so promises only ever EXTEND horizons: an idle-heavy shard
+//     whose predecessors have nothing queued for seconds of virtual
+//     time advances in seconds-long strides instead of
+//     min-edge-delay-long ones, and when every inbound EOT is +inf the
+//     shard fast-forwards to the Run horizon in a single window.
 //
 // Message hand-off is batched and allocation-free on the hot path.
 // Send appends to the edge's outbox, owned by the source shard while
@@ -59,12 +71,17 @@
 //     the release horizon), so the sorted batch fixes their order.
 //
 // Each shard's registry carries the engine's instruments: counters
-// shard/windows, shard/msgs_in, shard/msgs_out, the wall-clock
-// shard/stall_wall_ns (time spent waiting for the slowest shard at
-// global barriers — placement-dependent by nature, so excluded from
-// differential comparisons, and zero under PolicyAdaptive which has no
-// global barrier), and the gauge shard/mailbox_backlog (messages held
-// in the shard's outgoing mailboxes, with its peak).
+// shard/windows, shard/windows_released (incremented when the
+// coordinator grants a window, vs shard/windows at its completion),
+// shard/msgs_in, shard/msgs_out, the wall-clock shard/stall_wall_ns
+// (time spent waiting for the slowest shard at global barriers —
+// placement-dependent by nature, so excluded from differential
+// comparisons, and zero under the per-shard policies which have no
+// global barrier), the pow2 histogram shard/horizon_stride_ns (the
+// virtual-time length of each granted window — the direct observable
+// of how far a policy lets shards stride), and the gauge
+// shard/mailbox_backlog (messages held in the shard's outgoing
+// mailboxes, with its peak).
 package shard
 
 import (
@@ -78,9 +95,10 @@ import (
 	"github.com/onelab/umtslab/internal/sim"
 )
 
-// Policy selects how the engine windows shard execution. Both policies
+// Policy selects how the engine windows shard execution. All policies
 // produce byte-identical simulations; they differ only in how much
-// wall-clock parallelism the window schedule exposes.
+// wall-clock parallelism and how few coordinator windows the schedule
+// exposes.
 type Policy int
 
 const (
@@ -90,28 +108,39 @@ const (
 	// PolicyAdaptive gives each shard its own horizon from per-shard
 	// shortest-path distances and releases shards independently.
 	PolicyAdaptive
+	// PolicyDynamic extends adaptive with demand-driven earliest-output-
+	// time promises: horizons grow to the earliest time a predecessor
+	// could actually emit, not just the earliest it theoretically might.
+	PolicyDynamic
 )
+
+// Policies lists every valid policy in flag-name order.
+var Policies = []Policy{PolicyGlobal, PolicyAdaptive, PolicyDynamic}
 
 // String returns the flag-friendly name of the policy.
 func (p Policy) String() string {
 	switch p {
 	case PolicyAdaptive:
 		return "adaptive"
+	case PolicyDynamic:
+		return "dynamic"
 	default:
 		return "global"
 	}
 }
 
-// ParsePolicy converts a flag value ("global" or "adaptive") into a
-// Policy.
+// ParsePolicy converts a flag value ("global", "adaptive" or "dynamic")
+// into a Policy. Unknown values are an error naming the allowed set.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "global", "":
 		return PolicyGlobal, nil
 	case "adaptive":
 		return PolicyAdaptive, nil
+	case "dynamic":
+		return PolicyDynamic, nil
 	}
-	return PolicyGlobal, fmt.Errorf("shard: unknown policy %q (want global or adaptive)", s)
+	return PolicyGlobal, fmt.Errorf("shard: unknown policy %q (allowed: global, adaptive, dynamic)", s)
 }
 
 // Message is one cross-shard delivery: a payload that becomes visible
@@ -147,11 +176,13 @@ type Shard struct {
 	eng  *Engine
 	loop *sim.Loop
 
-	mWindows *metrics.Counter
-	mMsgsIn  *metrics.Counter
-	mMsgsOut *metrics.Counter
-	mStall   *metrics.Counter
-	gBacklog *metrics.Gauge
+	mWindows  *metrics.Counter
+	mReleased *metrics.Counter
+	mMsgsIn   *metrics.Counter
+	mMsgsOut  *metrics.Counter
+	mStall    *metrics.Counter
+	hStride   *metrics.Histogram
+	gBacklog  *metrics.Gauge
 
 	runCh chan windowReq
 
@@ -253,6 +284,14 @@ type Engine struct {
 	// horizon. Recomputed at each Run from the edge set.
 	dist [][]time.Duration
 
+	// PolicyDynamic scratch, refilled by computeEOT each coordinator
+	// pass: eot[ed.id] is the earliest time a message can still arrive
+	// over that edge, nextT[s.id] the earliest time shard s can still
+	// act (local event or inbound arrival). noPath means "never again
+	// within this Run".
+	eot   []time.Duration
+	nextT []time.Duration
+
 	doneCh chan windowDone
 	walls  []time.Duration
 	wg     sync.WaitGroup
@@ -283,14 +322,16 @@ func NewEngine(seed int64, n int, sched sim.Scheduler) *Engine {
 		loop := sim.NewLoopScheduler(seed, sched)
 		reg := loop.Metrics()
 		s := &Shard{
-			id:       i,
-			eng:      e,
-			loop:     loop,
-			mWindows: reg.Counter("shard/windows"),
-			mMsgsIn:  reg.Counter("shard/msgs_in"),
-			mMsgsOut: reg.Counter("shard/msgs_out"),
-			mStall:   reg.Counter("shard/stall_wall_ns"),
-			gBacklog: reg.Gauge("shard/mailbox_backlog"),
+			id:        i,
+			eng:       e,
+			loop:      loop,
+			mWindows:  reg.Counter("shard/windows"),
+			mReleased: reg.Counter("shard/windows_released"),
+			mMsgsIn:   reg.Counter("shard/msgs_in"),
+			mMsgsOut:  reg.Counter("shard/msgs_out"),
+			mStall:    reg.Counter("shard/stall_wall_ns"),
+			hStride:   reg.Histogram("shard/horizon_stride_ns"),
+			gBacklog:  reg.Gauge("shard/mailbox_backlog"),
 		}
 		s.deliverFn = s.deliverNext
 		e.shards = append(e.shards, s)
@@ -439,9 +480,9 @@ func (e *Engine) Run(until time.Duration) {
 		s.done = false
 	}
 	e.startWorkers()
-	if e.policy == PolicyAdaptive {
+	if e.policy == PolicyAdaptive || e.policy == PolicyDynamic {
 		e.computeDist()
-		e.runAdaptive(until)
+		e.runPerShard(until)
 	} else {
 		e.runGlobal(until)
 	}
@@ -478,18 +519,40 @@ func (e *Engine) runGlobal(until time.Duration) {
 	}
 }
 
-// runAdaptive is the per-shard-horizon policy. The coordinator loop
-// releases every shard whose horizon moved past its barrier, waits for
-// one completion, and repeats. A completed (inclusive) shard is
-// reopened when a later handoff parks a due message in one of its
-// mailboxes — that replaces the global drain loop.
+// runPerShard is the shared coordinator loop of the per-shard-horizon
+// policies (adaptive and dynamic). It releases every shard whose
+// horizon moved past its barrier, waits for completions, and repeats.
+// A completed (inclusive) shard is reopened when a later handoff parks
+// a due message in one of its mailboxes — that replaces the global
+// drain loop.
 //
-// The loop cannot stall: among live shards, the one with the minimum
-// barrier b has horizon >= b + (smallest positive distance) > b, so at
-// least one shard is always releasable until all are done.
-func (e *Engine) runAdaptive(until time.Duration) {
+// Under PolicyAdaptive the coordinator pipelines: it waits for ONE
+// completion and immediately reassesses, so a fast shard's next window
+// can start while slow ones still run. Under PolicyDynamic it instead
+// drains to quiescence before each pass: promises come from the EOT
+// fixpoint (computeEOT), and with every shard idle each anchor is a
+// pure function of simulation state (queue heads and mailboxes) rather
+// than of which workers happened to have finished — so the window
+// schedule, and with it the windows/windows_released counters and the
+// stride histogram, is deterministic and CPU-count-independent (the
+// property the bench artifact gates lean on). Parallelism within a
+// round is unaffected: all released shards run concurrently.
+//
+// Promises only ever extend horizons — the dynamic horizon is
+// max(adaptive, promise) — so the stall-freedom argument is inherited
+// from adaptive: among live shards, the one with the minimum barrier b
+// has horizon >= b + (smallest positive distance) > b, so at least one
+// shard is always releasable until all are done.
+func (e *Engine) runPerShard(until time.Duration) {
+	dynamic := e.policy == PolicyDynamic
 	for {
 		progressed := false
+		if dynamic {
+			for e.anyRunning() {
+				e.awaitOne()
+			}
+			e.computeEOT()
+		}
 		for _, s := range e.shards {
 			if s.running {
 				continue
@@ -501,6 +564,11 @@ func (e *Engine) runAdaptive(until time.Duration) {
 				s.done = false
 			}
 			h := e.horizonFor(s)
+			if dynamic {
+				if p := e.promiseFor(s); p > h {
+					h = p
+				}
+			}
 			var target time.Duration
 			var inclusive bool
 			switch {
@@ -529,14 +597,18 @@ func (e *Engine) runAdaptive(until time.Duration) {
 	}
 	for _, s := range e.shards {
 		if !s.done || e.dueInbound(s, until) {
-			panic("shard: adaptive coordinator stalled with undelivered messages")
+			panic("shard: per-shard coordinator stalled with undelivered messages")
 		}
 	}
 }
 
 // release flushes due mailbox messages into s and starts its window.
+// The instruments are touched before the hand-off to the worker (s is
+// still idle here; the runCh send publishes the writes).
 func (e *Engine) release(s *Shard, flushHorizon, target time.Duration, inclusive bool) {
 	e.flushInto(s, flushHorizon)
+	s.mReleased.Inc()
+	s.hStride.Observe(int64(target - s.barrier))
 	s.running = true
 	s.target = target
 	s.inclusive = inclusive
@@ -730,6 +802,8 @@ func (e *Engine) flushAll(horizon time.Duration) {
 // the coordinator's flush writes back to the workers.
 func (e *Engine) globalWindow(target time.Duration, inclusive bool) {
 	for _, s := range e.shards {
+		s.mReleased.Inc()
+		s.hStride.Observe(int64(target - s.barrier))
 		s.running = true
 		s.target = target
 		s.inclusive = inclusive

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/onelab/umtslab/internal/fault"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/umts"
 )
@@ -72,6 +73,25 @@ func fleetOpts() MultiCellOptions {
 // byte-identical 1-vs-N-shard equality.
 func TestFleetShardedIdentical(t *testing.T) {
 	diffMultiCell(t, fleetOpts(), 3)
+}
+
+// TestFleetZeroActiveFaultedDifferential: cells with ZERO active
+// terminals (idle fleet + background population only) inside a faulted
+// run. This is the shard-engine edge case the dynamic policy leans on
+// hardest — no cross-shard traffic at all, so cell shards fast-forward
+// on pure promises — and faults perturbing the radio mid-run must not
+// break the 1-vs-N-shard/policy byte identity.
+func TestFleetZeroActiveFaultedDifferential(t *testing.T) {
+	diffMultiCell(t, MultiCellOptions{
+		Seed: 13, Cells: 2, Terminals: 0,
+		IdleTerminals: 30, Population: 10,
+		FlowStart: 15 * time.Second, Duration: 8 * time.Second, Drain: 6 * time.Second,
+		Faults: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.KindRateFade, At: 17 * time.Second, Duration: 3 * time.Second, Scale: 0.5},
+			{Kind: fault.KindFade, At: 19 * time.Second, Duration: time.Second},
+			{Kind: fault.KindLinkFlap, At: 21 * time.Second, Duration: 2 * time.Second, Loss: 0.3},
+		}},
+	}, 3)
 }
 
 // TestFleetPopulationsPlacementIndependent compares the population

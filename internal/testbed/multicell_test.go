@@ -48,11 +48,11 @@ func TestMultiCellFlowsDeliver(t *testing.T) {
 }
 
 // diffMultiCell runs the same options with shard count 1 (the
-// reference), shard count n under the global window policy, and shard
-// count n under the adaptive per-shard-horizon policy, and asserts
-// byte-identical QoS reports, bearer logs, and placement-independent
-// kernel counters across all three — the determinism contract covers
-// placement AND window policy.
+// reference) and then shard count n under every window policy (global
+// lockstep, adaptive distance horizons, dynamic EOT promises), and
+// asserts byte-identical QoS reports, bearer logs, and placement-
+// independent kernel counters across all runs — the determinism
+// contract covers placement AND window policy.
 func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
 	t.Helper()
 	opts.Shards = 1
@@ -61,7 +61,7 @@ func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, policy := range []shard.Policy{shard.PolicyGlobal, shard.PolicyAdaptive} {
+	for _, policy := range shard.Policies {
 		opts.Shards = n
 		opts.ShardPolicy = policy
 		sharded, err := RunMultiCell(opts)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke serve-smoke
 
 all: build
 
@@ -10,8 +10,9 @@ build:
 # Tier-1 verify: everything must stay green (see ROADMAP.md).
 # bench-smoke compiles and runs every benchmark once so a broken
 # benchmark (or a perf-path regression that panics) fails the gate
-# without paying for real measurement runs.
-verify: vet build test race bench-smoke
+# without paying for real measurement runs. serve-smoke exercises the
+# service mode end to end in-process.
+verify: vet build test race bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +25,15 @@ race:
 
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# serve-smoke runs the measurement-service mode end to end in one
+# process: start the control plane, submit two declarative specs
+# concurrently, stream one job's live QoS windows to completion over
+# SSE, prove the HTTP result byte-identical to a one-shot run of the
+# same spec, scrape /v1/metrics, and check that graceful shutdown
+# drains a queued job instead of dropping it.
+serve-smoke:
+	$(GO) run ./cmd/experiments -serve-smoke
 
 # bench times the sequential vs. pooled repetition schedule of Figure 1
 # (5 reps) and records the comparison, including the core count, in

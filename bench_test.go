@@ -35,12 +35,15 @@ const paperDuration = 120 * time.Second
 func runCell(b *testing.B, path testbed.Path, wl testbed.Workload) *testbed.ExperimentResult {
 	b.Helper()
 	var res *testbed.ExperimentResult
-	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = testbed.RunPaperExperiment(int64(i+1), path, wl, paperDuration)
+		rp, err := testbed.NewScenario(
+			testbed.WithSeed(int64(i+1)), testbed.WithPath(path),
+			testbed.WithWorkload(wl), testbed.WithDuration(paperDuration),
+		).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
+		res = rp.Results[0]
 	}
 	return res
 }
@@ -468,25 +471,23 @@ func tcpUploadRun(b *testing.B, seed int64) (goodputKbps, srttMs float64) {
 
 // --- PR: parallel runner & metrics overhead ---
 
-// benchRepRuns builds a 8-rep VoIP/UMTS schedule with short flows, so
-// the benchmark measures scheduling overhead rather than one long run.
-func benchRepRuns() []testbed.RepRun {
-	runs := make([]testbed.RepRun, 8)
-	for i := range runs {
-		runs[i] = testbed.RepRun{
-			Seed: 1, Path: testbed.PathUMTS, Workload: testbed.WorkloadVoIP,
-			Rep: i, Duration: 15 * time.Second,
-		}
-	}
-	return runs
+// benchRepScenario builds an 8-rep VoIP/UMTS scenario with short
+// flows, so the benchmark measures scheduling overhead rather than one
+// long run.
+func benchRepScenario(workers int) *testbed.Scenario {
+	return testbed.NewScenario(
+		testbed.WithSeed(1), testbed.WithPath(testbed.PathUMTS),
+		testbed.WithWorkload(testbed.WorkloadVoIP),
+		testbed.WithDuration(15*time.Second),
+		testbed.WithReps(8), testbed.WithWorkers(workers),
+	)
 }
 
 // BenchmarkRepsSequential is the baseline: the same schedule the pool
 // runs, through a single worker.
 func BenchmarkRepsSequential(b *testing.B) {
-	runs := benchRepRuns()
 	for i := 0; i < b.N; i++ {
-		if _, err := testbed.RunParallel(runs, 1); err != nil {
+		if _, err := benchRepScenario(1).Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -496,10 +497,9 @@ func BenchmarkRepsSequential(b *testing.B) {
 // workers; compare ns/op against BenchmarkRepsSequential for the
 // speedup on this machine.
 func BenchmarkRepsParallel(b *testing.B) {
-	runs := benchRepRuns()
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	for i := 0; i < b.N; i++ {
-		if _, err := testbed.RunParallel(runs, 0); err != nil {
+		if _, err := benchRepScenario(0).Run(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -522,12 +522,16 @@ func BenchmarkPaperExperimentScheduler(b *testing.B) {
 		b.Run(sc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := testbed.RunPaperExperimentScheduler(1, sc.sched,
-					testbed.PathUMTS, testbed.WorkloadVoIP, 30*time.Second)
+				rp, err := testbed.NewScenario(
+					testbed.WithSeed(1), testbed.WithScheduler(sc.sched),
+					testbed.WithPath(testbed.PathUMTS),
+					testbed.WithWorkload(testbed.WorkloadVoIP),
+					testbed.WithDuration(30*time.Second),
+				).Run()
 				if err != nil {
 					b.Fatal(err)
 				}
-				if res.Decoded.Received == 0 {
+				if rp.Results[0].Decoded.Received == 0 {
 					b.Fatal("no traffic")
 				}
 			}
@@ -576,14 +580,15 @@ func BenchmarkFaultRecovery(b *testing.B) {
 // 100k-terminal figure.
 func BenchmarkFleetScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := testbed.RunMultiCell(testbed.MultiCellOptions{
-			Seed: int64(i + 1), Cells: 2, Terminals: 1,
-			IdleTerminals: 5000, Population: 200,
-			Duration: 8 * time.Second, Drain: 6 * time.Second,
-		})
+		rp, err := testbed.NewScenario(
+			testbed.WithSeed(int64(i+1)), testbed.WithCells(2, 1),
+			testbed.WithIdleTerminals(5000), testbed.WithPopulation(200, nil),
+			testbed.WithDuration(8*time.Second),
+		).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
+		res := rp.MultiCell
 		if res.IdleTerminals != 10000 || len(res.Populations) != 2 {
 			b.Fatalf("fleet wiring: idle %d, populations %d", res.IdleTerminals, len(res.Populations))
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
 	"github.com/onelab/umtslab/internal/testbed"
 	"github.com/onelab/umtslab/internal/umts"
 )
@@ -109,13 +110,8 @@ func benchFleet(path string, seed int64, cells, active, idle, population int) er
 		return err
 	}
 
-	opts := testbed.MultiCellOptions{
-		Seed: seed, Cells: cells, Terminals: active,
-		IdleTerminals: idle, Population: population,
-		Duration: dur,
-	}
 	t0 := time.Now()
-	res, err := testbed.RunMultiCell(opts)
+	res, err := multiCell(seed, cells, active, 0, shard.PolicyGlobal, idle, population)
 	if err != nil {
 		return err
 	}
@@ -126,9 +122,7 @@ func benchFleet(path string, seed int64, cells, active, idle, population int) er
 		}
 	}
 
-	optsSingle := opts
-	optsSingle.Shards = 1
-	single, err := testbed.RunMultiCell(optsSingle)
+	single, err := multiCell(seed, cells, active, 1, shard.PolicyGlobal, idle, population)
 	if err != nil {
 		return err
 	}

@@ -18,7 +18,19 @@
 //	            [-bench-shard file] [-bench-sched-compare file]
 //	            [-bench-shard-compare file]
 //	            [-bench-fault file] [-bench-analysis file]
+//	            [-serve :port] [-spec file.json] [-serve-smoke]
 //	            [-cpuprofile file] [-memprofile file] [-v]
+//
+// -serve turns the binary into a long-lived measurement service: an
+// HTTP/JSON control plane (internal/control) that accepts declarative
+// testbed specs at POST /v1/jobs, runs them on a bounded worker pool,
+// streams live QoS windows over SSE at /v1/jobs/{id}/stream, and
+// exposes service counters plus per-job simulation metrics at
+// /v1/metrics. SIGINT/SIGTERM drains the queue before exit. -spec runs
+// one spec document in-process and prints the same canonical result
+// encoding, so service and one-shot results can be compared
+// byte-for-byte. -serve-smoke exercises the whole service mode
+// end-to-end in-process (the `make serve-smoke` gate).
 //
 // With -reps N each experiment is repeated on N independently seeded
 // testbeds (the paper ran each experiment 20 times) and the summary
@@ -207,36 +219,30 @@ func cellList(sel []figure, reps int) []cellKey {
 	return keys
 }
 
-func toRuns(keys []cellKey, seed int64) []testbed.RepRun {
-	runs := make([]testbed.RepRun, len(keys))
+// toScenarios builds the exact Scenario each cell key runs — the same
+// construction run() uses, so the pooled prefetch and the sequential
+// cache-miss path cannot drift (faults, self-healing, and the analysis
+// pipeline all ride along).
+func toScenarios(keys []cellKey, seed int64) []*testbed.Scenario {
+	scs := make([]*testbed.Scenario, len(keys))
 	for i, k := range keys {
-		runs[i] = testbed.RepRun{Seed: seed, Path: k.path, Workload: k.wl, Rep: k.rep, Duration: dur}
+		scs[i] = cellScenario(testbed.RepSeed(seed, k.rep), k.wl, k.path)
 	}
-	return runs
+	return scs
 }
 
 // prefetch executes every needed cell across the worker pool and fills
 // the cache, so the (sequential, deterministic) printing code below hits
 // the cache on every lookup. Each rep runs with RepSeed(seed, rep) on a
 // private loop, so the report is byte-identical to a sequential run.
-// With faults or self-healing in play the cells go through the Scenario
-// path one by one instead (run() caches them all the same).
 func prefetch(seed int64, sel []figure, reps, workers int) error {
 	keys := cellList(sel, reps)
-	if !faultSched.Empty() || selfHeal {
-		for _, k := range keys {
-			if _, err := run(seed, k.wl, k.path, k.rep); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	results, err := testbed.RunParallel(toRuns(keys, seed), workers)
+	reports, err := testbed.RunScenarios(toScenarios(keys, seed), workers)
 	if err != nil {
 		return err
 	}
 	for i, k := range keys {
-		cache[k] = results[i]
+		cache[k] = reports[i].Results[0]
 	}
 	return nil
 }
@@ -285,6 +291,9 @@ func main() {
 	benchFaultOut := flag.String("bench-fault", "", "prove empty-schedule transparency, run the drops preset under self-healing, write JSON to this file, and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
+	serveAddr := flag.String("serve", "", `run as a long-lived measurement service on this address (e.g. ":8080"): HTTP/JSON control plane accepting declarative specs at POST /v1/jobs`)
+	specFile := flag.String("spec", "", `run one declarative JSON spec file ("-" for stdin) and print the canonical result document (byte-identical to the service's /v1/jobs/{id}/result)`)
+	smokeFlag := flag.Bool("serve-smoke", false, "run the in-process service-mode smoke test (submit, stream, scrape, drain) and exit")
 	flag.Parse()
 	dur = *durFlag
 	selfHeal = *selfHealFlag
@@ -330,6 +339,30 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *smokeFlag {
+		if err := serveSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: serve-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveAddr != "" {
+		if err := runServe(*serveAddr, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *specFile != "" {
+		if err := runSpec(*specFile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: spec: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var selected []figure
@@ -524,22 +557,22 @@ func benchParallel(path string, seed int64, sel []figure, reps, workers int) err
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	runs := toRuns(cellList(sel, reps), seed)
+	keys := cellList(sel, reps)
 	t0 := time.Now()
-	seq, err := testbed.RunParallel(runs, 1)
+	seq, err := testbed.RunScenarios(toScenarios(keys, seed), 1)
 	if err != nil {
 		return err
 	}
 	seqWall := time.Since(t0)
 	t0 = time.Now()
-	par, err := testbed.RunParallel(runs, workers)
+	par, err := testbed.RunScenarios(toScenarios(keys, seed), workers)
 	if err != nil {
 		return err
 	}
 	parWall := time.Since(t0)
 	identical := true
-	for i := range runs {
-		if !reflect.DeepEqual(seq[i].Decoded, par[i].Decoded) {
+	for i := range keys {
+		if !reflect.DeepEqual(seq[i].Results[0].Decoded, par[i].Results[0].Decoded) {
 			identical = false
 		}
 	}
@@ -547,7 +580,7 @@ func benchParallel(path string, seed int64, sel []figure, reps, workers int) err
 		NumCPU:      runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
-		Runs:        len(runs),
+		Runs:        len(keys),
 		Reps:        reps,
 		FlowS:       dur.Seconds(),
 		SequentialS: seqWall.Seconds(),
@@ -564,7 +597,7 @@ func benchParallel(path string, seed int64, sel []figure, reps, workers int) err
 		return err
 	}
 	fmt.Printf("bench-parallel: %d runs, sequential %.2f s, parallel(%d workers) %.2f s, speedup %.2fx, identical=%v -> %s\n",
-		len(runs), seqWall.Seconds(), workers, parWall.Seconds(), rep.Speedup, identical, path)
+		len(keys), seqWall.Seconds(), workers, parWall.Seconds(), rep.Speedup, identical, path)
 	return nil
 }
 
@@ -686,14 +719,19 @@ func measureSched(seed int64, reps int) (schedBenchReport, error) {
 		runtime.ReadMemStats(&before)
 		t0 := time.Now()
 		for rep := 0; rep < reps; rep++ {
-			r, err := testbed.RunPaperExperimentScheduler(
-				testbed.RepSeed(seed, rep), cfg.sched, testbed.PathUMTS, testbed.WorkloadVoIP, dur)
+			rp, err := testbed.NewScenario(
+				testbed.WithSeed(testbed.RepSeed(seed, rep)),
+				testbed.WithScheduler(cfg.sched),
+				testbed.WithPath(testbed.PathUMTS),
+				testbed.WithWorkload(testbed.WorkloadVoIP),
+				testbed.WithDuration(dur),
+			).Run()
 			if err != nil {
 				bufpool.SetDisabled(false)
 				return schedBenchReport{}, fmt.Errorf("%s rep %d: %w", cfg.name, rep, err)
 			}
 			if rep == 0 {
-				firsts[i] = r
+				firsts[i] = rp.Results[0]
 			}
 		}
 		wall := time.Since(t0)
@@ -786,6 +824,29 @@ func flowsIdentical(a, b *testbed.MultiCellResult) bool {
 	return true
 }
 
+// multiCell runs one multi-cell leg through the Scenario front door
+// and returns the shard-engine result. A zero shards value keeps the
+// engine's default placement (one shard per cell plus the wired core);
+// idle/population of 0 omit the fleet options.
+func multiCell(seed int64, cells, terminals, shards int, policy shard.Policy, idle, population int) (*testbed.MultiCellResult, error) {
+	opts := []testbed.ScenarioOption{
+		testbed.WithSeed(seed), testbed.WithCells(cells, terminals),
+		testbed.WithShards(shards), testbed.WithShardPolicy(policy),
+		testbed.WithDuration(dur),
+	}
+	if idle > 0 {
+		opts = append(opts, testbed.WithIdleTerminals(idle))
+	}
+	if population > 0 {
+		opts = append(opts, testbed.WithPopulation(population, nil))
+	}
+	rep, err := testbed.NewScenario(opts...).Run()
+	if err != nil {
+		return nil, err
+	}
+	return rep.MultiCell, nil
+}
+
 // benchShard times the multi-cell scenario on a single loop and on the
 // requested shard count under both window policies, verifies every
 // sharded run is byte-identical to the single-loop reference, and
@@ -797,34 +858,26 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	if terminals <= 0 {
 		terminals = 1
 	}
-	opts := testbed.MultiCellOptions{
-		Seed: seed, Cells: cells, Terminals: terminals,
-		Duration: dur, Shards: 1,
-	}
 	t0 := time.Now()
-	single, err := testbed.RunMultiCell(opts)
+	single, err := multiCell(seed, cells, terminals, 1, shard.PolicyGlobal, 0, 0)
 	if err != nil {
 		return err
 	}
 	wall1 := time.Since(t0)
-	opts.Shards = shards // 0 resolves to cells+1 inside RunMultiCell
 	t0 = time.Now()
-	sharded, err := testbed.RunMultiCell(opts)
+	sharded, err := multiCell(seed, cells, terminals, shards, shard.PolicyGlobal, 0, 0)
 	if err != nil {
 		return err
 	}
 	wallN := time.Since(t0)
-	opts.Shards = shards
-	opts.ShardPolicy = shard.PolicyAdaptive
 	t0 = time.Now()
-	adaptive, err := testbed.RunMultiCell(opts)
+	adaptive, err := multiCell(seed, cells, terminals, shards, shard.PolicyAdaptive, 0, 0)
 	if err != nil {
 		return err
 	}
 	wallA := time.Since(t0)
-	opts.ShardPolicy = shard.PolicyDynamic
 	t0 = time.Now()
-	dynamic, err := testbed.RunMultiCell(opts)
+	dynamic, err := multiCell(seed, cells, terminals, shards, shard.PolicyDynamic, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -833,17 +886,12 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	// Idle-fleet leg: same cells, zero active flows, the BENCH_fleet
 	// idle cohort + population per cell. Window totals are summed over
 	// every shard — the whole-engine coordination cost.
-	fleetOpts := testbed.MultiCellOptions{
-		Seed: seed, Cells: cells, Terminals: 0,
-		IdleTerminals: 24000, Population: 1000,
-		Duration: dur, Shards: shards, ShardPolicy: shard.PolicyAdaptive,
-	}
-	fleetAdaptive, err := testbed.RunMultiCell(fleetOpts)
+	const fleetIdle, fleetPopulation = 24000, 1000
+	fleetAdaptive, err := multiCell(seed, cells, 0, shards, shard.PolicyAdaptive, fleetIdle, fleetPopulation)
 	if err != nil {
 		return err
 	}
-	fleetOpts.ShardPolicy = shard.PolicyDynamic
-	fleetDynamic, err := testbed.RunMultiCell(fleetOpts)
+	fleetDynamic, err := multiCell(seed, cells, 0, shards, shard.PolicyDynamic, fleetIdle, fleetPopulation)
 	if err != nil {
 		return err
 	}
@@ -879,8 +927,8 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 		Windows:              sharded.Windows,
 		LookaheadMs:          sharded.Lookahead.Seconds() * 1000,
 		Messages:             msgs,
-		FleetIdleTerminals:   fleetOpts.IdleTerminals,
-		FleetPopulation:      fleetOpts.Population,
+		FleetIdleTerminals:   fleetIdle,
+		FleetPopulation:      fleetPopulation,
 		FleetWindowsAdaptive: fwa,
 		FleetWindowsDynamic:  fwd,
 		FleetWindowReduction: float64(fwa) / float64(fwd),
@@ -1010,10 +1058,14 @@ func benchFault(path string, seed int64, profile string) error {
 		return err
 	}
 	t0 := time.Now()
-	plain, err := testbed.RunPaperExperiment(seed, testbed.PathUMTS, testbed.WorkloadVoIP, dur)
+	plainRep, err := testbed.NewScenario(
+		testbed.WithSeed(seed), testbed.WithPath(testbed.PathUMTS),
+		testbed.WithWorkload(testbed.WorkloadVoIP), testbed.WithDuration(dur),
+	).Run()
 	if err != nil {
 		return err
 	}
+	plain := plainRep.Results[0]
 	empty, err := testbed.NewScenario(
 		testbed.WithSeed(seed), testbed.WithPath(testbed.PathUMTS),
 		testbed.WithWorkload(testbed.WorkloadVoIP), testbed.WithDuration(dur),
@@ -1083,17 +1135,26 @@ func benchFault(path string, seed int64, profile string) error {
 // there (windows, windows_released, the horizon_stride_ns histogram)
 // are where a policy's windowing behavior is visible.
 func runMultiCell(seed int64, cells, terminals, shards, fleetIdle, population int, metricsOut string) error {
-	opts := testbed.MultiCellOptions{
-		Seed: seed, Cells: cells, Terminals: terminals,
-		Shards: shards, ShardPolicy: shardPolicy, Duration: dur,
-		Faults: faultSched, SelfHeal: selfHeal,
-		Analysis:      analysisCfg,
-		IdleTerminals: fleetIdle, Population: population,
+	opts := []testbed.ScenarioOption{
+		testbed.WithSeed(seed), testbed.WithCells(cells, terminals),
+		testbed.WithShards(shards), testbed.WithShardPolicy(shardPolicy),
+		testbed.WithDuration(dur), testbed.WithFaults(faultSched),
+		testbed.WithAnalysis(analysisCfg),
 	}
-	res, err := testbed.RunMultiCell(opts)
+	if selfHeal {
+		opts = append(opts, testbed.WithSelfHeal(nil))
+	}
+	if fleetIdle > 0 {
+		opts = append(opts, testbed.WithIdleTerminals(fleetIdle))
+	}
+	if population > 0 {
+		opts = append(opts, testbed.WithPopulation(population, nil))
+	}
+	rep, err := testbed.NewScenario(opts...).Run()
 	if err != nil {
 		return err
 	}
+	res := rep.MultiCell
 	fmt.Printf("Multi-cell scale-out: %d cells x %d terminals on %d shard(s), %v windows\n",
 		res.Opts.Cells, res.Opts.Terminals, res.Opts.Shards, shardPolicy)
 	if res.IdleTerminals > 0 {
@@ -1120,7 +1181,7 @@ func runMultiCell(seed int64, cells, terminals, shards, fleetIdle, population in
 	merged := metrics.MergeSnapshots(res.Snapshots...)
 	if b := merged.GaugeSum("itg/stream/", "/retained_bytes"); b > 0 {
 		fmt.Printf("\nstreaming analysis (%v): %d records streamed, %.0f B retained across %d decoders\n",
-			opts.Analysis.Mode, merged.Counters["itg/records_streamed"], b, len(res.Flows))
+			analysisCfg.Mode, merged.Counters["itg/records_streamed"], b, len(res.Flows))
 	}
 	if metricsOut != "" {
 		out := map[string]metrics.Snapshot{}

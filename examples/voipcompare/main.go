@@ -27,11 +27,14 @@ func main() {
 	}
 	var rows []row
 	for _, path := range []testbed.Path{testbed.PathUMTS, testbed.PathEthernet} {
-		res, err := testbed.RunPaperExperiment(*seed, path, testbed.WorkloadVoIP, *dur)
+		rp, err := testbed.NewScenario(
+			testbed.WithSeed(*seed), testbed.WithPath(path),
+			testbed.WithWorkload(testbed.WorkloadVoIP), testbed.WithDuration(*dur),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows = append(rows, row{path, res})
+		rows = append(rows, row{path, rp.Results[0]})
 	}
 
 	fmt.Printf("%-22s %10s %8s %12s %12s %12s %12s\n",

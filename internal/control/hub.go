@@ -1,0 +1,71 @@
+package control
+
+import (
+	"sync"
+
+	"github.com/onelab/umtslab/internal/testbed"
+)
+
+// finalEvent is the terminal SSE event of a job's stream.
+type finalEvent struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// hub fans one job's live QoS windows out to any number of SSE
+// subscribers. Publishers append to an ever-growing history and
+// broadcast by closing the current wake channel; subscribers replay
+// from their cursor and then park on the channel they were handed —
+// so a late subscriber sees the full history and a slow one can never
+// miss or reorder windows. Window volume is bounded (flows x
+// duration/window), which keeps whole-history replay cheap and exact.
+type hub struct {
+	mu      sync.Mutex
+	windows []testbed.LiveWindow
+	final   *finalEvent
+	wake    chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{wake: make(chan struct{})}
+}
+
+// publish appends one sealed window and wakes all parked subscribers.
+// Safe for concurrent use from engine worker goroutines.
+func (h *hub) publish(w testbed.LiveWindow) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.final != nil {
+		return // job already finished; drop stragglers
+	}
+	h.windows = append(h.windows, w)
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// finish records the terminal event and wakes everyone. Idempotent.
+func (h *hub) finish(ev finalEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.final != nil {
+		return
+	}
+	h.final = &ev
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// since returns the windows past the subscriber's cursor, the final
+// event if the job has finished, and the channel that will be closed
+// on the next publish — captured under the lock, so waiting on it
+// after draining the returned windows cannot lose a wakeup.
+func (h *hub) since(cursor int) ([]testbed.LiveWindow, *finalEvent, <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var tail []testbed.LiveWindow
+	if cursor < len(h.windows) {
+		tail = append(tail, h.windows[cursor:]...)
+	}
+	return tail, h.final, h.wake
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -174,6 +175,27 @@ func Preset(name string, seed int64, horizon time.Duration) (Schedule, error) {
 			LinkFlapLoss:     0.5,
 		})
 	default:
-		return Schedule{}, fmt.Errorf("fault: unknown preset %q (want none, drops, fades, degrade, regloss, flaps, flaky)", name)
+		return Schedule{}, fmt.Errorf("fault: unknown preset %q (want %s)", name, strings.Join(PresetNames(), ", "))
 	}
+}
+
+// PresetNames lists every valid Preset name, in the order Preset
+// documents them. Flag help, Spec validation, and the control plane
+// derive their allowed set from this list.
+func PresetNames() []string {
+	return []string{"none", "drops", "fades", "degrade", "regloss", "flaps", "flaky"}
+}
+
+// ValidPreset reports whether name is an accepted Preset name (the
+// empty string is "none").
+func ValidPreset(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range PresetNames() {
+		if name == n {
+			return true
+		}
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package itg
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/onelab/umtslab/internal/stats"
@@ -55,6 +56,18 @@ type StreamDecoder struct {
 	recv streamRecvAcc
 	sent streamSentAcc
 	echo streamEchoAcc
+
+	// Live-window subscription (WithLiveWindows). When live is set the
+	// decoder serializes every Add*/Finalize call under mu — the price
+	// of publishing windows that read both feed sides — and seals
+	// window i once every feed has progressed liveLag past its end.
+	// Sealing only reads the accumulators, so Finalize stays
+	// byte-identical to a subscriber-free run.
+	live       func(i int, w WindowStats)
+	liveLag    time.Duration
+	mu         sync.Mutex
+	sealed     int
+	lateSealed int
 }
 
 // StreamOption configures a StreamDecoder.
@@ -80,6 +93,31 @@ func WithExactPercentiles() StreamOption {
 // (default stats.DefaultSketchRelErr; ignored in exact mode).
 func WithSketchRelErr(relErr float64) StreamOption {
 	return func(d *StreamDecoder) { d.relErr = relErr }
+}
+
+// WithLiveWindows subscribes sink to the decoder's QoS windows while
+// the feed is still running: window i is published exactly once, as
+// soon as every feed side (sent, recv, echo) has progressed at least
+// lag past the window's end (lag <= 0 selects 10 s). Windows not yet
+// sealed when Finalize runs are published from the final accumulators,
+// so a subscriber always sees every window of the eventual Result —
+// and a window published early is identical to its Finalize value
+// whenever lag covers the flow's maximum in-flight delay plus
+// departure-to-arrival loss accounting (SealViolations counts feeds
+// that broke that promise).
+//
+// The subscription changes the concurrency contract: with a sink
+// installed the decoder locks internally, so the sent/echo and recv
+// sides may still feed from two goroutines, and the sink may be called
+// from either. The sink must not call back into the decoder.
+func WithLiveWindows(lag time.Duration, sink func(i int, w WindowStats)) StreamOption {
+	return func(d *StreamDecoder) {
+		if lag <= 0 {
+			lag = 10 * time.Second
+		}
+		d.live = sink
+		d.liveLag = lag
+	}
 }
 
 // WithReorderSpan sets how many consecutive sequence numbers the
@@ -187,21 +225,33 @@ func (d *StreamDecoder) widx(t time.Duration) int {
 
 // AddSent feeds one transmitted-packet record (a SentLog entry).
 func (d *StreamDecoder) AddSent(r Record) {
+	if d.live != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	tx := r.TxTime - d.start
 	if tx > d.sent.maxT {
 		d.sent.maxT = tx
 	}
 	i := d.widx(tx)
+	if i < d.sealed {
+		d.lateSealed++
+	}
 	for i >= len(d.sent.perWin) {
 		d.sent.perWin = append(d.sent.perWin, 0)
 	}
 	d.sent.perWin[i]++
 	d.sent.total++
+	d.maybeSeal()
 }
 
 // AddRecv feeds one arrival record (a RecvLog entry). Calls must be in
 // non-decreasing RxTime order (see the type comment).
 func (d *StreamDecoder) AddRecv(r Record) {
+	if d.live != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	a := &d.recv
 	tx := r.TxTime - d.start
 	rx := r.RxTime
@@ -212,6 +262,9 @@ func (d *StreamDecoder) AddRecv(r Record) {
 		a.maxT = rx
 	}
 	i := d.widx(rx)
+	if i < d.sealed {
+		d.lateSealed++
+	}
 	for i >= len(a.wins) {
 		a.wins = append(a.wins, winAcc{})
 	}
@@ -244,11 +297,15 @@ func (d *StreamDecoder) AddRecv(r Record) {
 	if a.markReceived(r.FlowID, r.Seq, d.span) {
 		a.distinct++
 		ti := d.widx(tx)
+		if ti < d.sealed {
+			d.lateSealed++
+		}
 		for ti >= len(a.distinctByTxWin) {
 			a.distinctByTxWin = append(a.distinctByTxWin, 0)
 		}
 		a.distinctByTxWin[ti]++
 	}
+	d.maybeSeal()
 }
 
 // markReceived records (flow, seq) in the flow's sliding bitmap and
@@ -302,6 +359,10 @@ func (a *streamRecvAcc) markReceived(flow, seq uint32, span uint32) bool {
 
 // AddEcho feeds one reflected-packet record (an EchoLog entry).
 func (d *StreamDecoder) AddEcho(r Record) {
+	if d.live != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	a := &d.echo
 	tx := r.TxTime - d.start
 	rx := r.RxTime
@@ -318,6 +379,9 @@ func (d *StreamDecoder) AddEcho(r Record) {
 		a.sketch.Add(float64(rtt))
 	}
 	i := d.widx(rx)
+	if i < d.sealed {
+		d.lateSealed++
+	}
 	for i >= len(a.sums) {
 		a.sums = append(a.sums, 0)
 		a.ns = append(a.ns, 0)
@@ -329,6 +393,7 @@ func (d *StreamDecoder) AddEcho(r Record) {
 	if rtt > a.maxRTT {
 		a.maxRTT = rtt
 	}
+	d.maybeSeal()
 }
 
 // LateArrivals reports first arrivals that slid out of the duplicate
@@ -336,9 +401,87 @@ func (d *StreamDecoder) AddEcho(r Record) {
 // (zero on any feed whose per-flow reordering stays within the span).
 func (d *StreamDecoder) LateArrivals() int { return d.recv.late }
 
+// SealViolations reports records that targeted a window already
+// published to the live sink — feeds whose in-flight delay exceeded
+// the WithLiveWindows lag, so the early-published window understates
+// the final one. Zero means every live window equals its Finalize
+// value.
+func (d *StreamDecoder) SealViolations() int {
+	if d.live != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
+	return d.lateSealed
+}
+
+// maybeSeal publishes every window the feed has conclusively moved
+// past: window i seals once all three sides have progressed liveLag
+// beyond its end, leaving only records that would violate the lag
+// bound able to touch it. Callers hold mu.
+func (d *StreamDecoder) maybeSeal() {
+	if d.live == nil {
+		return
+	}
+	progress := d.sent.maxT
+	if d.recv.maxT < progress {
+		progress = d.recv.maxT
+	}
+	if d.echo.maxT < progress {
+		progress = d.echo.maxT
+	}
+	for time.Duration(d.sealed+1)*d.window+d.liveLag <= progress {
+		d.live(d.sealed, d.windowAt(d.sealed))
+		d.sealed++
+	}
+}
+
+// windowAt folds the accumulators into window i's stats — the one
+// computation shared by live sealing and Finalize, so an early-sealed
+// window and its end-of-run counterpart can only differ if the feed
+// itself violated the seal lag.
+func (d *StreamDecoder) windowAt(i int) WindowStats {
+	w := WindowStats{T: time.Duration(i) * d.window}
+	var acc winAcc
+	if i < len(d.recv.wins) {
+		acc = d.recv.wins[i]
+	}
+	w.Packets = acc.packets
+	w.Bytes = acc.bytes
+	w.BitrateKbps = float64(acc.bytes) * 8 / d.window.Seconds() / 1000
+	if acc.packets > 0 {
+		w.Delay = acc.delaySum / time.Duration(acc.packets)
+	}
+	if acc.jitterN > 0 {
+		w.JitterSamples = acc.jitterN
+		w.Jitter = acc.jitterSum / time.Duration(acc.jitterN)
+	}
+	sentHere := 0
+	if i < len(d.sent.perWin) {
+		sentHere = d.sent.perWin[i]
+	}
+	distinctHere := 0
+	if i < len(d.recv.distinctByTxWin) {
+		distinctHere = d.recv.distinctByTxWin[i]
+	}
+	if loss := sentHere - distinctHere; loss > 0 {
+		w.Loss = loss
+	}
+	if i < len(d.echo.ns) && d.echo.ns[i] > 0 {
+		w.RTT = d.echo.sums[i] / time.Duration(d.echo.ns[i])
+		w.RTTSamples = d.echo.ns[i]
+	}
+	return w
+}
+
 // Finalize folds the accumulators into a Result identical in shape to
-// Decode's. It must be called once, after all feeding is done.
+// Decode's. It must be called once, after all feeding is done. With a
+// live sink installed, every window not yet sealed is published before
+// Finalize returns, so subscribers see the complete window series.
 func (d *StreamDecoder) Finalize() *Result {
+	if d.live != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	res := &Result{Window: d.window}
 	res.Sent = d.sent.total
 	res.Received = d.recv.received
@@ -361,44 +504,23 @@ func (d *StreamDecoder) Finalize() *Result {
 	var jitterN int
 	var totalBytes int
 	for i := range res.Windows {
-		w := &res.Windows[i]
-		w.T = time.Duration(i) * d.window
-		var acc winAcc
-		if i < len(d.recv.wins) {
-			acc = d.recv.wins[i]
-		}
-		w.Packets = acc.packets
-		w.Bytes = acc.bytes
-		totalBytes += acc.bytes
-		w.BitrateKbps = float64(acc.bytes) * 8 / winSecs / 1000
-		if acc.packets > 0 {
-			w.Delay = acc.delaySum / time.Duration(acc.packets)
-		}
-		if acc.jitterN > 0 {
-			w.JitterSamples = acc.jitterN
-			w.Jitter = acc.jitterSum / time.Duration(acc.jitterN)
-			jitterSum += acc.jitterSum
-			jitterN += acc.jitterN
+		w := d.windowAt(i)
+		res.Windows[i] = w
+		totalBytes += w.Bytes
+		if w.JitterSamples > 0 {
+			jitterSum += d.recv.wins[i].jitterSum
+			jitterN += w.JitterSamples
 			if w.Jitter > res.MaxJitter {
 				res.MaxJitter = w.Jitter
 			}
 		}
-		sentHere := 0
-		if i < len(d.sent.perWin) {
-			sentHere = d.sent.perWin[i]
+		res.Lost += w.Loss
+		if d.live != nil && i >= d.sealed {
+			d.live(i, w)
 		}
-		distinctHere := 0
-		if i < len(d.recv.distinctByTxWin) {
-			distinctHere = d.recv.distinctByTxWin[i]
-		}
-		if loss := sentHere - distinctHere; loss > 0 {
-			w.Loss = loss
-			res.Lost += loss
-		}
-		if i < len(d.echo.ns) && d.echo.ns[i] > 0 {
-			w.RTT = d.echo.sums[i] / time.Duration(d.echo.ns[i])
-			w.RTTSamples = d.echo.ns[i]
-		}
+	}
+	if d.live != nil && d.sealed < len(res.Windows) {
+		d.sealed = len(res.Windows)
 	}
 	res.MaxDelay = d.recv.maxDelay
 	res.MaxRTT = d.echo.maxRTT

@@ -221,6 +221,10 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // Gauge returns a gauge's snapshot (the zero GaugeSnapshot if absent).
 func (s Snapshot) Gauge(name string) GaugeSnapshot { return s.Gauges[name] }
 
+// Histogram returns a histogram's snapshot (the zero HistogramSnapshot
+// if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
 // GaugeSum totals the current values of every gauge whose name matches
 // prefix and suffix — e.g. GaugeSum("itg/stream/", "/retained_bytes")
 // totals the per-flow streaming-decoder footprints, which is meaningful

@@ -78,7 +78,7 @@ func TestAdaptiveRunsAhead(t *testing.T) {
 // window and nothing drained afterwards. The engine must deliver it and
 // leave every mailbox empty (zero final backlog gauge).
 func TestFinalWindowHorizonSend(t *testing.T) {
-	for _, p := range shard.Policies {
+	for _, p := range shard.Policies() {
 		eng := shard.NewEngine(1, 2, sim.SchedulerWheel)
 		eng.SetPolicy(p)
 		d := 2 * time.Millisecond
@@ -107,7 +107,7 @@ func TestFinalWindowHorizonSend(t *testing.T) {
 // re-execute the inclusive window — metrics (window counts, deliveries)
 // and loop state stay exactly as the first call left them.
 func TestRunReentryNoOp(t *testing.T) {
-	for _, p := range shard.Policies {
+	for _, p := range shard.Policies() {
 		eng := shard.NewEngine(3, 2, sim.SchedulerWheel)
 		eng.SetPolicy(p)
 		d := 2 * time.Millisecond
@@ -155,7 +155,7 @@ func TestParsePolicy(t *testing.T) {
 			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	for _, p := range shard.Policies {
+	for _, p := range shard.Policies() {
 		if got, err := shard.ParsePolicy(p.String()); err != nil || got != p {
 			t.Errorf("Policy.String round-trip broken for %v: %v, %v", p, got, err)
 		}

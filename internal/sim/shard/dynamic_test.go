@@ -112,7 +112,7 @@ func TestDynamicIdleFastForward(t *testing.T) {
 // covering the whole span, no goroutines, no extra machinery.
 func TestSingleShardCoordinatorNoOp(t *testing.T) {
 	until := 100 * time.Millisecond
-	for _, p := range shard.Policies {
+	for _, p := range shard.Policies() {
 		eng := shard.NewEngine(9, 1, sim.SchedulerWheel)
 		eng.SetPolicy(p)
 		loop := eng.Shard(0).Loop()
@@ -143,7 +143,7 @@ func TestSingleShardCoordinatorNoOp(t *testing.T) {
 // [0, until]; reopened windows add zero-length strides).
 func TestWindowInstrumentation(t *testing.T) {
 	until := 500 * time.Millisecond
-	for _, p := range shard.Policies {
+	for _, p := range shard.Policies() {
 		eng := sparseEngine(p, 50*time.Millisecond, until)
 		for i := 0; i < eng.N(); i++ {
 			snap := eng.Shard(i).Loop().Metrics().Snapshot()

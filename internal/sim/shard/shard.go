@@ -88,6 +88,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -114,8 +115,22 @@ const (
 	PolicyDynamic
 )
 
-// Policies lists every valid policy in flag-name order.
-var Policies = []Policy{PolicyGlobal, PolicyAdaptive, PolicyDynamic}
+// Policies returns every valid policy in flag-name order. Flag help,
+// Spec validation, and the control plane all derive their allowed set
+// (and ParsePolicy its error message) from this one list.
+func Policies() []Policy {
+	return []Policy{PolicyGlobal, PolicyAdaptive, PolicyDynamic}
+}
+
+// PolicyNames returns the canonical names of Policies, in order.
+func PolicyNames() []string {
+	ps := Policies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.String()
+	}
+	return names
+}
 
 // String returns the flag-friendly name of the policy.
 func (p Policy) String() string {
@@ -130,17 +145,19 @@ func (p Policy) String() string {
 }
 
 // ParsePolicy converts a flag value ("global", "adaptive" or "dynamic")
-// into a Policy. Unknown values are an error naming the allowed set.
+// into a Policy; the empty string selects the default. Unknown values
+// are an error naming the allowed set.
 func ParsePolicy(s string) (Policy, error) {
-	switch s {
-	case "global", "":
+	if s == "" {
 		return PolicyGlobal, nil
-	case "adaptive":
-		return PolicyAdaptive, nil
-	case "dynamic":
-		return PolicyDynamic, nil
 	}
-	return PolicyGlobal, fmt.Errorf("shard: unknown policy %q (allowed: global, adaptive, dynamic)", s)
+	for _, p := range Policies() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return PolicyGlobal, fmt.Errorf("shard: unknown policy %q (allowed: %s)",
+		s, strings.Join(PolicyNames(), ", "))
 }
 
 // Message is one cross-shard delivery: a payload that becomes visible

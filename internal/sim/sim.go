@@ -37,6 +37,33 @@ const (
 	SchedulerHeap
 )
 
+// String returns the scheduler's canonical wire name, as accepted by
+// ParseScheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerWheel:
+		return "wheel"
+	case SchedulerHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler maps a canonical name to a Scheduler backend. The
+// empty string selects the default (wheel), so omitted config fields
+// parse cleanly.
+func ParseScheduler(s string) (Scheduler, error) {
+	switch s {
+	case "", "wheel":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler %q (allowed: wheel, heap)", s)
+	}
+}
+
 // Loop is a discrete-event scheduler with a virtual clock.
 //
 // The zero value is not usable; construct with NewLoop.
@@ -49,6 +76,10 @@ type Loop struct {
 	rngs    map[string]*rand.Rand
 	stopped bool
 	idleFns []func()
+
+	intr        func() bool
+	intrCount   int
+	interrupted bool
 
 	reg          *metrics.Registry
 	buffers      *bufpool.Pool
@@ -244,11 +275,49 @@ func (l *Loop) OnIdle(fn func()) { l.idleFns = append(l.idleFns, fn) }
 // event completes.
 func (l *Loop) Stop() { l.stopped = true }
 
+// interruptEvery bounds how many events may fire between polls of the
+// interrupt hook. The hook may be an arbitrary (cheap, goroutine-safe)
+// predicate such as a context check, so it is not consulted per event.
+const interruptEvery = 4096
+
+// SetInterrupt installs a cooperative cancellation hook: every Run
+// variant polls fn about once per 4096 executed events, and once fn
+// returns true the loop latches Interrupted and every subsequent Run
+// call returns immediately. The hook must not touch loop state — it is
+// a pure external signal (typically a context-cancellation check), so
+// installing one cannot perturb an uninterrupted run. A run that was
+// interrupted is abandoned mid-simulation: its clock, queue, and
+// metrics are partial and its results must be discarded.
+func (l *Loop) SetInterrupt(fn func() bool) { l.intr = fn }
+
+// Interrupted reports whether an interrupt hook has fired on this loop.
+func (l *Loop) Interrupted() bool { return l.interrupted }
+
+// interruptDue polls the interrupt hook on its sampling grid and
+// reports whether the loop should abandon the current run.
+func (l *Loop) interruptDue() bool {
+	if l.interrupted {
+		return true
+	}
+	if l.intr == nil {
+		return false
+	}
+	l.intrCount++
+	if l.intrCount < interruptEvery {
+		return false
+	}
+	l.intrCount = 0
+	if l.intr() {
+		l.interrupted = true
+	}
+	return l.interrupted
+}
+
 // Run executes events until the queue is empty or Stop is called. It
 // returns the virtual time of the last event executed.
 func (l *Loop) Run() time.Duration {
 	l.stopped = false
-	for !l.stopped {
+	for !l.stopped && !l.interruptDue() {
 		if l.q.peek() == nil {
 			for _, fn := range l.idleFns {
 				fn()
@@ -270,7 +339,7 @@ func (l *Loop) Run() time.Duration {
 // producing work up to the horizon instead of starving.
 func (l *Loop) RunUntil(t time.Duration) {
 	l.stopped = false
-	for !l.stopped {
+	for !l.stopped && !l.interruptDue() {
 		ev := l.q.peek()
 		if ev == nil || ev.at > t {
 			for _, fn := range l.idleFns {
@@ -300,7 +369,7 @@ func (l *Loop) RunUntil(t time.Duration) {
 // never outrun by local events at the same timestamp.
 func (l *Loop) RunBefore(t time.Duration) {
 	l.stopped = false
-	for !l.stopped {
+	for !l.stopped && !l.interruptDue() {
 		ev := l.q.peek()
 		if ev == nil || ev.at >= t {
 			for _, fn := range l.idleFns {
@@ -323,7 +392,7 @@ func (l *Loop) RunBefore(t time.Duration) {
 // cond is evaluated before each event.
 func (l *Loop) RunWhile(cond func() bool) {
 	l.stopped = false
-	for !l.stopped && l.q.peek() != nil && cond() {
+	for !l.stopped && !l.interruptDue() && l.q.peek() != nil && cond() {
 		l.step()
 	}
 }

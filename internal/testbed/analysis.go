@@ -65,6 +65,29 @@ type AnalysisConfig struct {
 	// percentiles match batch exactly (differential testing only: this
 	// restores O(packets) memory on the stream side).
 	Exact bool
+	// Live, when non-nil, subscribes to every flow's QoS windows while
+	// the run executes (itg.WithLiveWindows): window i is delivered as
+	// soon as the flow's feeds have progressed LiveLag past its end
+	// (<= 0: the decoder's 10 s default), and any remainder at
+	// Finalize. Requires a streaming Mode; the sink may be called from
+	// engine worker goroutines and must be safe for concurrent use. A
+	// wire-through hook for the control plane, not part of the
+	// declarative Spec.
+	Live func(LiveWindow)
+	// LiveLag is the seal lag of the Live subscription.
+	LiveLag time.Duration
+}
+
+// LiveWindow is one live QoS window of one flow: the flow identity
+// (multi-cell runs fill Cell/Terminal, repetition sweeps fill Rep)
+// plus the sealed window stats.
+type LiveWindow struct {
+	Cell     int             `json:"cell"`
+	Terminal int             `json:"terminal"`
+	Rep      int             `json:"rep"`
+	FlowID   uint32          `json:"flow_id"`
+	Index    int             `json:"index"`
+	Stats    itg.WindowStats `json:"stats"`
 }
 
 // streaming reports whether a live StreamDecoder should be attached.
@@ -72,13 +95,23 @@ func (c AnalysisConfig) streaming() bool { return c.Mode != AnalysisBatch }
 
 // newDecoder builds the per-flow stream decoder: window-aligned to the
 // flow start (mirroring the batch path's Log.Rebase) and configured
-// for sketch or exact percentiles.
-func (c AnalysisConfig) newDecoder(window, start time.Duration) *itg.StreamDecoder {
+// for sketch or exact percentiles. id carries the flow's identity into
+// the Live subscription, if one is configured.
+func (c AnalysisConfig) newDecoder(window, start time.Duration, id LiveWindow) *itg.StreamDecoder {
 	opts := []itg.StreamOption{itg.WithStart(start)}
 	if c.Exact {
 		opts = append(opts, itg.WithExactPercentiles())
 	} else if c.SketchRelErr > 0 {
 		opts = append(opts, itg.WithSketchRelErr(c.SketchRelErr))
+	}
+	if c.Live != nil {
+		sink := c.Live
+		opts = append(opts, itg.WithLiveWindows(c.LiveLag, func(i int, w itg.WindowStats) {
+			ev := id
+			ev.Index = i
+			ev.Stats = w
+			sink(ev)
+		}))
 	}
 	return itg.NewStreamDecoder(window, opts...)
 }

@@ -136,7 +136,7 @@ func TestMultiCellStreamShardedIdentical(t *testing.T) {
 	}
 	diffMultiCell(t, opts, 3)
 
-	res, err := RunMultiCell(opts)
+	res, err := runMultiCell(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,6 @@ import (
 	"github.com/onelab/umtslab/internal/itg"
 	"github.com/onelab/umtslab/internal/metrics"
 	"github.com/onelab/umtslab/internal/netsim"
-	"github.com/onelab/umtslab/internal/sim"
 	"github.com/onelab/umtslab/internal/vsys"
 )
 
@@ -31,6 +30,32 @@ func (p Path) String() string {
 		return "Ethernet-to-Ethernet"
 	default:
 		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// Name returns the path's canonical wire name, as accepted by
+// ParsePath (String is the display form).
+func (p Path) Name() string {
+	switch p {
+	case PathUMTS:
+		return "umts"
+	case PathEthernet:
+		return "ethernet"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// ParsePath maps a canonical name to a Path; the empty string selects
+// the default (umts).
+func ParsePath(s string) (Path, error) {
+	switch s {
+	case "", "umts":
+		return PathUMTS, nil
+	case "ethernet":
+		return PathEthernet, nil
+	default:
+		return 0, fmt.Errorf("testbed: unknown path %q (allowed: umts, ethernet)", s)
 	}
 }
 
@@ -63,6 +88,40 @@ func (w Workload) String() string {
 		return "Telnet-like"
 	default:
 		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// Name returns the workload's canonical wire name, as accepted by
+// ParseWorkload (String is the display form).
+func (w Workload) Name() string {
+	switch w {
+	case WorkloadVoIP:
+		return "voip"
+	case WorkloadCBR1M:
+		return "cbr1m"
+	case WorkloadVoIPG729:
+		return "voip-g729"
+	case WorkloadTelnet:
+		return "telnet"
+	default:
+		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// ParseWorkload maps a canonical name to a Workload; the empty string
+// selects the default (voip).
+func ParseWorkload(s string) (Workload, error) {
+	switch s {
+	case "", "voip":
+		return WorkloadVoIP, nil
+	case "cbr1m":
+		return WorkloadCBR1M, nil
+	case "voip-g729":
+		return WorkloadVoIPG729, nil
+	case "telnet":
+		return WorkloadTelnet, nil
+	default:
+		return 0, fmt.Errorf("testbed: unknown workload %q (allowed: voip, cbr1m, voip-g729, telnet)", s)
 	}
 }
 
@@ -180,12 +239,15 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 	start := tb.Loop.Now()
 	var stream *itg.StreamDecoder
 	if spec.Analysis.streaming() {
-		stream = spec.Analysis.newDecoder(spec.Window, start)
+		stream = spec.Analysis.newDecoder(spec.Window, start, LiveWindow{FlowID: 1})
 		spec.Analysis.attach(stream, snd, receiver)
 	}
 	snd.Start()
 	// Run the flow plus drain time for queued packets and echoes.
 	tb.Loop.RunUntil(start + spec.Duration + 10*time.Second)
+	if tb.Loop.Interrupted() {
+		return nil, ErrInterrupted
+	}
 
 	res.SenderErrors = snd.SendErrors
 	if stream != nil {
@@ -228,27 +290,3 @@ func (tb *Testbed) RunExperiment(spec ExperimentSpec) (*ExperimentResult, error)
 // Metrics returns the registry shared by every component on this
 // testbed's loop.
 func (tb *Testbed) Metrics() *metrics.Registry { return tb.Loop.Metrics() }
-
-// RunPaperExperiment builds a fresh testbed with the given seed and runs
-// one (path, workload) cell with paper parameters.
-//
-// Deprecated: new code should use the Scenario API —
-// NewScenario(WithSeed(seed), WithPath(path), ...).Run().
-func RunPaperExperiment(seed int64, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
-	return RunPaperExperimentScheduler(seed, sim.SchedulerWheel, path, wl, dur)
-}
-
-// RunPaperExperimentScheduler is RunPaperExperiment with an explicit sim
-// scheduler backend, for differential tests and the scheduler benchmark.
-//
-// Deprecated: use NewScenario(..., WithScheduler(sched)).Run().
-func RunPaperExperimentScheduler(seed int64, sched sim.Scheduler, path Path, wl Workload, dur time.Duration) (*ExperimentResult, error) {
-	rep, err := NewScenario(
-		WithSeed(seed), WithScheduler(sched),
-		WithPath(path), WithWorkload(wl), WithDuration(dur),
-	).Run()
-	if err != nil {
-		return nil, err
-	}
-	return rep.Results[0], nil
-}

@@ -99,12 +99,12 @@ func TestFleetZeroActiveFaultedDifferential(t *testing.T) {
 func TestFleetPopulationsPlacementIndependent(t *testing.T) {
 	opts := fleetOpts()
 	opts.Shards = 1
-	single, err := RunMultiCell(opts)
+	single, err := runMultiCell(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Shards = 3
-	sharded, err := RunMultiCell(opts)
+	sharded, err := runMultiCell(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,13 +179,13 @@ func TestFlowGaugeAggregation(t *testing.T) {
 	}
 	capped := base
 	capped.FlowGaugeLimit = 2 // 4 flows > 2: aggregate
-	cres, err := RunMultiCell(capped)
+	cres, err := runMultiCell(capped)
 	if err != nil {
 		t.Fatal(err)
 	}
 	uncapped := base
 	uncapped.FlowGaugeLimit = -1
-	ures, err := RunMultiCell(uncapped)
+	ures, err := runMultiCell(uncapped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestFlowGaugeAggregation(t *testing.T) {
 func TestFleetFullStackTolerance(t *testing.T) {
 	const flows = 3
 	dur := 8 * time.Second
-	real, err := RunMultiCell(MultiCellOptions{
+	real, err := runMultiCell(MultiCellOptions{
 		Seed: 21, Cells: 1, Terminals: flows, Duration: dur, Drain: 6 * time.Second,
 	})
 	if err != nil {
@@ -233,7 +233,7 @@ func TestFleetFullStackTolerance(t *testing.T) {
 	}
 	rate := float64(realTx) * 8 / (float64(flows) * dur.Seconds())
 
-	popRes, err := RunMultiCell(MultiCellOptions{
+	popRes, err := runMultiCell(MultiCellOptions{
 		Seed: 21, Cells: 1, Terminals: 0, Population: flows,
 		Duration: dur, Drain: 6 * time.Second,
 		PopulationSpec: &umts.PopulationSpec{

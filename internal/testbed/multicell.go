@@ -118,6 +118,12 @@ type MultiCellOptions struct {
 	// gauges collapse into per-cell sum + max gauges, recorded by the
 	// itg/stream/flows_aggregated counter. Negative disables the cap.
 	FlowGaugeLimit int
+	// Interrupt, when non-nil, is polled by every shard loop (about
+	// once per 4096 events) and aborts the run when it returns true —
+	// the runner then fails with ErrInterrupted and the partial results
+	// are discarded. The hook must be goroutine-safe (shards poll it
+	// concurrently); a typical hook is a context-cancellation check.
+	Interrupt func() bool
 }
 
 func (o *MultiCellOptions) setDefaults() {
@@ -306,21 +312,23 @@ type mcTerminal struct {
 	setupAt  time.Duration
 }
 
-// RunMultiCell assembles and executes the K×M scenario on a shard
+// runMultiCell assembles and executes the K×M scenario on a shard
 // engine and decodes every flow. The same options with a different
-// Shards value produce byte-identical Flows and Counters.
-//
-// Deprecated: use the Scenario API — NewScenario(WithCells(k, m), ...)
-// — which routes here; RunMultiCell remains for callers that fill
-// MultiCellOptions directly.
-func RunMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
-	return runMultiCell(opts)
-}
-
+// Shards value produce byte-identical Flows and Counters. The Scenario
+// API (NewScenario(WithCells(k, m), ...)) is the public front door.
 func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	opts.setDefaults()
 	eng := shard.NewEngine(opts.Seed, opts.Shards, opts.Scheduler)
 	eng.SetPolicy(opts.ShardPolicy)
+	if opts.Interrupt != nil {
+		// Cooperative cancellation: every shard loop polls the hook, so
+		// an abandoned run stops within a bounded number of events per
+		// shard. The hook is a pure external signal — installing it
+		// cannot perturb a run that is never interrupted.
+		for i := 0; i < opts.Shards; i++ {
+			eng.Shard(i).Loop().SetInterrupt(opts.Interrupt)
+		}
+	}
 
 	// One netsim.Network per shard; node names are globally unique so
 	// any number of partitions can share a shard.
@@ -415,6 +423,11 @@ func runMultiCell(opts MultiCellOptions) (*MultiCellResult, error) {
 	}
 
 	eng.Run(opts.FlowStart + opts.Duration + opts.Drain)
+	for i := 0; i < opts.Shards; i++ {
+		if eng.Shard(i).Loop().Interrupted() {
+			return nil, ErrInterrupted
+		}
+	}
 
 	res := &MultiCellResult{Opts: opts, Lookahead: eng.Lookahead()}
 	// Per-flow retained-bytes gauges are O(flows) metric cardinality;
@@ -571,7 +584,8 @@ func buildTerminal(env *cellEnv, c, m int) (*mcTerminal, error) {
 		// the batch path's Rebase. The sender/echo side runs on this
 		// cell's shard loop and the receiver side on the core shard —
 		// a legal concurrent feed (disjoint accumulators).
-		ts.stream = opts.Analysis.newDecoder(opts.Window, opts.FlowStart)
+		ts.stream = opts.Analysis.newDecoder(opts.Window, opts.FlowStart,
+			LiveWindow{Cell: c, Terminal: m, FlowID: flowID})
 		opts.Analysis.attachRecv(ts.stream, ts.recv)
 	}
 

@@ -15,7 +15,7 @@ import (
 // terminal dials its cell, registers the server, and the VoIP flows
 // arrive with plausible QoS.
 func TestMultiCellFlowsDeliver(t *testing.T) {
-	res, err := RunMultiCell(MultiCellOptions{Seed: 11, Cells: 2, Terminals: 2})
+	res, err := runMultiCell(MultiCellOptions{Seed: 11, Cells: 2, Terminals: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +57,14 @@ func diffMultiCell(t *testing.T, opts MultiCellOptions, n int) {
 	t.Helper()
 	opts.Shards = 1
 	opts.ShardPolicy = shard.PolicyGlobal
-	single, err := RunMultiCell(opts)
+	single, err := runMultiCell(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, policy := range shard.Policies {
+	for _, policy := range shard.Policies() {
 		opts.Shards = n
 		opts.ShardPolicy = policy
-		sharded, err := RunMultiCell(opts)
+		sharded, err := runMultiCell(opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // RepSeed derives the simulation seed of repetition rep from a base
@@ -12,16 +11,6 @@ import (
 // so a rep produces bit-identical results regardless of how it is
 // scheduled.
 func RepSeed(base int64, rep int) int64 { return base + int64(rep)*1000 }
-
-// RepRun identifies one repetition of one experiment cell: the (path,
-// workload) pair of a paper figure plus the repetition index.
-type RepRun struct {
-	Seed     int64 // base seed; the run executes with RepSeed(Seed, Rep)
-	Path     Path
-	Workload Workload
-	Rep      int
-	Duration time.Duration
-}
 
 // runPool executes n jobs across a bounded worker pool and returns the
 // results in input order.
@@ -43,14 +32,14 @@ type RepRun struct {
 // was already dispatched and will complete — the smallest errored input
 // index is therefore always the same one a run-everything schedule
 // would report.
-func runPool(n, workers int, job func(i int) (*ExperimentResult, error)) ([]*ExperimentResult, error) {
+func runPool[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	results := make([]*ExperimentResult, n)
+	results := make([]T, n)
 	errs := make([]error, n)
 	if n == 0 {
 		return results, nil
@@ -88,16 +77,14 @@ func runPool(n, workers int, job func(i int) (*ExperimentResult, error)) ([]*Exp
 	return results, nil
 }
 
-// RunParallel executes the given repetitions across a bounded worker
-// pool and returns the results in input order (see runPool for the
-// determinism and fail-fast contract).
-//
-// Deprecated: homogeneous repetition sweeps should use the Scenario API
-// — NewScenario(..., WithReps(n), WithWorkers(w)).Run(). RunParallel
-// remains for run lists that mix paths or workloads.
-func RunParallel(runs []RepRun, workers int) ([]*ExperimentResult, error) {
-	return runPool(len(runs), workers, func(i int) (*ExperimentResult, error) {
-		r := runs[i]
-		return RunPaperExperiment(RepSeed(r.Seed, r.Rep), r.Path, r.Workload, r.Duration)
+// RunScenarios executes heterogeneous scenarios — e.g. every (path,
+// workload) cell of a paper figure — across one bounded worker pool,
+// with runPool's contract: results land at their input index, dispatch
+// fails fast, and the first error by input order is reported. Each
+// scenario still runs its own repetitions internally; use workers = 1
+// scenarios-at-a-time when the scenarios parallelize internally.
+func RunScenarios(scs []*Scenario, workers int) ([]*Report, error) {
+	return runPool(len(scs), workers, func(i int) (*Report, error) {
+		return scs[i].Run()
 	})
 }

@@ -28,7 +28,7 @@ func TestConcurrentReproductionsNoSharedState(t *testing.T) {
 		wg.Add(1)
 		go func(i int, path Path, wl Workload) {
 			defer wg.Done()
-			r, err := RunPaperExperiment(int64(100+i), path, wl, parTestDur)
+			r, err := runPaper(int64(100+i), path, wl, parTestDur)
 			if err != nil {
 				t.Errorf("cell %d: %v", i, err)
 				return
@@ -47,53 +47,53 @@ func TestConcurrentReproductionsNoSharedState(t *testing.T) {
 	}
 }
 
-// TestRunParallelDeterminism: the worker pool must produce results
-// identical to sequential execution of the same seeds — the merge is by
-// rep index, and each rep owns a private loop and registry.
-func TestRunParallelDeterminism(t *testing.T) {
+// TestRepPoolDeterminism: the repetition worker pool must produce
+// results identical to sequential execution of the same seeds — the
+// merge is by rep index, and each rep owns a private loop and registry.
+func TestRepPoolDeterminism(t *testing.T) {
 	const base, reps = 7, 3
-	var runs []RepRun
-	for rep := 0; rep < reps; rep++ {
-		runs = append(runs, RepRun{Seed: base, Path: PathUMTS, Workload: WorkloadVoIP, Rep: rep, Duration: parTestDur})
-	}
-	par, err := RunParallel(runs, 2)
+	rep, err := NewScenario(
+		WithSeed(base), WithPath(PathUMTS), WithWorkload(WorkloadVoIP),
+		WithDuration(parTestDur), WithReps(reps), WithWorkers(2),
+	).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for rep := 0; rep < reps; rep++ {
-		seq, err := RunPaperExperiment(RepSeed(base, rep), PathUMTS, WorkloadVoIP, parTestDur)
+	for r := 0; r < reps; r++ {
+		seq, err := runPaper(RepSeed(base, r), PathUMTS, WorkloadVoIP, parTestDur)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(par[rep].Decoded, seq.Decoded) {
-			t.Errorf("rep %d: parallel decode differs from sequential", rep)
+		if !reflect.DeepEqual(rep.Results[r].Decoded, seq.Decoded) {
+			t.Errorf("rep %d: parallel decode differs from sequential", r)
 		}
-		if !reflect.DeepEqual(par[rep].Metrics, seq.Metrics) {
-			t.Errorf("rep %d: parallel metrics snapshot differs from sequential", rep)
+		if !reflect.DeepEqual(rep.Results[r].Metrics, seq.Metrics) {
+			t.Errorf("rep %d: parallel metrics snapshot differs from sequential", r)
 		}
 	}
 }
 
-// TestRunParallelOrderAndBounds: results land at their input index even
-// with more runs than workers, and workers <= 0 picks a sane default.
-func TestRunParallelOrderAndBounds(t *testing.T) {
-	runs := []RepRun{
-		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 0, Duration: parTestDur},
-		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 1, Duration: parTestDur},
-		{Seed: 1, Path: PathEthernet, Workload: WorkloadCBR1M, Rep: 0, Duration: parTestDur},
+// TestRunScenariosOrderAndBounds: results land at their input index
+// even with more scenarios than workers, and workers <= 0 picks a sane
+// default.
+func TestRunScenariosOrderAndBounds(t *testing.T) {
+	scs := []*Scenario{
+		NewScenario(WithSeed(1), WithPath(PathEthernet), WithWorkload(WorkloadVoIP), WithDuration(parTestDur)),
+		NewScenario(WithSeed(RepSeed(1, 1)), WithPath(PathEthernet), WithWorkload(WorkloadVoIP), WithDuration(parTestDur)),
+		NewScenario(WithSeed(1), WithPath(PathEthernet), WithWorkload(WorkloadCBR1M), WithDuration(parTestDur)),
 	}
-	res, err := RunParallel(runs, 0)
+	res, err := RunScenarios(scs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != len(runs) {
-		t.Fatalf("got %d results for %d runs", len(res), len(runs))
+	if len(res) != len(scs) {
+		t.Fatalf("got %d results for %d scenarios", len(res), len(scs))
 	}
-	if res[2].Spec.Workload != WorkloadCBR1M {
+	if res[2].Results[0].Spec.Workload != WorkloadCBR1M {
 		t.Fatal("results not merged by input index")
 	}
 	// Reps 0 and 1 of the same cell must differ (different seeds).
-	if reflect.DeepEqual(res[0].Decoded.Windows, res[1].Decoded.Windows) {
+	if reflect.DeepEqual(res[0].Results[0].Decoded.Windows, res[1].Results[0].Decoded.Windows) {
 		t.Fatal("distinct reps produced identical series; rep seeding broken")
 	}
 }
@@ -103,7 +103,7 @@ func TestRunParallelOrderAndBounds(t *testing.T) {
 // the logs, and the radio/PPP layers must have been exercised on the
 // UMTS path.
 func TestExperimentMetricsSnapshot(t *testing.T) {
-	r, err := RunPaperExperiment(3, PathUMTS, WorkloadVoIP, parTestDur)
+	r, err := runPaper(3, PathUMTS, WorkloadVoIP, parTestDur)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,19 +131,32 @@ func TestExperimentMetricsSnapshot(t *testing.T) {
 	}
 }
 
-// TestRunParallelFailFast injects an invalid workload at index 0 and
+// badScenarios builds a RunScenarios input with an invalid workload at
+// the given indices and valid VoIP cells elsewhere.
+func badScenarios(n int, bad map[int]Workload) []*Scenario {
+	scs := make([]*Scenario, n)
+	for i := range scs {
+		wl := WorkloadVoIP
+		if w, ok := bad[i]; ok {
+			wl = w
+		}
+		scs[i] = NewScenario(
+			WithSeed(RepSeed(1, i)), WithPath(PathEthernet),
+			WithWorkload(wl), WithDuration(parTestDur),
+		)
+	}
+	return scs
+}
+
+// TestRunScenariosFailFast injects an invalid workload at index 0 and
 // checks that the pool stops dispatching: with one worker, run 0 errors
 // before anything past index 1 can be handed out, so the tail of the
 // result slice must stay nil. (Index 1 may or may not run — the
 // dispatcher can already be blocked sending it when the flag is set —
 // but the channel handshake guarantees index 2 onward observes the
 // store.)
-func TestRunParallelFailFast(t *testing.T) {
-	runs := []RepRun{{Seed: 1, Path: PathEthernet, Workload: Workload(99), Rep: 0, Duration: parTestDur}}
-	for rep := 1; rep < 8; rep++ {
-		runs = append(runs, RepRun{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: rep, Duration: parTestDur})
-	}
-	results, err := RunParallel(runs, 1)
+func TestRunScenariosFailFast(t *testing.T) {
+	results, err := RunScenarios(badScenarios(8, map[int]Workload{0: Workload(99)}), 1)
 	if err == nil {
 		t.Fatal("expected the invalid workload at index 0 to be reported")
 	}
@@ -160,18 +173,13 @@ func TestRunParallelFailFast(t *testing.T) {
 	}
 }
 
-// TestRunParallelFirstErrorDeterministic puts two distinct bad runs in
+// TestRunScenariosFirstErrorDeterministic puts two distinct bad runs in
 // the input and checks the reported error is always the smallest-index
 // one, regardless of which worker hits its failure first.
-func TestRunParallelFirstErrorDeterministic(t *testing.T) {
-	runs := []RepRun{
-		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 0, Duration: parTestDur},
-		{Seed: 1, Path: PathEthernet, Workload: Workload(98), Rep: 1, Duration: parTestDur},
-		{Seed: 1, Path: PathEthernet, Workload: WorkloadVoIP, Rep: 2, Duration: parTestDur},
-		{Seed: 1, Path: PathEthernet, Workload: Workload(99), Rep: 3, Duration: parTestDur},
-	}
+func TestRunScenariosFirstErrorDeterministic(t *testing.T) {
+	scs := badScenarios(4, map[int]Workload{1: Workload(98), 3: Workload(99)})
 	for trial := 0; trial < 4; trial++ {
-		_, err := RunParallel(runs, 2)
+		_, err := RunScenarios(scs, 2)
 		if err == nil {
 			t.Fatal("expected an error")
 		}

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -28,9 +29,10 @@ import (
 //	).Run()
 //
 // The zero scenario (no options) runs one UMTS-path VoIP cell with
-// paper parameters on the default scheduler. The legacy entry points
-// RunPaperExperiment, RunParallel and RunMultiCell are thin wrappers
-// kept for compatibility.
+// paper parameters on the default scheduler. The declarative
+// counterpart is Spec: a JSON-serializable description that
+// round-trips losslessly to a Scenario (see Spec.Scenario and
+// Scenario.Spec), shared by the CLI flags and the control plane.
 type Scenario struct {
 	seed     int64
 	sched    sim.Scheduler
@@ -46,9 +48,10 @@ type Scenario struct {
 	card     *modem.CardProfile
 	pin      string
 
-	faults     fault.Schedule
-	selfHeal   bool
-	healPolicy *dialer.Policy
+	faults       fault.Schedule
+	faultProfile string
+	selfHeal     bool
+	healPolicy   *dialer.Policy
 
 	analysis AnalysisConfig
 
@@ -63,9 +66,15 @@ type Scenario struct {
 	populationSpec *umts.PopulationSpec
 	flowGaugeLimit int
 
-	dump  func(metrics.Snapshot)
-	trace func(format string, args ...any)
+	dump      func(metrics.Snapshot)
+	trace     func(format string, args ...any)
+	interrupt func() bool
 }
+
+// ErrInterrupted reports a run abandoned by a WithInterrupt hook. An
+// interrupted run's partial state is discarded — no Report is
+// produced.
+var ErrInterrupted = errors.New("testbed: run interrupted")
 
 // ScenarioOption mutates a Scenario under construction.
 type ScenarioOption func(*Scenario)
@@ -125,6 +134,26 @@ func WithPIN(pin string) ScenarioOption { return func(sc *Scenario) { sc.pin = p
 // schedule is a no-op.
 func WithFaults(sched fault.Schedule) ScenarioOption {
 	return func(sc *Scenario) { sc.faults = sched }
+}
+
+// WithFaultProfile arms the named fault.Preset, resolved at Run
+// against the scenario's seed and flow duration — exactly the schedule
+// `cmd/experiments -fault-profile` builds. Unlike a raw WithFaults
+// schedule, a profile name is declarative: it survives the
+// Scenario<->Spec round trip. Mutually exclusive with WithFaults.
+func WithFaultProfile(name string) ScenarioOption {
+	return func(sc *Scenario) { sc.faultProfile = name }
+}
+
+// WithInterrupt installs a cooperative cancellation hook: every loop
+// of the run (each repetition's testbed, every shard of a multi-cell
+// scenario) polls fn about once per 4096 events, and once it returns
+// true the run is abandoned with ErrInterrupted. fn must be
+// goroutine-safe and must not touch simulation state — a typical hook
+// closes over a context and returns ctx.Err() != nil. Installing a
+// hook that never fires cannot change a run's results.
+func WithInterrupt(fn func() bool) ScenarioOption {
+	return func(sc *Scenario) { sc.interrupt = fn }
 }
 
 // WithSelfHeal runs the umts backend in recover mode: carrier loss
@@ -227,6 +256,9 @@ type Report struct {
 // across a bounded worker pool with per-rep private loops; everything
 // else is single-threaded inside the simulation's virtual time.
 func (sc *Scenario) Run() (*Report, error) {
+	if err := sc.resolveFaults(); err != nil {
+		return nil, err
+	}
 	rep := &Report{Outages: sc.faults.Windows()}
 	if sc.cells <= 0 && (sc.idleTerminals > 0 || sc.population > 0) {
 		return nil, fmt.Errorf("testbed: WithIdleTerminals/WithPopulation need a multi-cell scenario (WithCells)")
@@ -241,9 +273,10 @@ func (sc *Scenario) Run() (*Report, error) {
 			FlowStart: sc.flowStart, Duration: sc.duration, Window: sc.window,
 			Scheduler: sc.sched, Faults: sc.faults,
 			SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
-			Analysis: sc.analysis,
+			Analysis:      sc.analysis,
 			IdleTerminals: sc.idleTerminals, Population: sc.population,
 			PopulationSpec: sc.populationSpec, FlowGaugeLimit: sc.flowGaugeLimit,
+			Interrupt: sc.interrupt,
 		})
 		if err != nil {
 			return nil, err
@@ -272,13 +305,49 @@ func (sc *Scenario) Run() (*Report, error) {
 	return rep, nil
 }
 
+// resolveFaults materializes a WithFaultProfile name into the concrete
+// schedule, exactly as the CLI does: fault.Preset(name, seed, dur)
+// with the flow duration as the horizon (the runner's paper default
+// when unset). Idempotent — profile resolution is deterministic.
+func (sc *Scenario) resolveFaults() error {
+	if sc.faultProfile == "" || sc.faultProfile == "none" {
+		return nil
+	}
+	if !sc.faults.Empty() {
+		return fmt.Errorf("testbed: WithFaultProfile and WithFaults are mutually exclusive")
+	}
+	dur := sc.duration
+	if dur <= 0 {
+		if sc.cells > 0 {
+			dur = 30 * time.Second
+		} else {
+			dur = 120 * time.Second
+		}
+	}
+	faults, err := fault.Preset(sc.faultProfile, sc.seed, dur)
+	if err != nil {
+		return err
+	}
+	sc.faults = faults
+	return nil
+}
+
 // runRep builds a private testbed for repetition i and runs the cell.
 func (sc *Scenario) runRep(i int) (*ExperimentResult, error) {
+	analysis := sc.analysis
+	if analysis.Live != nil {
+		// Stamp the repetition index into every live window of this rep.
+		sink := analysis.Live
+		analysis.Live = func(w LiveWindow) {
+			w.Rep = i
+			sink(w)
+		}
+	}
 	tb, err := New(Options{
 		Seed: RepSeed(sc.seed, i), Operator: sc.operator,
 		Card: sc.card, PIN: sc.pin, Scheduler: sc.sched,
 		Faults: sc.faults, SelfHeal: sc.selfHeal, HealPolicy: sc.healPolicy,
-		Trace: sc.trace,
+		Trace: sc.trace, Interrupt: sc.interrupt,
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +355,6 @@ func (sc *Scenario) runRep(i int) (*ExperimentResult, error) {
 	return tb.RunExperiment(ExperimentSpec{
 		Path: sc.path, Workload: sc.workload,
 		Duration: sc.duration, Window: sc.window,
-		Analysis: sc.analysis,
+		Analysis: analysis,
 	})
 }

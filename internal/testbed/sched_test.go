@@ -17,7 +17,7 @@ import (
 func TestSchedulerByteIdenticalExperiment(t *testing.T) {
 	run := func(sched sim.Scheduler) (*ExperimentResult, string) {
 		t.Helper()
-		res, err := RunPaperExperimentScheduler(7, sched, PathUMTS, WorkloadVoIP, 20*time.Second)
+		res, err := runPaperSched(7, sched, PathUMTS, WorkloadVoIP, 20*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,468 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/onelab/umtslab/internal/dialer"
+	"github.com/onelab/umtslab/internal/fault"
+	"github.com/onelab/umtslab/internal/sim"
+	"github.com/onelab/umtslab/internal/sim/shard"
+	"github.com/onelab/umtslab/internal/umts"
+)
+
+// Spec is the declarative counterpart of Scenario: a JSON-serializable
+// description of one experiment that the CLI flags, config files, and
+// the HTTP control plane all share. Every knob is a wire-friendly
+// scalar (scheduler/path/workload/policy names, Go duration strings),
+// and a valid Spec round-trips losslessly through Scenario:
+// Spec.Scenario followed by Scenario.Spec yields a Spec that builds an
+// identical Scenario — so a submitted Spec reproduces a one-shot CLI
+// run byte for byte.
+//
+// Zero fields keep the paper defaults of the underlying runner, same
+// as omitting the matching flag or functional option. Runtime hooks
+// (metrics dump, trace, live-window sinks, interrupts) are
+// deliberately absent: they are wiring, not experiment identity, and
+// the control plane attaches them after Scenario construction.
+type Spec struct {
+	// Seed is the base simulation seed; repetition r derives
+	// RepSeed(seed, r).
+	Seed int64 `json:"seed,omitempty"`
+	// Scheduler selects the sim kernel backend: "wheel" (default) or
+	// "heap".
+	Scheduler string `json:"scheduler,omitempty"`
+	// Path selects the single-cell end-to-end path: "umts" (default)
+	// or "ethernet". Single-cell only.
+	Path string `json:"path,omitempty"`
+	// Workload selects the traffic class: "voip" (default), "cbr1m",
+	// "voip-g729", or "telnet".
+	Workload string `json:"workload,omitempty"`
+	// Duration is the flow duration (default: 120s single-cell, 30s
+	// multi-cell).
+	Duration Duration `json:"duration,omitempty"`
+	// Window is the QoS sample window (default 200ms).
+	Window Duration `json:"window,omitempty"`
+
+	// Reps runs n seed-derived repetitions (single-cell only).
+	Reps int `json:"reps,omitempty"`
+	// Workers bounds the repetition worker pool (default GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	// FaultProfile arms the named deterministic fault preset ("none",
+	// "drops", "fades", "degrade", "regloss", "flaps", "flaky"),
+	// resolved against Seed and the flow duration at run time.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// SelfHeal runs the umts backend in recover mode (supervised
+	// redial under HealPolicy).
+	SelfHeal bool `json:"self_heal,omitempty"`
+	// HealPolicy tunes the self-heal dialer; requires SelfHeal.
+	HealPolicy *HealPolicySpec `json:"heal_policy,omitempty"`
+
+	// Analysis selects the QoS pipeline (batch reference decode when
+	// omitted).
+	Analysis *AnalysisSpec `json:"analysis,omitempty"`
+
+	// Cells switches the run to the multi-cell shard engine with this
+	// many UMTS cells.
+	Cells int `json:"cells,omitempty"`
+	// Terminals is the dialing-terminal count per cell; requires Cells.
+	Terminals int `json:"terminals,omitempty"`
+	// Shards overrides the shard count (default cells+1); requires
+	// Cells. Must not change results.
+	Shards int `json:"shards,omitempty"`
+	// ShardPolicy selects the engine's window policy: "global"
+	// (default), "adaptive", or "dynamic". Requires Cells. Must not
+	// change results.
+	ShardPolicy string `json:"shard_policy,omitempty"`
+	// FlowStart delays the multi-cell senders (default 15s); requires
+	// Cells.
+	FlowStart Duration `json:"flow_start,omitempty"`
+
+	// IdleTerminals powers on n extra never-dialing subscribers per
+	// cell; requires Cells.
+	IdleTerminals int `json:"idle_terminals,omitempty"`
+	// Population attaches an aggregate ensemble of n modeled CBR
+	// subscribers per cell; requires Cells.
+	Population int `json:"population,omitempty"`
+	// PopulationSpec overrides the modeled subscribers' workload;
+	// requires Population.
+	PopulationSpec *PopulationSpecJSON `json:"population_spec,omitempty"`
+	// FlowGaugeLimit caps per-flow metrics cardinality of a multi-cell
+	// run (default 256, negative disables the cap); requires Cells.
+	FlowGaugeLimit int `json:"flow_gauge_limit,omitempty"`
+}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("120s", "1m30s"); it also accepts integer nanoseconds on decode.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q (want e.g. \"30s\")", s)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("duration must be a string like \"30s\" or integer nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// HealPolicySpec is the wire form of dialer.Policy (see that type for
+// field semantics and defaults).
+type HealPolicySpec struct {
+	InitialBackoff Duration `json:"initial_backoff,omitempty"`
+	MaxBackoff     Duration `json:"max_backoff,omitempty"`
+	Multiplier     float64  `json:"multiplier,omitempty"`
+	JitterFrac     float64  `json:"jitter_frac,omitempty"`
+	NoJitter       bool     `json:"no_jitter,omitempty"`
+	MaxAttempts    int      `json:"max_attempts,omitempty"`
+	NoRetry        bool     `json:"no_retry,omitempty"`
+}
+
+func (h *HealPolicySpec) policy() *dialer.Policy {
+	return &dialer.Policy{
+		InitialBackoff: time.Duration(h.InitialBackoff),
+		MaxBackoff:     time.Duration(h.MaxBackoff),
+		Multiplier:     h.Multiplier,
+		JitterFrac:     h.JitterFrac,
+		NoJitter:       h.NoJitter,
+		MaxAttempts:    h.MaxAttempts,
+		NoRetry:        h.NoRetry,
+	}
+}
+
+func healSpec(p *dialer.Policy) *HealPolicySpec {
+	if p == nil {
+		return nil
+	}
+	return &HealPolicySpec{
+		InitialBackoff: Duration(p.InitialBackoff),
+		MaxBackoff:     Duration(p.MaxBackoff),
+		Multiplier:     p.Multiplier,
+		JitterFrac:     p.JitterFrac,
+		NoJitter:       p.NoJitter,
+		MaxAttempts:    p.MaxAttempts,
+		NoRetry:        p.NoRetry,
+	}
+}
+
+// AnalysisSpec is the wire form of AnalysisConfig's declarative
+// fields. The Live subscription is runtime wiring and has no wire
+// form.
+type AnalysisSpec struct {
+	// Mode is "batch" (default), "stream", or "stream-only".
+	Mode string `json:"mode,omitempty"`
+	// SketchRelErr is the quantile sketch's relative error bound.
+	SketchRelErr float64 `json:"sketch_rel_err,omitempty"`
+	// Exact retains raw samples so stream percentiles match batch.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// PopulationSpecJSON is the wire form of umts.PopulationSpec (see that
+// type for field semantics and defaults).
+type PopulationSpecJSON struct {
+	RateBps     float64  `json:"rate_bps,omitempty"`
+	PacketBytes int      `json:"packet_bytes,omitempty"`
+	Tick        Duration `json:"tick,omitempty"`
+	Start       Duration `json:"start,omitempty"`
+	Duration    Duration `json:"duration,omitempty"`
+	Tolerance   float64  `json:"tolerance,omitempty"`
+}
+
+func (p *PopulationSpecJSON) spec() *umts.PopulationSpec {
+	return &umts.PopulationSpec{
+		RateBps:     p.RateBps,
+		PacketBytes: p.PacketBytes,
+		Tick:        time.Duration(p.Tick),
+		Start:       time.Duration(p.Start),
+		Duration:    time.Duration(p.Duration),
+		Tolerance:   p.Tolerance,
+	}
+}
+
+func populationSpecJSON(p *umts.PopulationSpec) *PopulationSpecJSON {
+	if p == nil {
+		return nil
+	}
+	return &PopulationSpecJSON{
+		RateBps:     p.RateBps,
+		PacketBytes: p.PacketBytes,
+		Tick:        Duration(p.Tick),
+		Start:       Duration(p.Start),
+		Duration:    Duration(p.Duration),
+		Tolerance:   p.Tolerance,
+	}
+}
+
+// ParseSpec decodes and validates a JSON Spec. Unknown fields are
+// rejected (a typoed knob must not silently fall back to a default),
+// as is trailing garbage after the document.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	spec := &Spec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("spec: trailing data after JSON document")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// Validate checks every field against its allowed values and the
+// cross-field constraints the runners enforce, reporting the first
+// problem with its field path (e.g. "spec.shard_policy: ...").
+func (s *Spec) Validate() error {
+	if _, err := sim.ParseScheduler(s.Scheduler); err != nil {
+		return fmt.Errorf("spec.scheduler: %v", err)
+	}
+	if _, err := ParsePath(s.Path); err != nil {
+		return fmt.Errorf("spec.path: %v", err)
+	}
+	if _, err := ParseWorkload(s.Workload); err != nil {
+		return fmt.Errorf("spec.workload: %v", err)
+	}
+	if !fault.ValidPreset(s.FaultProfile) {
+		return fmt.Errorf("spec.fault_profile: unknown preset %q (want %s)",
+			s.FaultProfile, strings.Join(fault.PresetNames(), ", "))
+	}
+	if _, err := shard.ParsePolicy(s.ShardPolicy); err != nil {
+		return fmt.Errorf("spec.shard_policy: %v", err)
+	}
+	if s.Analysis != nil {
+		if _, err := ParseAnalysisMode(s.Analysis.Mode); err != nil {
+			return fmt.Errorf("spec.analysis.mode: %v", err)
+		}
+		if s.Analysis.SketchRelErr < 0 {
+			return fmt.Errorf("spec.analysis.sketch_rel_err: must be >= 0")
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"seed", s.Seed},
+		{"duration", int64(s.Duration)},
+		{"window", int64(s.Window)},
+		{"reps", int64(s.Reps)},
+		{"workers", int64(s.Workers)},
+		{"cells", int64(s.Cells)},
+		{"terminals", int64(s.Terminals)},
+		{"shards", int64(s.Shards)},
+		{"flow_start", int64(s.FlowStart)},
+		{"idle_terminals", int64(s.IdleTerminals)},
+		{"population", int64(s.Population)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("spec.%s: must be >= 0", f.name)
+		}
+	}
+	if s.HealPolicy != nil && !s.SelfHeal {
+		return fmt.Errorf("spec.heal_policy: requires spec.self_heal")
+	}
+	if s.Workers > 0 && s.Reps <= 1 {
+		return fmt.Errorf("spec.workers: requires spec.reps > 1")
+	}
+	if s.Cells > 0 {
+		if s.Path != "" {
+			return fmt.Errorf("spec.path: single-cell only (conflicts with spec.cells)")
+		}
+		if s.Reps > 1 {
+			return fmt.Errorf("spec.reps: repetitions are single-cell only (conflicts with spec.cells)")
+		}
+	} else {
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"terminals", s.Terminals > 0},
+			{"shards", s.Shards > 0},
+			{"shard_policy", s.ShardPolicy != ""},
+			{"flow_start", s.FlowStart > 0},
+			{"idle_terminals", s.IdleTerminals > 0},
+			{"population", s.Population > 0},
+			{"population_spec", s.PopulationSpec != nil},
+			{"flow_gauge_limit", s.FlowGaugeLimit != 0},
+		} {
+			if f.set {
+				return fmt.Errorf("spec.%s: requires spec.cells (multi-cell only)", f.name)
+			}
+		}
+	}
+	if s.PopulationSpec != nil && s.Population <= 0 {
+		return fmt.Errorf("spec.population_spec: requires spec.population")
+	}
+	return nil
+}
+
+// Scenario builds the runnable Scenario the spec describes. The
+// conversion goes through the same functional options the CLI uses, so
+// a Spec-built run is indistinguishable from a flag-built one.
+func (s *Spec) Scenario() (*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sched, _ := sim.ParseScheduler(s.Scheduler)
+	path, _ := ParsePath(s.Path)
+	wl, _ := ParseWorkload(s.Workload)
+	opts := []ScenarioOption{
+		WithSeed(s.Seed), WithScheduler(sched),
+		WithPath(path), WithWorkload(wl),
+		WithDuration(time.Duration(s.Duration)),
+		WithWindow(time.Duration(s.Window)),
+	}
+	if s.Reps > 0 {
+		opts = append(opts, WithReps(s.Reps))
+	}
+	if s.Workers > 0 {
+		opts = append(opts, WithWorkers(s.Workers))
+	}
+	if s.FaultProfile != "" {
+		opts = append(opts, WithFaultProfile(s.FaultProfile))
+	}
+	if s.SelfHeal {
+		var pol *dialer.Policy
+		if s.HealPolicy != nil {
+			pol = s.HealPolicy.policy()
+		}
+		opts = append(opts, WithSelfHeal(pol))
+	}
+	if s.Analysis != nil {
+		mode, _ := ParseAnalysisMode(s.Analysis.Mode)
+		opts = append(opts, WithAnalysis(AnalysisConfig{
+			Mode: mode, SketchRelErr: s.Analysis.SketchRelErr,
+			Exact: s.Analysis.Exact,
+		}))
+	}
+	if s.Cells > 0 {
+		opts = append(opts, WithCells(s.Cells, s.Terminals))
+		if s.Shards > 0 {
+			opts = append(opts, WithShards(s.Shards))
+		}
+		if s.ShardPolicy != "" {
+			pol, _ := shard.ParsePolicy(s.ShardPolicy)
+			opts = append(opts, WithShardPolicy(pol))
+		}
+		if s.FlowStart > 0 {
+			opts = append(opts, WithFlowStart(time.Duration(s.FlowStart)))
+		}
+		if s.IdleTerminals > 0 {
+			opts = append(opts, WithIdleTerminals(s.IdleTerminals))
+		}
+		if s.Population > 0 {
+			var ps *umts.PopulationSpec
+			if s.PopulationSpec != nil {
+				ps = s.PopulationSpec.spec()
+			}
+			opts = append(opts, WithPopulation(s.Population, ps))
+		}
+		if s.FlowGaugeLimit != 0 {
+			opts = append(opts, WithFlowGaugeLimit(s.FlowGaugeLimit))
+		}
+	}
+	return NewScenario(opts...), nil
+}
+
+// Spec reconstructs the declarative description of a scenario,
+// normalizing defaults to zero fields. It fails on scenarios that are
+// not expressible on the wire: custom operator/card/PIN overrides, a
+// raw WithFaults schedule (use WithFaultProfile), or runtime hooks
+// (trace, metrics dump, interrupt, live-window sink) — those are
+// attached after Scenario construction, never serialized.
+func (sc *Scenario) Spec() (*Spec, error) {
+	switch {
+	case sc.operator != nil:
+		return nil, fmt.Errorf("testbed: scenario with WithOperator has no wire form")
+	case sc.card != nil:
+		return nil, fmt.Errorf("testbed: scenario with WithCard has no wire form")
+	case sc.pin != "":
+		return nil, fmt.Errorf("testbed: scenario with WithPIN has no wire form")
+	case !sc.faults.Empty():
+		return nil, fmt.Errorf("testbed: raw WithFaults schedule has no wire form (use WithFaultProfile)")
+	case sc.trace != nil:
+		return nil, fmt.Errorf("testbed: scenario with WithTrace has no wire form")
+	case sc.dump != nil:
+		return nil, fmt.Errorf("testbed: scenario with WithMetricsDump has no wire form")
+	case sc.interrupt != nil:
+		return nil, fmt.Errorf("testbed: scenario with WithInterrupt has no wire form")
+	case sc.analysis.Live != nil || sc.analysis.LiveLag != 0:
+		return nil, fmt.Errorf("testbed: live-window subscription has no wire form")
+	}
+	s := &Spec{
+		Seed:          sc.seed,
+		Duration:      Duration(sc.duration),
+		Window:        Duration(sc.window),
+		Reps:          sc.reps,
+		SelfHeal:      sc.selfHeal,
+		HealPolicy:    healSpec(sc.healPolicy),
+		Cells:         sc.cells,
+		Terminals:     sc.terminals,
+		Shards:        sc.shards,
+		FlowStart:     Duration(sc.flowStart),
+		IdleTerminals: sc.idleTerminals,
+		Population:    sc.population,
+	}
+	if sc.reps > 1 {
+		// Workers is a resource knob with no effect on results; it only
+		// means anything next to a repetition sweep, and Validate
+		// rejects it elsewhere.
+		s.Workers = sc.workers
+	}
+	if sc.sched != sim.SchedulerWheel {
+		s.Scheduler = sc.sched.String()
+	}
+	if sc.path != PathUMTS {
+		s.Path = sc.path.Name()
+	}
+	if sc.workload != WorkloadVoIP {
+		s.Workload = sc.workload.Name()
+	}
+	if sc.faultProfile != "" && sc.faultProfile != "none" {
+		s.FaultProfile = sc.faultProfile
+	}
+	if sc.analysis.Mode != AnalysisBatch || sc.analysis.SketchRelErr != 0 || sc.analysis.Exact {
+		s.Analysis = &AnalysisSpec{
+			SketchRelErr: sc.analysis.SketchRelErr,
+			Exact:        sc.analysis.Exact,
+		}
+		if sc.analysis.Mode != AnalysisBatch {
+			s.Analysis.Mode = sc.analysis.Mode.String()
+		}
+	}
+	if sc.cells > 0 {
+		if sc.shardPolicy != shard.PolicyGlobal {
+			s.ShardPolicy = sc.shardPolicy.String()
+		}
+		s.PopulationSpec = populationSpecJSON(sc.populationSpec)
+		s.FlowGaugeLimit = sc.flowGaugeLimit
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -76,6 +76,10 @@ type Options struct {
 	HealPolicy *dialer.Policy
 	// Trace receives verbose progress lines.
 	Trace func(format string, args ...any)
+	// Interrupt, when non-nil, is polled by the loop (about once per
+	// 4096 events); once it returns true the run is abandoned and the
+	// experiment fails with ErrInterrupted. Must be goroutine-safe.
+	Interrupt func() bool
 }
 
 // Testbed is the assembled scenario.
@@ -131,6 +135,9 @@ func New(opts Options) (*Testbed, error) {
 	}
 
 	loop := sim.NewLoopScheduler(opts.Seed, opts.Scheduler)
+	if opts.Interrupt != nil {
+		loop.SetInterrupt(opts.Interrupt)
+	}
 	nw := netsim.NewNetwork(loop)
 	tb := &Testbed{Loop: loop, Net: nw, opts: opts}
 

@@ -304,11 +304,11 @@ func TestVoIPShapesBothPaths(t *testing.T) {
 	// Shortened VoIP run asserting the §3.2.1 shape: both paths carry
 	// the full 72 kbps with zero loss; UMTS has higher and more variable
 	// RTT and jitter.
-	umtsRes, err := RunPaperExperiment(3, PathUMTS, WorkloadVoIP, 40*time.Second)
+	umtsRes, err := runPaper(3, PathUMTS, WorkloadVoIP, 40*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ethRes, err := RunPaperExperiment(3, PathEthernet, WorkloadVoIP, 40*time.Second)
+	ethRes, err := runPaper(3, PathEthernet, WorkloadVoIP, 40*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestSaturationShapeUMTS(t *testing.T) {
 	// The §3.2.2 shape: ~150 kbps for the first ~50 s, then the bearer
 	// upgrade more than doubles it to ~400 kbps; heavy loss; RTT up to
 	// ~3 s.
-	res, err := RunPaperExperiment(4, PathUMTS, WorkloadCBR1M, 120*time.Second)
+	res, err := runPaper(4, PathUMTS, WorkloadCBR1M, 120*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +375,7 @@ func TestSaturationShapeUMTS(t *testing.T) {
 }
 
 func TestSaturationEthernetClean(t *testing.T) {
-	res, err := RunPaperExperiment(4, PathEthernet, WorkloadCBR1M, 40*time.Second)
+	res, err := runPaper(4, PathEthernet, WorkloadCBR1M, 40*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,11 +392,11 @@ func TestSaturationEthernetClean(t *testing.T) {
 }
 
 func TestReproducibility(t *testing.T) {
-	a, err := RunPaperExperiment(7, PathUMTS, WorkloadVoIP, 20*time.Second)
+	a, err := runPaper(7, PathUMTS, WorkloadVoIP, 20*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunPaperExperiment(7, PathUMTS, WorkloadVoIP, 20*time.Second)
+	b, err := runPaper(7, PathUMTS, WorkloadVoIP, 20*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +404,7 @@ func TestReproducibility(t *testing.T) {
 		a.Decoded.AvgJitter != b.Decoded.AvgJitter {
 		t.Fatal("same seed should reproduce the experiment exactly")
 	}
-	c, err := RunPaperExperiment(8, PathUMTS, WorkloadVoIP, 20*time.Second)
+	c, err := runPaper(8, PathUMTS, WorkloadVoIP, 20*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -629,7 +629,7 @@ func TestExperimentWithPIN(t *testing.T) {
 }
 
 func TestSetupTimeIncludesRegistrationAndDial(t *testing.T) {
-	res, err := RunPaperExperiment(24, PathUMTS, WorkloadVoIP, 10*time.Second)
+	res, err := runPaper(24, PathUMTS, WorkloadVoIP, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -642,7 +642,7 @@ func TestSetupTimeIncludesRegistrationAndDial(t *testing.T) {
 
 func TestExtensionWorkloadsOverUMTS(t *testing.T) {
 	for _, wl := range []Workload{WorkloadVoIPG729, WorkloadTelnet} {
-		res, err := RunPaperExperiment(31, PathUMTS, wl, 20*time.Second)
+		res, err := runPaper(31, PathUMTS, wl, 20*time.Second)
 		if err != nil {
 			t.Fatalf("%v: %v", wl, err)
 		}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-compare bench-compare-shard bench-smoke serve-smoke
+.PHONY: all build verify test race vet bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-all bench-check bench-compare bench-compare-shard bench-smoke serve-smoke
 
 all: build
 
@@ -51,7 +51,8 @@ bench-sched:
 
 # bench-shard times the 4-cell scale-out scenario on one loop vs one
 # shard per cell plus the wired core — under the global lockstep, the
-# adaptive per-shard-horizon, and the dynamic EOT-promise window
+# adaptive per-shard-horizon, the dynamic EOT-promise, and the
+# optimistic speculative-window (checkpoint/rollback) window
 # policies — verifies every partitioning produces byte-identical
 # results, counts engine windows on the idle-fleet leg (24k idle +
 # 1000 population per cell, no active flows) under adaptive vs
@@ -76,11 +77,22 @@ bench-fleet:
 # within 1.05x of the global one (dynamic likewise on multi-core
 # machines) — per-shard horizons only remove synchronization, so a
 # real slowdown is a regression — dynamic granted no more windows
-# than adaptive, and the idle-fleet leg shows the >= 5x dynamic
-# window reduction. Run it before committing changes to the shard
-# engine.
+# than adaptive, optimistic took no more conservative barriers than
+# dynamic (and stays within 1.05x of its wall time on multi-core
+# machines), and the idle-fleet leg shows the >= 5x dynamic window
+# reduction. Run it before committing changes to the shard engine.
 bench-compare-shard:
 	$(GO) run ./cmd/experiments -bench-shard-compare BENCH_shard.json
+
+# bench-all regenerates every committed benchmark artifact in one go,
+# then runs the aggregate identity gate: each BENCH_*.json must parse
+# and every *_identical field in every artifact must be true. Use it
+# when re-baselining on a new machine; bench-check alone validates the
+# committed artifacts without the (long) measurement runs.
+bench-all: bench bench-sched bench-shard bench-fleet bench-fault bench-analysis bench-check
+
+bench-check:
+	$(GO) run ./cmd/experiments -bench-check BENCH_parallel.json,BENCH_sched.json,BENCH_shard.json,BENCH_fleet.json,BENCH_fault.json,BENCH_analysis.json
 
 # bench-fault proves the fault layer's two claims and records the
 # evidence in BENCH_fault.json: an explicitly armed empty schedule is

@@ -47,6 +47,13 @@ func TestBenchShardArtifact(t *testing.T) {
 		DynamicIdentical *bool   `json:"dynamic_identical"`
 		WindowsDynamic   int64   `json:"windows_dynamic"`
 
+		WallOptimisticS     float64 `json:"wall_nshard_optimistic_s"`
+		SpeedupOptimistic   float64 `json:"speedup_optimistic"`
+		OptimisticIdentical *bool   `json:"optimistic_identical"`
+		WindowsOptimistic   int64   `json:"windows_optimistic"`
+		SpeculatedWindows   *int64  `json:"speculated_windows"`
+		Rollbacks           *int64  `json:"rollbacks"`
+
 		FleetIdleTerminals   int     `json:"fleet_idle_terminals"`
 		FleetPopulation      int     `json:"fleet_population"`
 		FleetWindowsAdaptive int64   `json:"fleet_windows_adaptive"`
@@ -110,6 +117,31 @@ func TestBenchShardArtifact(t *testing.T) {
 		t.Errorf("windows_dynamic = %d vs windows_adaptive = %d; promises may only extend horizons",
 			rep.WindowsDynamic, rep.WindowsAdaptive)
 	}
+	// The optimistic (speculative) leg: identical results on every
+	// machine — rollback recovery must be invisible in the output — and
+	// never more windows than dynamic, since speculation can only
+	// replace conservative barriers, not add them. Rollback accounting
+	// must be present (zero is legitimate; absent is schema drift).
+	if rep.WallOptimisticS <= 0 || rep.SpeedupOptimistic <= 0 {
+		t.Errorf("optimistic leg not measured: wall=%v speedup=%v (regenerate with `make bench-shard`)",
+			rep.WallOptimisticS, rep.SpeedupOptimistic)
+	}
+	if rep.OptimisticIdentical == nil || !*rep.OptimisticIdentical {
+		t.Error("optimistic_identical must be recorded true: speculation with rollback must not change simulation output")
+	}
+	if rep.WindowsOptimistic < 1 || rep.WindowsOptimistic > rep.WindowsDynamic {
+		t.Errorf("windows_optimistic = %d vs windows_dynamic = %d; speculation may only replace barriers",
+			rep.WindowsOptimistic, rep.WindowsDynamic)
+	}
+	if rep.SpeculatedWindows == nil || *rep.SpeculatedWindows < 0 {
+		t.Error("speculated_windows must be recorded (0 is legitimate; missing is schema drift)")
+	}
+	if rep.Rollbacks == nil || *rep.Rollbacks < 0 {
+		t.Error("rollbacks must be recorded (0 is legitimate; missing is schema drift)")
+	}
+	if rep.SpeculatedWindows != nil && rep.Rollbacks != nil && *rep.Rollbacks > 0 && *rep.SpeculatedWindows == 0 {
+		t.Errorf("%d rollbacks with zero speculated windows: rollback accounting is inconsistent", *rep.Rollbacks)
+	}
 	// The idle-fleet leg is the policy's acceptance criterion: on the
 	// BENCH_fleet cohort (>= 24k idle + population per cell, no active
 	// flows) dynamic must release at least 5x fewer windows than
@@ -147,6 +179,13 @@ func TestBenchShardArtifact(t *testing.T) {
 			t.Errorf("dynamic wall %.2fs slower than global %.2fs on a %d-core machine",
 				rep.WallDynamicS, rep.WallNS, *rep.NumCPU)
 		}
+		// With real cores, speculation must at worst break even with the
+		// dynamic policy it extends — checkpoint overhead has parallel
+		// slack to hide in.
+		if rep.WallOptimisticS > 1.05*rep.WallDynamicS {
+			t.Errorf("optimistic wall %.2fs more than 1.05x dynamic %.2fs on a %d-core machine",
+				rep.WallOptimisticS, rep.WallDynamicS, *rep.NumCPU)
+		}
 	} else {
 		if rep.Speedup < 0.5 {
 			t.Errorf("speedup %.2f: sharding pathologically slow even for a %d-core machine", rep.Speedup, *rep.NumCPU)
@@ -160,6 +199,10 @@ func TestBenchShardArtifact(t *testing.T) {
 		if rep.WallNS > 0 && rep.WallDynamicS > 1.5*rep.WallNS {
 			t.Errorf("dynamic wall %.2fs more than 1.5x global %.2fs even on a %d-core machine",
 				rep.WallDynamicS, rep.WallNS, *rep.NumCPU)
+		}
+		if rep.WallNS > 0 && rep.WallOptimisticS > 1.5*rep.WallNS {
+			t.Errorf("optimistic wall %.2fs more than 1.5x global %.2fs even on a %d-core machine",
+				rep.WallOptimisticS, rep.WallNS, *rep.NumCPU)
 		}
 	}
 }

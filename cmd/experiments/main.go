@@ -11,12 +11,12 @@
 //	            [-workers N] [-every 5] [-series] [-metrics file]
 //	            [-cells K] [-terminals M] [-shards S]
 //	            [-fleet N] [-population P] [-bench-fleet file]
-//	            [-shard-policy global|adaptive|dynamic]
+//	            [-shard-policy global|adaptive|dynamic|optimistic]
 //	            [-analysis batch|stream|stream-only]
 //	            [-fault-profile name] [-self-heal]
 //	            [-bench-parallel file] [-bench-sched file]
 //	            [-bench-shard file] [-bench-sched-compare file]
-//	            [-bench-shard-compare file]
+//	            [-bench-shard-compare file] [-bench-check files]
 //	            [-bench-fault file] [-bench-analysis file]
 //	            [-serve :port] [-spec file.json] [-serve-smoke]
 //	            [-cpuprofile file] [-memprofile file] [-v]
@@ -76,13 +76,17 @@
 // one for the wired core) by the conservative parallel engine in
 // internal/sim/shard. -shard-policy selects the engine's window policy:
 // global lockstep windows (default), adaptive per-shard horizons from
-// shortest-path distances over the edge graph, or dynamic earliest-
+// shortest-path distances over the edge graph, dynamic earliest-
 // output-time promises (adaptive extended by what each shard can
-// actually emit — idle-heavy fleets advance in event-to-event strides).
-// Unknown policy names are rejected with the allowed set. The per-flow
-// QoS summary is identical for every shard count AND policy.
+// actually emit — idle-heavy fleets advance in event-to-event strides),
+// or optimistic speculation (dynamic extended by bounded speculative
+// windows past the released horizon, with checkpoint/rollback recovery
+// when a conflicting cross-shard message arrives — busy cells advance
+// without waiting for quiet neighbours). Unknown policy names are
+// rejected with the allowed set. The per-flow QoS summary is identical
+// for every shard count AND policy.
 // -bench-shard times the same scenario on 1 shard vs S shards under
-// all three policies, verifies all runs match, additionally counts
+// all four policies, verifies all runs match, additionally counts
 // engine windows on an idle-fleet leg (24k idle terminals + 1000
 // population per cell, no active flows) under adaptive vs dynamic, and
 // writes the comparison as JSON (the `make bench-shard` artifact).
@@ -93,7 +97,10 @@
 // shard artifact instead: all policies recorded identical, adaptive
 // and dynamic wall times within 1.05x of the global one, dynamic
 // windows <= adaptive windows, and the idle-fleet leg's >= 5x dynamic
-// window reduction (the `make bench-compare-shard` gate).
+// window reduction (the `make bench-compare-shard` gate). -bench-check
+// takes a comma-separated list of committed BENCH_*.json artifacts,
+// parses each one, and fails unless every `*_identical` field in every
+// file is true (the `make bench-all` aggregate gate).
 //
 // -fleet N powers on N additional compact idle terminals per cell
 // (registered, never dialing; the full node stack materializes only on
@@ -280,10 +287,11 @@ func main() {
 	populationN := flag.Int("population", 0, "aggregate background subscribers per cell for -cells (fluid ensemble, O(1) cost)")
 	benchFleetOut := flag.String("bench-fleet", "", "run the 100k-terminal fleet benchmark (footprint, throughput, population validation), write JSON to this file, and exit")
 	shards := flag.Int("shards", 0, "shard count for -cells (0: one per cell plus the wired core)")
-	shardPolicyFlag := flag.String("shard-policy", "global", "shard engine window policy for -cells: global (lockstep windows), adaptive (per-shard horizons) or dynamic (EOT promises)")
+	shardPolicyFlag := flag.String("shard-policy", "global", "shard engine window policy for -cells: global (lockstep windows), adaptive (per-shard horizons), dynamic (EOT promises) or optimistic (speculation with rollback)")
 	benchShardOut := flag.String("bench-shard", "", "time the -cells scenario on 1 vs -shards shards under every window policy, write JSON to this file, and exit")
 	benchSchedCmp := flag.String("bench-sched-compare", "", "re-measure the scheduler benchmark and fail if wheel_pool wall time regressed >25% vs this committed JSON")
-	benchShardCmp := flag.String("bench-shard-compare", "", "validate this committed bench-shard JSON: all policies identical, adaptive/dynamic wall <= 1.05x global, dynamic windows <= adaptive, idle-fleet reduction >= 5x")
+	benchShardCmp := flag.String("bench-shard-compare", "", "validate this committed bench-shard JSON: all policies identical, adaptive/dynamic wall <= 1.05x global, dynamic windows <= adaptive, optimistic windows <= dynamic, idle-fleet reduction >= 5x")
+	benchCheckList := flag.String("bench-check", "", "comma-separated committed BENCH_*.json artifacts: parse each and fail unless every *_identical field is true")
 	analysisFlag := flag.String("analysis", "batch", "QoS pipeline: batch (reference), stream (batch + live stream decoder), stream-only (constant-memory, per-packet logs dropped)")
 	benchAnalysisOut := flag.String("bench-analysis", "", "time batch vs streaming decode over identical paper-scale logs, write JSON to this file, and exit")
 	faultProfile := flag.String("fault-profile", "none", "deterministic fault preset injected into every run: none, drops, fades, degrade, regloss, flaps, flaky")
@@ -412,6 +420,14 @@ func main() {
 	if *benchShardCmp != "" {
 		if err := benchShardCompare(*benchShardCmp); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench-shard-compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCheckList != "" {
+		if err := benchCheck(strings.Split(*benchCheckList, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-check: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -789,7 +805,19 @@ type shardBenchReport struct {
 	SpeedupDynamic   float64 `json:"speedup_dynamic"`
 	DynamicIdentical bool    `json:"dynamic_identical"`
 	WindowsDynamic   int64   `json:"windows_dynamic"`
-	Windows          int64   `json:"windows"`
+	// The optimistic-policy leg: bounded speculation past the released
+	// horizon with checkpoint/rollback recovery. WindowsOptimistic
+	// counts shard 0's conservative barriers like the other legs;
+	// SpeculatedWindows and Rollbacks are engine-wide totals — the
+	// speculation that replaced those barriers and the price paid when
+	// a conflicting arrival forced a replay.
+	WallOptimisticS     float64 `json:"wall_nshard_optimistic_s"`
+	SpeedupOptimistic   float64 `json:"speedup_optimistic"`
+	OptimisticIdentical bool    `json:"optimistic_identical"`
+	WindowsOptimistic   int64   `json:"windows_optimistic"`
+	SpeculatedWindows   int64   `json:"speculated_windows"`
+	Rollbacks           int64   `json:"rollbacks"`
+	Windows             int64   `json:"windows"`
 	LookaheadMs      float64 `json:"lookahead_ms"`
 	Messages         int64   `json:"cross_shard_messages"`
 	// The idle-fleet leg: the BENCH_fleet scenario minus its active
@@ -882,6 +910,12 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 		return err
 	}
 	wallD := time.Since(t0)
+	t0 = time.Now()
+	optimistic, err := multiCell(seed, cells, terminals, shards, shard.PolicyOptimistic, 0, 0)
+	if err != nil {
+		return err
+	}
+	wallO := time.Since(t0)
 
 	// Idle-fleet leg: same cells, zero active flows, the BENCH_fleet
 	// idle cohort + population per cell. Window totals are summed over
@@ -905,6 +939,7 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	fwa, fwd := totalWindows(fleetAdaptive), totalWindows(fleetDynamic)
 
 	msgs := metrics.MergeSnapshots(sharded.Snapshots...).Counters["shard/msgs_out"]
+	optMerged := metrics.MergeSnapshots(optimistic.Snapshots...)
 	rep := shardBenchReport{
 		NumCPU:               runtime.NumCPU(),
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
@@ -924,6 +959,12 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 		SpeedupDynamic:       wall1.Seconds() / wallD.Seconds(),
 		DynamicIdentical:     flowsIdentical(single, dynamic),
 		WindowsDynamic:       dynamic.Windows,
+		WallOptimisticS:      wallO.Seconds(),
+		SpeedupOptimistic:    wall1.Seconds() / wallO.Seconds(),
+		OptimisticIdentical:  flowsIdentical(single, optimistic),
+		WindowsOptimistic:    optimistic.Windows,
+		SpeculatedWindows:    optMerged.Counters["shard/speculated_windows"],
+		Rollbacks:            optMerged.Counters["shard/rollbacks"],
 		Windows:              sharded.Windows,
 		LookaheadMs:          sharded.Lookahead.Seconds() * 1000,
 		Messages:             msgs,
@@ -943,10 +984,14 @@ func benchShard(path string, seed int64, cells, terminals, shards int) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("bench-shard: %d cells x %d terminals, %v flows: 1 shard %.2f s, %d shards global %.2f s (%.2fx) adaptive %.2f s (%.2fx) dynamic %.2f s (%.2fx), GOMAXPROCS=%d, %d cross-shard msgs, identical=%v/%v/%v -> %s\n",
+	fmt.Printf("bench-shard: %d cells x %d terminals, %v flows: 1 shard %.2f s, %d shards global %.2f s (%.2fx) adaptive %.2f s (%.2fx) dynamic %.2f s (%.2fx) optimistic %.2f s (%.2fx), GOMAXPROCS=%d, %d cross-shard msgs, identical=%v/%v/%v/%v -> %s\n",
 		cells, terminals, dur, rep.Wall1S, rep.Shards, rep.WallNS, rep.Speedup,
 		rep.WallAdaptiveS, rep.SpeedupAdaptive, rep.WallDynamicS, rep.SpeedupDynamic,
-		rep.GOMAXPROCS, msgs, rep.Identical, rep.AdaptiveIdentical, rep.DynamicIdentical, path)
+		rep.WallOptimisticS, rep.SpeedupOptimistic,
+		rep.GOMAXPROCS, msgs, rep.Identical, rep.AdaptiveIdentical, rep.DynamicIdentical,
+		rep.OptimisticIdentical, path)
+	fmt.Printf("bench-shard: optimistic windows %d vs dynamic %d (%d speculated, %d rollbacks)\n",
+		rep.WindowsOptimistic, rep.WindowsDynamic, rep.SpeculatedWindows, rep.Rollbacks)
 	fmt.Printf("bench-shard: idle fleet %d cells x (%d idle + %d population): %d windows adaptive vs %d dynamic (%.1fx fewer), identical=%v\n",
 		cells, rep.FleetIdleTerminals, rep.FleetPopulation,
 		rep.FleetWindowsAdaptive, rep.FleetWindowsDynamic, rep.FleetWindowReduction, rep.FleetIdentical)
@@ -970,18 +1015,19 @@ func benchShardCompare(path string) error {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if rep.WallNS <= 0 || rep.WallAdaptiveS <= 0 || rep.WallDynamicS <= 0 {
-		return fmt.Errorf("%s: missing wall times (global %v, adaptive %v, dynamic %v) — regenerate with `make bench-shard`",
-			path, rep.WallNS, rep.WallAdaptiveS, rep.WallDynamicS)
+	if rep.WallNS <= 0 || rep.WallAdaptiveS <= 0 || rep.WallDynamicS <= 0 || rep.WallOptimisticS <= 0 {
+		return fmt.Errorf("%s: missing wall times (global %v, adaptive %v, dynamic %v, optimistic %v) — regenerate with `make bench-shard`",
+			path, rep.WallNS, rep.WallAdaptiveS, rep.WallDynamicS, rep.WallOptimisticS)
 	}
-	if !rep.Identical || !rep.AdaptiveIdentical || !rep.DynamicIdentical {
-		return fmt.Errorf("%s: recorded results not identical (global=%v adaptive=%v dynamic=%v)",
-			path, rep.Identical, rep.AdaptiveIdentical, rep.DynamicIdentical)
+	if !rep.Identical || !rep.AdaptiveIdentical || !rep.DynamicIdentical || !rep.OptimisticIdentical {
+		return fmt.Errorf("%s: recorded results not identical (global=%v adaptive=%v dynamic=%v optimistic=%v)",
+			path, rep.Identical, rep.AdaptiveIdentical, rep.DynamicIdentical, rep.OptimisticIdentical)
 	}
 	ratioA := rep.WallAdaptiveS / rep.WallNS
 	ratioD := rep.WallDynamicS / rep.WallNS
-	fmt.Printf("bench-shard-compare: adaptive %.2f s (x%.3f) dynamic %.2f s (x%.3f) vs global %.2f s\n",
-		rep.WallAdaptiveS, ratioA, rep.WallDynamicS, ratioD, rep.WallNS)
+	ratioO := rep.WallOptimisticS / rep.WallNS
+	fmt.Printf("bench-shard-compare: adaptive %.2f s (x%.3f) dynamic %.2f s (x%.3f) optimistic %.2f s (x%.3f) vs global %.2f s\n",
+		rep.WallAdaptiveS, ratioA, rep.WallDynamicS, ratioD, rep.WallOptimisticS, ratioO, rep.WallNS)
 	if ratioA > 1.05 {
 		return fmt.Errorf("adaptive wall time x%.3f of global (>1.05) in %s", ratioA, path)
 	}
@@ -992,9 +1038,20 @@ func benchShardCompare(path string) error {
 	if rep.NumCPU >= 4 && ratioD > 1.05 {
 		return fmt.Errorf("dynamic wall time x%.3f of global (>1.05) in %s", ratioD, path)
 	}
+	// The optimistic wall gate is multi-core only for the same reason:
+	// on one CPU checkpointing and replay are pure overhead. Its
+	// every-machine claim is the barrier count, gated below.
+	if rep.NumCPU >= 4 && rep.WallOptimisticS > rep.WallDynamicS*1.05 {
+		return fmt.Errorf("optimistic wall time %.2f s vs dynamic %.2f s (>1.05x) in %s",
+			rep.WallOptimisticS, rep.WallDynamicS, path)
+	}
 	if rep.WindowsDynamic > rep.WindowsAdaptive {
 		return fmt.Errorf("dynamic granted %d windows vs adaptive %d (promises may only extend horizons) in %s",
 			rep.WindowsDynamic, rep.WindowsAdaptive, path)
+	}
+	if rep.WindowsOptimistic > rep.WindowsDynamic {
+		return fmt.Errorf("optimistic took %d conservative barriers vs dynamic %d (speculation may only replace barriers) in %s",
+			rep.WindowsOptimistic, rep.WindowsDynamic, path)
 	}
 	if !rep.FleetIdentical {
 		return fmt.Errorf("%s: idle-fleet adaptive and dynamic runs differ", path)
@@ -1004,6 +1061,49 @@ func benchShardCompare(path string) error {
 			rep.FleetWindowReduction, rep.FleetWindowsAdaptive, rep.FleetWindowsDynamic, path)
 	}
 	fmt.Println("bench-shard-compare: within budget")
+	return nil
+}
+
+// benchCheck is the `make bench-all` aggregate gate: every committed
+// benchmark artifact must parse as JSON and every `*_identical` field
+// in every file must be true. It deliberately knows nothing about the
+// individual report schemas — the per-artifact schema tests gate those
+// — so a new artifact (or a new identity claim inside an existing one)
+// is covered the moment it is named on the command line.
+func benchCheck(paths []string) error {
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		n := 0
+		for key, val := range doc {
+			if !strings.HasSuffix(key, "_identical") {
+				continue
+			}
+			n++
+			ok, isBool := val.(bool)
+			if !isBool {
+				return fmt.Errorf("%s: %s is %T, want bool", path, key, val)
+			}
+			if !ok {
+				return fmt.Errorf("%s: %s is false — a differential diverged; regenerate and investigate", path, key)
+			}
+		}
+		if n == 0 {
+			return fmt.Errorf("%s: no *_identical fields — wrong file or schema drift", path)
+		}
+		fmt.Printf("bench-check: %s ok (%d identity claims)\n", path, n)
+	}
+	fmt.Println("bench-check: all artifacts identical")
 	return nil
 }
 

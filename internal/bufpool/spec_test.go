@@ -1,0 +1,83 @@
+package bufpool
+
+import (
+	"testing"
+
+	"github.com/onelab/umtslab/internal/metrics"
+)
+
+// TestSpecDefersPuts: while a speculation segment is open, Put must not
+// recycle — a Get must not hand the buffer back out.
+func TestSpecDefersPuts(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	b := p.Get(100)
+	b[0] = 42
+
+	p.PushSpec()
+	p.Put(b)
+	b2 := p.Get(100)
+	if &b[0] == &b2[0] {
+		t.Fatal("speculative Put recycled a buffer that a rollback might still reference")
+	}
+
+	// Rollback abandons the deferred Put entirely.
+	p.RollbackSpec(0)
+	if p.SpecDepth() != 0 {
+		t.Fatalf("depth %d after rollback", p.SpecDepth())
+	}
+	b3 := p.Get(100)
+	if &b[0] == &b3[0] {
+		t.Fatal("rolled-back Put reached the free list")
+	}
+}
+
+// TestSpecCommitFlushes: committing the oldest segment recycles its
+// deferred Puts even while newer segments remain open.
+func TestSpecCommitFlushes(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	b := p.Get(100)
+
+	p.PushSpec()
+	p.Put(b)
+	p.PushSpec() // newer segment still open
+	p.CommitOldestSpec()
+	if p.SpecDepth() != 1 {
+		t.Fatalf("depth %d after committing oldest of two", p.SpecDepth())
+	}
+	b2 := p.Get(100)
+	if &b[0] != &b2[0] {
+		t.Fatal("committed Put did not reach the free list")
+	}
+
+	p.CommitOldestSpec()
+	if p.SpecDepth() != 0 {
+		t.Fatalf("depth %d after final commit", p.SpecDepth())
+	}
+}
+
+// TestSpecNestedRollback keeps the surviving segments' deferrals intact.
+func TestSpecNestedRollback(t *testing.T) {
+	p := New(metrics.NewRegistry())
+	b0 := p.Get(64)
+	b1 := p.Get(64)
+
+	p.PushSpec()
+	p.Put(b0) // deferred in segment 0
+	p.PushSpec()
+	p.Put(b1) // deferred in segment 1
+
+	p.RollbackSpec(1) // segment 1 rolled back, 0 survives
+	if p.SpecDepth() != 1 {
+		t.Fatalf("depth %d, want 1", p.SpecDepth())
+	}
+	p.CommitOldestSpec()
+	got := p.Get(64)
+	if &got[0] != &b0[0] {
+		t.Fatal("surviving segment's deferred Put lost")
+	}
+	// b1's Put was abandoned: nothing else to hand out.
+	got2 := p.Get(64)
+	if &got2[0] == &b1[0] {
+		t.Fatal("rolled-back segment's Put survived")
+	}
+}

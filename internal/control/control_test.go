@@ -455,6 +455,57 @@ func TestMetricsScrape(t *testing.T) {
 	}
 }
 
+// TestMetricsScrapeShardCounters: a multi-cell sharded job's merged
+// snapshot must surface the coordinator's window/rollback instruments
+// through /v1/metrics, not just the sim/netsim counters. The -metrics
+// CLI dump always carried the raw per-shard snapshots; this pins the
+// serve-mode path to the same merged view.
+func TestMetricsScrapeShardCounters(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+	id := submit(t, ts, `{"seed":4,"cells":2,"terminals":1,"shards":3,`+
+		`"shard_policy":"optimistic","flow_start":"8s","duration":"`+testDur+`"}`)
+	if st := waitState(t, ts, id); st.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done", st.State, st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var scrape struct {
+		Jobs map[string]struct {
+			Counters   map[string]int64 `json:"counters"`
+			Histograms map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"histograms"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := scrape.Jobs[id]
+	if !ok {
+		t.Fatalf("no per-job snapshot for %s", id)
+	}
+	if got := snap.Counters["shard/windows"]; got == 0 {
+		t.Error("merged snapshot missing shard/windows")
+	}
+	if got := snap.Counters["shard/windows_released"]; got == 0 {
+		t.Error("merged snapshot missing shard/windows_released")
+	}
+	// The speculation instruments must be present even when their
+	// values are zero; their absence would mean the coordinator's
+	// registry entries were dropped on the merge path.
+	for _, name := range []string{"shard/speculated_windows", "shard/rollbacks"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("merged snapshot missing counter %s", name)
+		}
+	}
+	if _, ok := snap.Histograms["shard/rollback_depth"]; !ok {
+		t.Error("merged snapshot missing histogram shard/rollback_depth")
+	}
+}
+
 // TestSubmitRejectsBadSpecs: malformed JSON, unknown fields, and
 // invalid field values all come back 400 with the field path.
 func TestSubmitRejectsBadSpecs(t *testing.T) {

@@ -1,0 +1,77 @@
+package metrics
+
+// Checkpoint is a frozen copy of every instrument's value, keyed by the
+// instrument pointers themselves. It exists for the speculative shard
+// engine: a loop snapshot captures its registry with Checkpoint and, on
+// rollback, Restore rewinds every instrument to the captured value so a
+// deterministic replay re-accumulates byte-identical metrics.
+//
+// Instruments created after the checkpoint was taken (the registry only
+// grows) are reset to their zero value by Restore: the replayed
+// execution re-creates them through the registry and re-observes the
+// same samples.
+type Checkpoint struct {
+	counters   map[*Counter]int64
+	gauges     map[*Gauge]Gauge
+	histograms map[*Histogram]Histogram
+}
+
+// Checkpoint captures the current value of every instrument.
+func (r *Registry) Checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		counters:   make(map[*Counter]int64, len(r.counters)),
+		gauges:     make(map[*Gauge]Gauge, len(r.gauges)),
+		histograms: make(map[*Histogram]Histogram, len(r.histograms)),
+	}
+	for name, ctr := range r.counters {
+		if r.exempt[name] {
+			continue
+		}
+		c.counters[ctr] = ctr.v
+	}
+	for name, g := range r.gauges {
+		if r.exempt[name] {
+			continue
+		}
+		c.gauges[g] = *g
+	}
+	for name, h := range r.histograms {
+		if r.exempt[name] {
+			continue
+		}
+		c.histograms[h] = *h
+	}
+	return c
+}
+
+// Restore rewinds every instrument to its checkpointed value. Instruments
+// absent from the checkpoint are zeroed, except exempt ones, which are
+// never touched.
+func (r *Registry) Restore(c *Checkpoint) {
+	for name, ctr := range r.counters {
+		if r.exempt[name] {
+			continue
+		}
+		ctr.v = c.counters[ctr] // zero if absent
+	}
+	for name, g := range r.gauges {
+		if r.exempt[name] {
+			continue
+		}
+		if v, ok := c.gauges[g]; ok {
+			*g = v
+		} else {
+			*g = Gauge{}
+		}
+	}
+	for name, h := range r.histograms {
+		if r.exempt[name] {
+			continue
+		}
+		if v, ok := c.histograms[h]; ok {
+			*h = v
+		} else {
+			*h = Histogram{}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointRestore rewinds counters, gauges, and histograms to
+// their captured values, including instruments born after the
+// checkpoint (which must zero).
+func TestCheckpointRestore(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a/count")
+	g := r.Gauge("a/gauge")
+	h := r.Histogram("a/hist")
+	c.Add(7)
+	g.Set(3.5)
+	g.Set(2)
+	h.Observe(10)
+	h.Observe(100)
+
+	want := r.Snapshot()
+	cp := r.Checkpoint()
+
+	// Perturb everything, including a post-checkpoint instrument.
+	c.Add(100)
+	g.Set(99)
+	h.Observe(1 << 40)
+	r.Counter("b/new").Add(5)
+	r.Gauge("b/newg").Set(1)
+	r.Histogram("b/newh").Observe(1)
+
+	r.Restore(cp)
+	got := r.Snapshot()
+
+	// The post-checkpoint instruments exist but must be zero.
+	if got.Counter("b/new") != 0 {
+		t.Errorf("new counter not zeroed: %d", got.Counter("b/new"))
+	}
+	if gs := got.Gauge("b/newg"); gs != (GaugeSnapshot{}) {
+		t.Errorf("new gauge not zeroed: %+v", gs)
+	}
+	if hs := got.Histogram("b/newh"); hs.Count != 0 || hs.Sum != 0 {
+		t.Errorf("new histogram not zeroed: %+v", hs)
+	}
+
+	// The originals must match the pre-perturbation snapshot exactly.
+	for name, v := range want.Counters {
+		if got.Counters[name] != v {
+			t.Errorf("counter %s: got %d want %d", name, got.Counters[name], v)
+		}
+	}
+	for name, v := range want.Gauges {
+		if got.Gauges[name] != v {
+			t.Errorf("gauge %s: got %+v want %+v", name, got.Gauges[name], v)
+		}
+	}
+	for name, v := range want.Histograms {
+		if !reflect.DeepEqual(got.Histograms[name], v) {
+			t.Errorf("histogram %s: got %+v want %+v", name, got.Histograms[name], v)
+		}
+	}
+
+	// Restore is repeatable: re-accumulating after a restore and
+	// restoring again lands on the same state.
+	c.Add(1)
+	r.Restore(cp)
+	if r.Snapshot().Counter("a/count") != want.Counter("a/count") {
+		t.Error("second restore diverged")
+	}
+}

@@ -114,6 +114,14 @@ func TestRunReentryNoOp(t *testing.T) {
 		ed := eng.NewEdge(eng.Shard(0), eng.Shard(1), d, func(shard.Message) {})
 		eng.Shard(0).Loop().Post(func() { ed.Send(d, 1) })
 		ticks := 0
+		// Model state on a snapshottable loop must be rollback-aware:
+		// under PolicyOptimistic the 5 ms event may execute speculatively,
+		// roll back and replay, so the counter registers with the
+		// snapshot machinery like any real component would.
+		eng.Shard(1).Loop().OnSnapshot(func() func() {
+			n := ticks
+			return func() { ticks = n }
+		})
 		eng.Shard(1).Loop().At(5*time.Millisecond, func() { ticks++ })
 		eng.Run(10 * time.Millisecond)
 

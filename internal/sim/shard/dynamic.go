@@ -101,9 +101,26 @@ func (e *Engine) computeEOT() {
 	// Seed each edge with its pending-mailbox minimum: a parked message
 	// is itself a future arrival, and its delivery may cascade sends —
 	// which the relaxation below covers by feeding eot back into nextT.
+	//
+	// Under PolicyOptimistic an idle shard may hold uncommitted sends in
+	// the outbox (pinned there while checkpoints are open); those are
+	// future arrivals too and seed the same way. They are exact unless
+	// the source rolls back, and a rollback's divergent re-sends are
+	// covered independently: divergence starts at a delivery of some
+	// inbound arrival (bounded by that edge's eot, folded into nextT by
+	// the relaxation), so every divergent send is >= nextT + minDelay —
+	// the bound the relaxation already applies. Extra stale seeds after
+	// a retraction only lower eot, which is the conservative direction.
+	// Outside speculation outbox[outHead:] is empty here (every window
+	// completion hands it off), so the loop costs nothing.
 	for i, ed := range e.edges {
 		e.eot[i] = noPath
 		for _, m := range ed.mailbox {
+			if m.At < e.eot[i] {
+				e.eot[i] = m.At
+			}
+		}
+		for _, m := range ed.outbox[ed.outHead:] {
 			if m.At < e.eot[i] {
 				e.eot[i] = m.At
 			}

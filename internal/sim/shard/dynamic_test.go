@@ -159,7 +159,13 @@ func TestWindowInstrumentation(t *testing.T) {
 			if h.Count != windows {
 				t.Errorf("policy %v shard %d: stride samples %d != windows %d", p, i, h.Count, windows)
 			}
-			if h.Sum != int64(until) {
+			if p == shard.PolicyOptimistic {
+				// Speculative grants re-cover rolled-back intervals, so
+				// strides COVER the span rather than partitioning it.
+				if h.Sum < int64(until) {
+					t.Errorf("policy %v shard %d: stride sum %d < span %d", p, i, h.Sum, int64(until))
+				}
+			} else if h.Sum != int64(until) {
 				t.Errorf("policy %v shard %d: stride sum %d != span %d", p, i, h.Sum, int64(until))
 			}
 		}

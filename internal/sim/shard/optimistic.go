@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file is the PolicyOptimistic coordinator: speculative execution
+// past the conservative horizon, with checkpoint/rollback recovery.
+//
+// The conservative policies never let a shard pass the earliest instant
+// at which a cross-shard message could still reach it. Optimism inverts
+// the bet: a shard whose loop is snapshottable (sim.Loop.Snapshot) runs
+// ahead of that horizon in a bounded speculation window, checkpointing
+// at a fixed cadence; if a message later arrives below its speculative
+// frontier, the coordinator rolls the shard back to its last checkpoint
+// at or before the arrival and the interval replays — this time with
+// the message delivered at its proper instant. Replay determinism (same
+// RNG draws, same event order, same buffers) makes the final state
+// byte-identical to what the conservative policies compute, which the
+// differential harness checks across the full scenario matrix.
+//
+// What speculation buys is fewer coordinator windows, not weaker
+// guarantees:
+//
+//   - a speculating shard skips releases in every pass where its
+//     frontier already covers the grantable horizon, so the per-pass
+//     window count drops on the shards that used to be released in
+//     min-promise-sized strides;
+//   - better promises: an idle speculating shard's future output is
+//     anchored at the ACTUAL send times sitting uncommitted in its
+//     outboxes plus the next event of its frontier state, instead of
+//     the pessimistic "next committed event + edge delay". Successors
+//     get longer strides from the same fixpoint (computeEOT — see the
+//     seeding comment there for the soundness argument).
+//
+// Safety rules the code below enforces:
+//
+//   - No mailbox flush into a shard with open checkpoints. Delivery
+//     triggers armed under an open segment would be journaled as
+//     newborn events and cancelled by a deeper rollback while the
+//     restored inbox still listed their messages. Flushes happen only
+//     at depth zero, before the window's first Snapshot, so the limbo
+//     mechanism owns every armed trigger.
+//   - A depth-zero speculative grant MAY flush up to the speculation
+//     end: deliveries beyond the safe horizon then execute inside
+//     checkpointed segments and roll back cleanly with everything else.
+//   - Speculation never crosses a message known to be pending: grants
+//     are capped at the minimum mailbox At, which both bounds wasted
+//     work and guarantees a rolled-back shard cannot re-speculate over
+//     the very message that rolled it back.
+//   - Speculative windows are always exclusive (RunBefore). The final
+//     inclusive window at the Run horizon is granted only
+//     conservatively, at depth zero, exactly as under PolicyDynamic.
+//   - Commits are driven by the same horizon the conservative release
+//     would use, additionally capped by pending mailbox arrivals: a
+//     checkpointed interval is retired only when no message can ever
+//     land inside it. Retiring releases the interval's quarantined side
+//     effects and hands its sends off to the destination mailboxes.
+//
+// Liveness is inherited from the conservative fallback: every pass the
+// coordinator still computes dynamic horizons, and a shard that cannot
+// (or may not) speculate advances exactly as under PolicyDynamic, so
+// barriers keep rising and every open segment eventually commits.
+//
+// Determinism of the schedule itself: like PolicyDynamic, every
+// decision is made at a quiescent pass from simulation state only
+// (queue heads, mailboxes, outboxes, checkpoint stacks), never from
+// worker timing — so window, rollback and stride counts are
+// reproducible across runs and CPU counts.
+func (e *Engine) runOptimistic(until time.Duration) {
+	span := e.specSpan
+	cadence := e.specCadence
+	if la := e.Lookahead(); la > 0 {
+		if span == 0 {
+			span = 16 * la
+		}
+		if cadence == 0 {
+			cadence = 4 * la
+		}
+	}
+	for {
+		for e.anyRunning() {
+			e.awaitOne()
+		}
+		rolled := e.rollbackConflicts()
+		e.computeEOT()
+		committed := e.commitSpec(until)
+		released := e.releaseOptimistic(until, span, cadence)
+		if e.anyRunning() {
+			e.awaitOne()
+			continue
+		}
+		if !rolled && !committed && !released {
+			if e.rollbackStalled() {
+				continue
+			}
+			break
+		}
+	}
+	for _, s := range e.shards {
+		if !s.done || s.loop.SpecDepth() > 0 || e.dueInbound(s, until) {
+			var b strings.Builder
+			for _, x := range e.shards {
+				fmt.Fprintf(&b, "\n  shard %d: done=%v depth=%d barrier=%v frontier=%v now=%v minInbound=%v safe=%v nCkpts=%d",
+					x.id, x.done, x.loop.SpecDepth(), x.barrier, x.frontier, x.loop.Now(),
+					e.minInbound(x), e.safeHorizon(x), len(x.ckpts))
+			}
+			panic("shard: optimistic coordinator stalled with undelivered messages or open checkpoints" + b.String())
+		}
+	}
+}
+
+// safeHorizon is the horizon the conservative policies would grant s:
+// the adaptive distance bound extended by the dynamic EOT promise.
+// Valid only right after computeEOT.
+func (e *Engine) safeHorizon(s *Shard) time.Duration {
+	h := e.horizonFor(s)
+	if p := e.promiseFor(s); p > h {
+		h = p
+	}
+	return h
+}
+
+// minInbound returns the earliest At pending in s's inbound mailboxes
+// (noPath if none). Messages already flushed into the inbox do not
+// count: they are part of the execution, not future arrivals.
+func (e *Engine) minInbound(s *Shard) time.Duration {
+	min := noPath
+	for _, ed := range s.inEdges {
+		for _, m := range ed.mailbox {
+			if m.At < min {
+				min = m.At
+			}
+		}
+	}
+	return min
+}
+
+// rollbackConflicts rolls every conflicted shard back to its latest
+// checkpoint at or before the offending arrival. A conflict is a
+// pending mailbox message below a speculating shard's frontier; shards
+// at depth zero cannot conflict — an arrival below a COMMITTED barrier
+// would mean the commit horizon was unsound, and a done shard receiving
+// a due message is the ordinary reopen case handled at release.
+func (e *Engine) rollbackConflicts() bool {
+	rolled := false
+	for _, s := range e.shards {
+		if s.loop.SpecDepth() == 0 {
+			continue
+		}
+		mp := e.minInbound(s)
+		if mp >= s.frontier {
+			continue
+		}
+		// ckpts[0].at == barrier <= mp (the commit invariant), so the
+		// scan always terminates at a valid target.
+		i := len(s.ckpts) - 1
+		for s.ckpts[i].at > mp {
+			i--
+		}
+		undone := len(s.ckpts) - i
+		s.loop.RestoreTo(i)
+		ck := s.ckpts[i]
+		// Retract speculative sends: truncate each outbox to its length
+		// at the restored checkpoint and rewind the send sequence, so the
+		// replay re-issues identical (Edge, Seq) keys. Sends already
+		// handed off early (handoffSafe) stay delivered — the replay
+		// re-issues them identically and Send drops the duplicates via
+		// the handSeq watermark.
+		for j, ed := range s.outEdges {
+			tail := ed.outbox[ck.outLen[j]:]
+			for k := range tail {
+				tail[k] = Message{}
+			}
+			ed.outbox = ed.outbox[:ck.outLen[j]]
+			if ed.outHead > ck.outLen[j] {
+				ed.outHead = ck.outLen[j]
+			}
+			ed.seq = ck.outSeq[j]
+		}
+		s.ckpts = s.ckpts[:i]
+		s.frontier = ck.at
+		s.mRollbacks.Inc()
+		s.hRollDepth.Observe(int64(undone))
+		rolled = true
+	}
+	return rolled
+}
+
+// rollbackStalled is the liveness valve: when a full quiescent pass
+// rolls back, commits, and releases nothing while shards still hold
+// open checkpoints, the speculated state itself is the obstruction —
+// typically a span exhausted against a horizon that cannot rise until
+// this shard's own pending work commits. Discarding every open window
+// (rollback to the committed barrier) returns the engine to exactly the
+// state PolicyDynamic would be in at the same barriers, whose liveness
+// argument then guarantees a conservative release next pass; barriers
+// strictly rise between valve firings, so the fallback cannot livelock.
+// The wasted window re-executes, trading throughput for progress.
+func (e *Engine) rollbackStalled() bool {
+	rolled := false
+	for _, s := range e.shards {
+		if s.loop.SpecDepth() == 0 {
+			continue
+		}
+		undone := len(s.ckpts)
+		s.loop.RestoreTo(0)
+		ck := s.ckpts[0]
+		for j, ed := range s.outEdges {
+			tail := ed.outbox[ck.outLen[j]:]
+			for k := range tail {
+				tail[k] = Message{}
+			}
+			ed.outbox = ed.outbox[:ck.outLen[j]]
+			if ed.outHead > ck.outLen[j] {
+				ed.outHead = ck.outLen[j]
+			}
+			ed.seq = ck.outSeq[j]
+		}
+		s.ckpts = s.ckpts[:0]
+		s.frontier = ck.at
+		s.mRollbacks.Inc()
+		s.hRollDepth.Observe(int64(undone))
+		rolled = true
+	}
+	return rolled
+}
+
+// commitSpec retires every checkpointed interval proven safe: no
+// message can still arrive inside it, per the conservative horizon
+// capped by pending mailbox arrivals. Retirement releases quarantined
+// side effects (loop.CommitOldest) and hands the interval's sends off
+// to the destination mailboxes. When the whole speculative span is
+// proven safe the shard returns to depth zero and ordinary releases.
+// Must run right after computeEOT (safeHorizon) and before releases
+// (the handed-off sends were already visible to the fixpoint as outbox
+// seeds, so horizons granted this pass stay sound).
+func (e *Engine) commitSpec(until time.Duration) bool {
+	committed := false
+	for _, s := range e.shards {
+		if s.loop.SpecDepth() == 0 {
+			continue
+		}
+		hc := e.safeHorizon(s)
+		if mp := e.minInbound(s); mp < hc {
+			hc = mp
+		}
+		if hc >= s.frontier {
+			// The entire executed span is safe: commit every segment and
+			// return to conservative operation.
+			for s.loop.SpecDepth() > 0 {
+				s.loop.CommitOldest()
+			}
+			s.ckpts = s.ckpts[:0]
+			s.barrier = s.frontier
+			for _, ed := range s.outEdges {
+				ed.handoff()
+			}
+			e.updateBacklog(s)
+			committed = true
+			continue
+		}
+		// Segment i spans [ckpts[i].at, ckpts[i+1].at); it commits when
+		// its upper bound is at or below the safe horizon.
+		n := 0
+		for n+1 < len(s.ckpts) && s.ckpts[n+1].at <= hc {
+			n++
+		}
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				s.loop.CommitOldest()
+			}
+			for j, ed := range s.outEdges {
+				ed.handoffPrefix(s.ckpts[n].outLen[j])
+			}
+			s.ckpts = append(s.ckpts[:0], s.ckpts[n:]...)
+			s.barrier = s.ckpts[0].at
+			committed = true
+		}
+		// Even inside an uncommittable segment, sends with arrivals at
+		// or below the safe horizon are permanent and must flow now:
+		// a successor waiting on one cannot advance, cannot raise this
+		// shard's horizon, and would deadlock the commit otherwise (the
+		// Time Warp committed-output rule; see Edge.handoffSafe for the
+		// replay-identity argument).
+		for _, ed := range s.outEdges {
+			if ed.handoffSafe(hc) {
+				committed = true
+			}
+		}
+		e.updateBacklog(s)
+	}
+	return committed
+}
+
+// releaseOptimistic grants one window per grantable shard, in shard
+// index order (determinism). Opaque loops, loops with lazy idle sources
+// (which could materialize opaque components mid-window), and the final
+// inclusive window all take the conservative dynamic path; everything
+// else speculates up to span past its committed barrier, checkpointing
+// every cadence, capped at the Run horizon and at any pending arrival.
+func (e *Engine) releaseOptimistic(until time.Duration, span, cadence time.Duration) bool {
+	released := false
+	for _, s := range e.shards {
+		depth := s.loop.SpecDepth()
+		if s.done {
+			if !e.dueInbound(s, until) {
+				continue
+			}
+			s.done = false
+		}
+		if depth > 0 {
+			// Continue speculating from the frontier — no flush (open
+			// checkpoints), no safe prefix (the state at the frontier is
+			// itself speculative). Stall once the span or a pending
+			// arrival is reached; commits will catch up.
+			end := s.barrier + span
+			if end > until {
+				end = until
+			}
+			if mp := e.minInbound(s); mp < end {
+				end = mp
+			}
+			if end <= s.frontier {
+				continue
+			}
+			e.releaseSpec(s, 0, s.frontier, end, cadence)
+			released = true
+			continue
+		}
+		h := e.safeHorizon(s)
+		if h > until {
+			e.release(s, until+1, until, true)
+			released = true
+			continue
+		}
+		if span == 0 || !s.loop.Snapshottable() || s.loop.HasIdleSources() {
+			// Conservative shard: exactly PolicyDynamic.
+			if h > s.barrier {
+				e.release(s, h, h, false)
+				released = true
+			}
+			continue
+		}
+		end := s.barrier + span
+		if end > until {
+			end = until
+		}
+		if mp := e.minInbound(s); mp < end {
+			end = mp
+		}
+		if h >= end {
+			// The conservative horizon already covers the whole span —
+			// speculation would only add checkpoint overhead.
+			if h > s.barrier {
+				e.release(s, h, h, false)
+				released = true
+			}
+			continue
+		}
+		if end <= s.barrier {
+			continue
+		}
+		// Mixed window: conservative to the safe horizon, speculative
+		// beyond it. Known messages due inside the span flush now —
+		// before the first Snapshot — so their triggers live below every
+		// watermark and survive rollbacks through the limbo path.
+		safe := h
+		if safe < s.barrier {
+			safe = s.barrier
+		}
+		e.releaseSpec(s, end, safe, end, cadence)
+		released = true
+	}
+	return released
+}
+
+// releaseSpec grants a speculative window [frontier, target) to s:
+// conservative to safe, checkpointed beyond. flushHorizon > 0 flushes
+// due mailbox messages first (only legal at depth zero).
+func (e *Engine) releaseSpec(s *Shard, flushHorizon, safe, target, cadence time.Duration) {
+	if flushHorizon > 0 {
+		e.flushInto(s, flushHorizon)
+	}
+	s.mReleased.Inc()
+	s.hStride.Observe(int64(target - s.frontier))
+	s.running = true
+	s.specWin = true
+	s.target = target
+	s.inclusive = false
+	req := windowReq{target: target, spec: true, safe: safe, cadence: cadence}
+	if e.doneCh == nil {
+		s.runWindow(req)
+		e.complete(s)
+		return
+	}
+	s.runCh <- req
+}
+
+// runSpecWindow executes a speculative window on the shard's loop: run
+// conservatively to req.safe, then alternate Snapshot (with its
+// coordinator-side checkpoint record) and a cadence-sized RunBefore
+// stride until req.target. Runs on the worker goroutine; the ckpts
+// appends are published to the coordinator by the completion handshake.
+func (s *Shard) runSpecWindow(req windowReq) {
+	t := s.loop.Now()
+	if req.safe > t {
+		s.loop.RunBefore(req.safe)
+		t = req.safe
+	}
+	for t < req.target {
+		s.loop.Snapshot()
+		s.recordCkpt(t)
+		next := req.target
+		if req.cadence > 0 && t+req.cadence < req.target {
+			next = t + req.cadence
+		}
+		s.loop.RunBefore(next)
+		t = next
+	}
+}
+
+// recordCkpt appends the coordinator-side half of a checkpoint just
+// taken at virtual time at: the current outbox length and send sequence
+// of every outbound edge.
+func (s *Shard) recordCkpt(at time.Duration) {
+	ck := specCkpt{
+		at:     at,
+		outLen: make([]int, len(s.outEdges)),
+		outSeq: make([]uint64, len(s.outEdges)),
+	}
+	for j, ed := range s.outEdges {
+		ck.outLen[j] = len(ed.outbox)
+		ck.outSeq[j] = ed.seq
+	}
+	s.ckpts = append(s.ckpts, ck)
+}
+
+// captureInbox is the shard's OnSnapshot hook: the inbox arena and its
+// cursor are consumed by delivery triggers, which a rollback un-fires,
+// so they must rewind in step with the loop.
+func (s *Shard) captureInbox() func() {
+	head := s.inboxHead
+	saved := append([]Message(nil), s.inbox...)
+	return func() {
+		s.inbox = append(s.inbox[:0], saved...)
+		s.inboxHead = head
+	}
+}

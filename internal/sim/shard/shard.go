@@ -113,13 +113,20 @@ const (
 	// time promises: horizons grow to the earliest time a predecessor
 	// could actually emit, not just the earliest it theoretically might.
 	PolicyDynamic
+	// PolicyOptimistic extends dynamic with speculation: a shard whose
+	// loop is snapshottable may execute past its released horizon in a
+	// bounded window, checkpointing as it goes (sim.Loop.Snapshot); a
+	// message arriving below its speculative frontier rolls it back to
+	// the last safe checkpoint and the interval replays byte-identically.
+	// Shards with opaque loops behave exactly as under PolicyDynamic.
+	PolicyOptimistic
 )
 
 // Policies returns every valid policy in flag-name order. Flag help,
 // Spec validation, and the control plane all derive their allowed set
 // (and ParsePolicy its error message) from this one list.
 func Policies() []Policy {
-	return []Policy{PolicyGlobal, PolicyAdaptive, PolicyDynamic}
+	return []Policy{PolicyGlobal, PolicyAdaptive, PolicyDynamic, PolicyOptimistic}
 }
 
 // PolicyNames returns the canonical names of Policies, in order.
@@ -139,14 +146,16 @@ func (p Policy) String() string {
 		return "adaptive"
 	case PolicyDynamic:
 		return "dynamic"
+	case PolicyOptimistic:
+		return "optimistic"
 	default:
 		return "global"
 	}
 }
 
-// ParsePolicy converts a flag value ("global", "adaptive" or "dynamic")
-// into a Policy; the empty string selects the default. Unknown values
-// are an error naming the allowed set.
+// ParsePolicy converts a flag value ("global", "adaptive", "dynamic" or
+// "optimistic") into a Policy; the empty string selects the default.
+// Unknown values are an error naming the allowed set.
 func ParsePolicy(s string) (Policy, error) {
 	if s == "" {
 		return PolicyGlobal, nil
@@ -193,13 +202,16 @@ type Shard struct {
 	eng  *Engine
 	loop *sim.Loop
 
-	mWindows  *metrics.Counter
-	mReleased *metrics.Counter
-	mMsgsIn   *metrics.Counter
-	mMsgsOut  *metrics.Counter
-	mStall    *metrics.Counter
-	hStride   *metrics.Histogram
-	gBacklog  *metrics.Gauge
+	mWindows   *metrics.Counter
+	mReleased  *metrics.Counter
+	mMsgsIn    *metrics.Counter
+	mMsgsOut   *metrics.Counter
+	mStall     *metrics.Counter
+	mSpecWins  *metrics.Counter
+	mRollbacks *metrics.Counter
+	hStride    *metrics.Histogram
+	hRollDepth *metrics.Histogram
+	gBacklog   *metrics.Gauge
 
 	runCh chan windowReq
 
@@ -214,6 +226,21 @@ type Shard struct {
 	running   bool
 	target    time.Duration
 	inclusive bool
+
+	// PolicyOptimistic state. frontier is the time the shard has
+	// EXECUTED through — equal to barrier except while checkpoints are
+	// open, when [barrier, frontier) is speculative and may roll back.
+	// ckpts mirrors the loop's open checkpoint stack (oldest first) with
+	// the coordinator-side part of each checkpoint: the per-out-edge
+	// outbox length and send sequence at snapshot time, so a rollback can
+	// retract unsent speculative messages and a commit can hand off
+	// exactly the proven prefix. ckpts is appended by the worker during a
+	// speculative window and consumed by the coordinator afterwards; the
+	// completion handshake orders the accesses. Invariant while
+	// SpecDepth > 0: ckpts[0].at == barrier.
+	frontier time.Duration
+	ckpts    []specCkpt
+	specWin  bool
 
 	// inbox is the sorted arena of released-but-not-yet-executed
 	// deliveries. One pre-bound trigger (deliverFn) is armed per entry in
@@ -262,8 +289,23 @@ type Edge struct {
 	// the coordinator moves it into mailbox (swapping arenas when it
 	// can), which only the coordinator ever touches — so releasing a
 	// destination never races with a still-running source.
+	//
+	// While the source speculates (open checkpoints), the outbox arena is
+	// pinned: checkpoints record absolute indices into it, so committed
+	// messages leave through handoffPrefix — which advances outHead but
+	// never resets the arena — and handoff() is deferred until the shard
+	// is fully committed again. outbox[:outHead] is dead (handed off),
+	// outbox[outHead:] is live-but-uncommitted.
 	outbox  []Message
+	outHead int
 	mailbox []Message
+
+	// handSeq is the highest sequence number ever handed off to the
+	// mailbox. After a rollback below an early handoff (handoffSafe),
+	// the replay re-issues those sends byte-identically; Send drops any
+	// message with Seq <= handSeq instead of buffering a duplicate the
+	// destination already has.
+	handSeq uint64
 }
 
 // MinDelay returns the edge's declared minimum propagation delay.
@@ -278,7 +320,12 @@ func (ed *Edge) Send(at time.Duration, payload any) {
 			ed.id, at, now, ed.minDelay))
 	}
 	ed.seq++
-	ed.outbox = append(ed.outbox, Message{At: at, Edge: ed.id, Seq: ed.seq, Payload: payload})
+	if ed.seq > ed.handSeq {
+		ed.outbox = append(ed.outbox, Message{At: at, Edge: ed.id, Seq: ed.seq, Payload: payload})
+	}
+	// Below the watermark this is a rollback replay re-issuing a message
+	// the destination already has; only the (rewound) counter is
+	// re-observed.
 	ed.src.mMsgsOut.Inc()
 }
 
@@ -309,6 +356,14 @@ type Engine struct {
 	eot   []time.Duration
 	nextT []time.Duration
 
+	// PolicyOptimistic tuning: specSpan bounds how far a shard's
+	// speculative frontier may run past its committed barrier, and
+	// specCadence spaces the checkpoints inside a speculative window.
+	// Zero selects the defaults (multiples of the engine lookahead,
+	// resolved at Run).
+	specSpan    time.Duration
+	specCadence time.Duration
+
 	doneCh chan windowDone
 	walls  []time.Duration
 	wg     sync.WaitGroup
@@ -320,6 +375,23 @@ const noPath = time.Duration(math.MaxInt64)
 type windowReq struct {
 	target    time.Duration
 	inclusive bool
+
+	// Speculative window (PolicyOptimistic): run conservatively to safe
+	// (exclusive), then alternate Snapshot and RunBefore in cadence-sized
+	// strides until target. Always exclusive; at least one checkpoint is
+	// taken (safe < target is guaranteed by the grant).
+	spec    bool
+	safe    time.Duration
+	cadence time.Duration
+}
+
+// specCkpt is the coordinator-side half of one open loop checkpoint:
+// the snapshot instant plus, per outbound edge (indexed as in
+// Shard.outEdges), the outbox length and send sequence at that instant.
+type specCkpt struct {
+	at     time.Duration
+	outLen []int
+	outSeq []uint64
 }
 
 type windowDone struct {
@@ -339,18 +411,37 @@ func NewEngine(seed int64, n int, sched sim.Scheduler) *Engine {
 		loop := sim.NewLoopScheduler(seed, sched)
 		reg := loop.Metrics()
 		s := &Shard{
-			id:        i,
-			eng:       e,
-			loop:      loop,
-			mWindows:  reg.Counter("shard/windows"),
-			mReleased: reg.Counter("shard/windows_released"),
-			mMsgsIn:   reg.Counter("shard/msgs_in"),
-			mMsgsOut:  reg.Counter("shard/msgs_out"),
-			mStall:    reg.Counter("shard/stall_wall_ns"),
-			hStride:   reg.Histogram("shard/horizon_stride_ns"),
-			gBacklog:  reg.Gauge("shard/mailbox_backlog"),
+			id:         i,
+			eng:        e,
+			loop:       loop,
+			mWindows:   reg.Counter("shard/windows"),
+			mReleased:  reg.Counter("shard/windows_released"),
+			mMsgsIn:    reg.Counter("shard/msgs_in"),
+			mMsgsOut:   reg.Counter("shard/msgs_out"),
+			mStall:     reg.Counter("shard/stall_wall_ns"),
+			mSpecWins:  reg.Counter("shard/speculated_windows"),
+			mRollbacks: reg.Counter("shard/rollbacks"),
+			hStride:    reg.Histogram("shard/horizon_stride_ns"),
+			hRollDepth: reg.Histogram("shard/rollback_depth"),
+			gBacklog:   reg.Gauge("shard/mailbox_backlog"),
 		}
 		s.deliverFn = s.deliverNext
+		// The engine's own per-shard state must survive a loop rollback
+		// too: the inbox arena and its cursor are mutated by deliveries
+		// that a rollback un-fires.
+		loop.OnSnapshot(s.captureInbox)
+		// Coordinator-side instruments record the engine's effort —
+		// grants, rollbacks, stall time — and must not be rewound by the
+		// rollbacks they account for. msgs_in/msgs_out stay checkpointed:
+		// they are observed by (replayed) model-side execution.
+		for _, name := range []string{
+			"shard/windows", "shard/windows_released", "shard/stall_wall_ns",
+			"shard/speculated_windows", "shard/rollbacks",
+			"shard/horizon_stride_ns", "shard/rollback_depth",
+			"shard/mailbox_backlog",
+		} {
+			reg.Exempt(name)
+		}
 		e.shards = append(e.shards, s)
 	}
 	return e
@@ -381,6 +472,19 @@ func (e *Engine) SetPolicy(p Policy) {
 		panic("shard: SetPolicy after Run")
 	}
 	e.policy = p
+}
+
+// SetSpeculation tunes PolicyOptimistic: span bounds how far a shard
+// may speculate past its committed barrier, cadence spaces the
+// checkpoints within that span. Zero values keep the defaults
+// (span = 16x lookahead, cadence = 4x lookahead). Like SetPolicy it
+// must be called before the first Run.
+func (e *Engine) SetSpeculation(span, cadence time.Duration) {
+	if e.started {
+		panic("shard: SetSpeculation after Run")
+	}
+	e.specSpan = span
+	e.specCadence = cadence
 }
 
 // NewEdge declares a directed cross-shard channel. minDelay must be
@@ -494,13 +598,18 @@ func (e *Engine) Run(until time.Duration) {
 	e.started = true
 	for _, s := range e.shards {
 		s.barrier = e.now
+		s.frontier = e.now
 		s.done = false
 	}
 	e.startWorkers()
-	if e.policy == PolicyAdaptive || e.policy == PolicyDynamic {
+	switch e.policy {
+	case PolicyAdaptive, PolicyDynamic:
 		e.computeDist()
 		e.runPerShard(until)
-	} else {
+	case PolicyOptimistic:
+		e.computeDist()
+		e.runOptimistic(until)
+	default:
 		e.runGlobal(until)
 	}
 	e.stopWorkers()
@@ -629,12 +738,13 @@ func (e *Engine) release(s *Shard, flushHorizon, target time.Duration, inclusive
 	s.running = true
 	s.target = target
 	s.inclusive = inclusive
+	req := windowReq{target: target, inclusive: inclusive}
 	if e.doneCh == nil { // single shard: run inline
-		s.runWindow(target, inclusive)
+		s.runWindow(req)
 		e.complete(s)
 		return
 	}
-	s.runCh <- windowReq{target, inclusive}
+	s.runCh <- req
 }
 
 // awaitOne blocks for one worker completion and retires that window.
@@ -649,11 +759,29 @@ func (e *Engine) awaitOne() {
 // and the doneCh receive ordered its writes before ours).
 func (e *Engine) complete(s *Shard) {
 	s.running = false
+	s.mWindows.Inc()
+	if s.specWin {
+		// A speculative window advances the frontier, not the barrier:
+		// only the pre-checkpoint prefix [barrier, ckpts[0].at) is final.
+		// Sends recorded before the first checkpoint are committed and
+		// hand off now; everything later stays pinned in the outbox until
+		// the coordinator proves it safe (commitSpec) or retracts it
+		// (rollback).
+		s.specWin = false
+		s.frontier = s.target
+		s.barrier = s.ckpts[0].at
+		s.mSpecWins.Inc()
+		for j, ed := range s.outEdges {
+			ed.handoffPrefix(s.ckpts[0].outLen[j])
+		}
+		e.updateBacklog(s)
+		return
+	}
 	s.barrier = s.target
+	s.frontier = s.target
 	if s.inclusive {
 		s.done = true
 	}
-	s.mWindows.Inc()
 	for _, ed := range s.outEdges {
 		ed.handoff()
 	}
@@ -695,8 +823,26 @@ func (e *Engine) anyDue(until time.Duration) bool {
 }
 
 // handoff moves the edge's outbox into its coordinator-owned mailbox.
-// The common case (empty mailbox) is a pure arena swap.
+// The common case (empty mailbox) is a pure arena swap. While the
+// source still holds open checkpoints the outbox is pinned (checkpoints
+// index into it) and nothing moves — committed prefixes leave through
+// handoffPrefix instead.
 func (ed *Edge) handoff() {
+	if ed.src.loop.SpecDepth() > 0 {
+		return
+	}
+	ed.handSeq = ed.seq
+	if ed.outHead > 0 {
+		// A fully-committed shard whose outbox was partially handed off
+		// during speculation: move the live tail and reset the arena.
+		ed.mailbox = append(ed.mailbox, ed.outbox[ed.outHead:]...)
+		for i := range ed.outbox {
+			ed.outbox[i] = Message{}
+		}
+		ed.outbox = ed.outbox[:0]
+		ed.outHead = 0
+		return
+	}
 	if len(ed.outbox) == 0 {
 		return
 	}
@@ -709,6 +855,44 @@ func (ed *Edge) handoff() {
 		ed.outbox[i] = Message{}
 	}
 	ed.outbox = ed.outbox[:0]
+}
+
+// handoffPrefix moves the committed prefix outbox[outHead:n] into the
+// mailbox without touching the arena beyond it — checkpoints taken
+// during speculation record absolute outbox indices, so the arena must
+// not shift or reset until the shard is fully committed. Idempotent for
+// n <= outHead.
+func (ed *Edge) handoffPrefix(n int) {
+	if n <= ed.outHead {
+		return
+	}
+	seg := ed.outbox[ed.outHead:n]
+	ed.mailbox = append(ed.mailbox, seg...)
+	ed.handSeq = seg[len(seg)-1].Seq
+	for i := range seg {
+		seg[i] = Message{}
+	}
+	ed.outHead = n
+}
+
+// handoffSafe hands off the maximal live outbox prefix whose arrival
+// times are proven safe (At <= hc, the shard's conservative horizon
+// capped by pending arrivals). Such a send is permanent even while its
+// checkpoint segment is still open: every future conflicting arrival —
+// and therefore every rollback target — lies at or above the horizon
+// guarantee, while the send executed strictly below it, so any replay
+// re-issues it byte-identically (and Send suppresses the duplicate via
+// handSeq). Reports whether anything moved.
+func (ed *Edge) handoffSafe(hc time.Duration) bool {
+	n := ed.outHead
+	for n < len(ed.outbox) && ed.outbox[n].At <= hc {
+		n++
+	}
+	if n == ed.outHead {
+		return false
+	}
+	ed.handoffPrefix(n)
+	return true
 }
 
 // flushInto drains every mailbox into shard s of messages due before
@@ -759,12 +943,17 @@ func (e *Engine) updateBacklog(src *Shard) {
 	src.gBacklog.Set(float64(n))
 }
 
-// runWindow executes one window on the shard's loop.
-func (s *Shard) runWindow(target time.Duration, inclusive bool) {
-	if inclusive {
-		s.loop.RunUntil(target)
+// runWindow executes one window on the shard's loop (on the worker
+// goroutine, or inline for single-shard engines).
+func (s *Shard) runWindow(req windowReq) {
+	if req.spec {
+		s.runSpecWindow(req)
+		return
+	}
+	if req.inclusive {
+		s.loop.RunUntil(req.target)
 	} else {
-		s.loop.RunBefore(target)
+		s.loop.RunBefore(req.target)
 	}
 }
 
@@ -783,7 +972,7 @@ func (e *Engine) startWorkers() {
 			defer e.wg.Done()
 			for req := range s.runCh {
 				t0 := time.Now()
-				s.runWindow(req.target, req.inclusive)
+				s.runWindow(req)
 				e.doneCh <- windowDone{s.id, time.Since(t0)}
 			}
 		}(s)
@@ -827,12 +1016,12 @@ func (e *Engine) globalWindow(target time.Duration, inclusive bool) {
 	}
 	if e.doneCh == nil {
 		s := e.shards[0]
-		s.runWindow(target, inclusive)
+		s.runWindow(windowReq{target: target, inclusive: inclusive})
 		e.complete(s)
 		return
 	}
 	for _, s := range e.shards {
-		s.runCh <- windowReq{target, inclusive}
+		s.runCh <- windowReq{target: target, inclusive: inclusive}
 	}
 	var maxWall time.Duration
 	for range e.shards {

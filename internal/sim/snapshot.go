@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/onelab/umtslab/internal/metrics"
+)
+
+// Speculative checkpoint/rollback support for the optimistic shard
+// engine (internal/sim/shard, PolicyOptimistic).
+//
+// A Snapshot does not copy the event queue. Instead it opens a journal
+// segment: from that point on the loop parks fired and cancelled
+// pre-checkpoint events in a limbo list (fn stashed, generation kept),
+// records newborn events, counts RNG draws, and checkpoints the metrics
+// registry. RestoreTo replays the journal backwards — limbo events are
+// re-queued through the ordinary push path (which works identically on
+// the heap and wheel backends), newborns are cancelled, the seq counter
+// and clock rewind — so the loop re-executes the rolled-back interval
+// byte-identically. CommitOldest retires the oldest segment once the
+// coordinator proves no message can arrive inside it, freeing parked
+// events for real and releasing quarantined side effects.
+//
+// Model state outside the loop (link queues, flow logs, node counters)
+// is covered by two complementary mechanisms:
+//
+//   - OnSnapshot hooks: a component registers a capturer that runs at
+//     every Snapshot and returns a closure restoring the captured state.
+//   - RecordUndo / Quarantine: fine-grained journaling for state that is
+//     cheaper to log than to snapshot (a packet struct about to be
+//     mutated; a side effect that must not escape a speculative window).
+//
+// Components whose state is too entangled to capture (PPP stacks, the
+// UMTS RAN, TCP) call MarkOpaque instead; the engine then simply never
+// speculates on their loop. Speculation is opt-in per component, and
+// one opaque resident disables it for the whole loop.
+
+// limboEntry parks one pre-checkpoint event that fired or was cancelled
+// during speculation: ev keeps its at/seq/pri/gen, fn is stashed here
+// because the queue backends nil it.
+type limboEntry struct {
+	ev *event
+	fn func()
+}
+
+// bornEntry records an event created during speculation. gen detects
+// whether the entry still names that incarnation (the event may have
+// been freed and recycled since).
+type bornEntry struct {
+	ev  *event
+	gen uint32
+}
+
+// specSegment journals everything that happened after one Snapshot and
+// before the next (or the present, for the newest segment).
+type specSegment struct {
+	watermark uint64        // l.seq when the snapshot was taken
+	now       time.Duration // l.now when the snapshot was taken
+	idleFns   int           // len(l.idleFns) when the snapshot was taken
+
+	limbo       []limboEntry
+	born        []bornEntry
+	undos       []func() // run in reverse on rollback
+	quarantined []func() // run in order on commit
+	restores    []func() // component-state restores captured at snapshot time
+	rngCursors  map[string]uint64
+	metrics     *metrics.Checkpoint
+}
+
+// specState is the open-segment stack; segs[0] is the oldest.
+type specState struct {
+	segs []*specSegment
+}
+
+func (s *specState) top() *specSegment { return s.segs[len(s.segs)-1] }
+
+// countingSource wraps the loop's per-stream rand source and counts raw
+// draws, so a snapshot can record each stream's cursor and a rollback
+// can rewind by reseeding and skipping. It implements Source64, which
+// keeps rand.Rand on the exact draw sequence it had with the bare
+// source. The wrapper pointer is stable across restores — model code
+// caches the *rand.Rand, which holds this wrapper, not the inner source.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s); c.n = 0 }
+
+// restoreTo rewinds the stream to draw n by reseeding and skipping.
+// Skipping redraws from the origin — O(total draws) — which is fine at
+// the observed scales (a rollback is rare and packet-rate streams draw
+// ~10^5 values over a full run); both Int63 and Uint64 advance the
+// underlying generator by exactly one step, so skipping with Uint64
+// reproduces any historical mix of draw kinds.
+func (c *countingSource) restoreTo(seed int64, n uint64) {
+	if c.n == n {
+		return
+	}
+	c.src = rand.NewSource(seed).(rand.Source64)
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n = n
+}
+
+// MarkOpaque declares that a component on this loop holds state a
+// snapshot cannot capture, permanently disabling speculation for the
+// loop. reason names the component for diagnostics. Idempotent; the
+// first reason wins.
+func (l *Loop) MarkOpaque(reason string) {
+	if l.opaque == "" {
+		l.opaque = reason
+	}
+}
+
+// Snapshottable reports whether the loop may be checkpointed — i.e. no
+// component has called MarkOpaque.
+func (l *Loop) Snapshottable() bool { return l.opaque == "" }
+
+// OpaqueReason returns the first MarkOpaque reason ("" if none).
+func (l *Loop) OpaqueReason() string { return l.opaque }
+
+// OnSnapshot registers a component-state capturer: at every Snapshot,
+// capture runs and returns a closure that restores the state it copied.
+// Hooks must capture by value — the restore closure may run after the
+// live state has been arbitrarily mutated.
+func (l *Loop) OnSnapshot(capture func() func()) {
+	l.snapHooks = append(l.snapHooks, capture)
+}
+
+// Speculating reports whether at least one checkpoint segment is open.
+func (l *Loop) Speculating() bool { return l.spec != nil }
+
+// SpecDepth reports the number of open checkpoint segments.
+func (l *Loop) SpecDepth() int {
+	if l.spec == nil {
+		return 0
+	}
+	return len(l.spec.segs)
+}
+
+// RecordUndo journals a closure that reverts an in-place mutation the
+// journal cannot otherwise see (e.g. a packet struct about to be
+// rewritten). No-op outside speculation; callers on hot paths should
+// gate on Speculating() to avoid building the closure at all.
+func (l *Loop) RecordUndo(undo func()) {
+	if l.spec == nil {
+		return
+	}
+	seg := l.spec.top()
+	seg.undos = append(seg.undos, undo)
+}
+
+// Quarantine defers a side effect that must not escape a speculative
+// window (a log append into shared analysis state, an external sink
+// call). Outside speculation fn runs immediately; inside, it is
+// buffered in the newest segment and runs — in recorded order — when
+// that segment's interval commits. A rollback drops it: the replay will
+// quarantine an identical call again.
+func (l *Loop) Quarantine(fn func()) {
+	if l.spec == nil {
+		fn()
+		return
+	}
+	seg := l.spec.top()
+	seg.quarantined = append(seg.quarantined, fn)
+}
+
+// Snapshot opens a checkpoint segment capturing the loop's present
+// state. Panics on an opaque loop — the caller must check Snapshottable.
+func (l *Loop) Snapshot() {
+	if l.opaque != "" {
+		panic(fmt.Sprintf("sim: Snapshot on opaque loop (%s)", l.opaque))
+	}
+	seg := &specSegment{
+		watermark:  l.seq,
+		now:        l.now,
+		idleFns:    len(l.idleFns),
+		rngCursors: make(map[string]uint64, len(l.rngSrcs)),
+		metrics:    l.reg.Checkpoint(),
+	}
+	for name, src := range l.rngSrcs {
+		seg.rngCursors[name] = src.n
+	}
+	for _, capture := range l.snapHooks {
+		seg.restores = append(seg.restores, capture())
+	}
+	if l.spec == nil {
+		l.spec = &specState{}
+	}
+	l.spec.segs = append(l.spec.segs, seg)
+	l.buffers.PushSpec()
+}
+
+// RestoreTo rolls the loop back to the state captured by the checkpoint
+// at stack index i (0-based; 0 is the oldest open segment), undoing
+// every younger segment and consuming checkpoint i itself: afterwards
+// SpecDepth() == i and the loop is exactly as it was when that Snapshot
+// ran, ready to re-execute the rolled-back interval deterministically.
+func (l *Loop) RestoreTo(i int) {
+	if l.spec == nil || i < 0 || i >= len(l.spec.segs) {
+		panic(fmt.Sprintf("sim: RestoreTo(%d) with %d open segments", i, l.SpecDepth()))
+	}
+	segs := l.spec.segs
+	target := segs[i]
+	wm := target.watermark
+
+	// Undo in-place mutations, newest first, so each value lands on its
+	// earliest recorded (pre-speculation) state.
+	for j := len(segs) - 1; j >= i; j-- {
+		undos := segs[j].undos
+		for k := len(undos) - 1; k >= 0; k-- {
+			undos[k]()
+		}
+	}
+
+	// Reinstate pre-checkpoint events parked by the undone segments;
+	// events born after the target checkpoint cease to exist.
+	for j := i; j < len(segs); j++ {
+		for _, e := range segs[j].limbo {
+			ev := e.ev
+			ev.held = false
+			if ev.seq < wm {
+				ev.fn = e.fn
+				if !l.q.uncancel(ev) {
+					l.q.push(ev)
+				}
+			} else if ev.where == evLimbo {
+				l.freeEvent(ev)
+			}
+			// else: a lazily-cancelled resident (heap backend) — a dead
+			// entry the heap discards on its own now that held is clear.
+		}
+	}
+	for j := i; j < len(segs); j++ {
+		for _, b := range segs[j].born {
+			ev := b.ev
+			if ev.gen != b.gen || ev.fn == nil || ev.where == evLimbo || ev.where == evFree {
+				continue // freed, recycled, parked, or already dead
+			}
+			l.q.cancel(ev)
+		}
+	}
+
+	// Component state, metrics, RNG cursors, buffers, clock, counters.
+	for _, restore := range target.restores {
+		restore()
+	}
+	l.reg.Restore(target.metrics)
+	for name, src := range l.rngSrcs {
+		src.restoreTo(l.seed^int64(hashName(name)), target.rngCursors[name])
+	}
+	l.buffers.RollbackSpec(i)
+	l.idleFns = l.idleFns[:target.idleFns]
+	l.seq = wm
+	l.now = target.now
+
+	l.spec.segs = segs[:i]
+	if i == 0 {
+		l.spec = nil
+	}
+}
+
+// CommitOldest retires the oldest open segment: its interval is proven
+// safe, so parked events are freed for real, quarantined side effects
+// run (in recorded order), and deferred buffer recycling flushes. The
+// checkpoint below it is no longer restorable.
+func (l *Loop) CommitOldest() {
+	if l.spec == nil {
+		panic("sim: CommitOldest with no open segments")
+	}
+	seg := l.spec.segs[0]
+	for _, e := range seg.limbo {
+		ev := e.ev
+		ev.held = false
+		if ev.where == evLimbo {
+			l.freeEvent(ev)
+		}
+		// Lazy-cancelled residents are discarded by the heap itself.
+	}
+	l.spec.segs[0] = nil
+	l.spec.segs = l.spec.segs[1:]
+	if len(l.spec.segs) == 0 {
+		l.spec = nil
+	}
+	for _, fn := range seg.quarantined {
+		fn()
+	}
+	l.buffers.CommitOldestSpec()
+}

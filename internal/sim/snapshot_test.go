@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// specModel is a deterministic self-driving workload for the rollback
+// tests: every event draws from a named RNG stream, bumps instruments,
+// quarantines a trace line, schedules two successors, and cancels the
+// oldest timers beyond a backlog bound — exercising fire, cancel (lazy
+// and immediate), freelist reuse, and RNG advancement on both backends.
+// Like any real component it registers an OnSnapshot hook for its own
+// mutable state (the event counter and the timer backlog), so the
+// rollback tests also prove the hook contract end to end.
+type specModel struct {
+	loop    *Loop
+	out     []string // committed trace (appends are quarantined)
+	pending []Timer
+	events  int
+}
+
+func newSpecModel(l *Loop) *specModel {
+	m := &specModel{loop: l}
+	l.OnSnapshot(func() func() {
+		events, pending := m.events, m.pending
+		return func() { m.events, m.pending = events, pending }
+	})
+	m.schedule(time.Millisecond)
+	m.schedule(3 * time.Millisecond)
+	return m
+}
+
+func (m *specModel) schedule(d time.Duration) {
+	t := m.loop.At(m.loop.Now()+d, m.fire)
+	m.pending = append(m.pending, t)
+}
+
+func (m *specModel) fire() {
+	l := m.loop
+	rng := l.RNG("model")
+	draw := rng.Int63n(1_000_000)
+	l.Metrics().Counter("model/fired").Inc()
+	l.Metrics().Histogram("model/draws").Observe(draw)
+	line := fmt.Sprintf("%d@%v:%d", m.events, l.Now(), draw)
+	l.Quarantine(func() { m.out = append(m.out, line) })
+	m.events++
+	m.schedule(time.Duration(1+draw%5000) * time.Microsecond)
+	m.schedule(time.Duration(1+draw%11000) * time.Microsecond)
+	for len(m.pending) > 12 {
+		m.pending[0].Cancel()
+		m.pending = m.pending[1:]
+	}
+}
+
+func specSchedulers(t *testing.T, fn func(t *testing.T, s Scheduler)) {
+	for _, s := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		t.Run(s.String(), func(t *testing.T) { fn(t, s) })
+	}
+}
+
+// modelState condenses everything observable about a run for equality
+// checks: the committed trace, the clock, the seq counter, and the
+// deterministic instruments.
+func modelState(l *Loop, m *specModel) []string {
+	snap := l.Metrics().Snapshot()
+	return append(append([]string(nil), m.out...),
+		fmt.Sprintf("now=%v seq=%d", l.Now(), l.seq),
+		fmt.Sprintf("fired=%d cancelled=%d model=%d draws=%d/%d",
+			snap.Counter("sim/events_fired"), snap.Counter("sim/events_cancelled"),
+			snap.Counter("model/fired"),
+			snap.Histogram("model/draws").Count, snap.Histogram("model/draws").Sum))
+}
+
+// TestSnapshotRestoreReplayIdentical is the core soundness check: run
+// speculatively past a checkpoint, roll back, inject a "late message"
+// into the rolled-back interval, and finish — the result must be
+// byte-identical to a run that never speculated and received the same
+// injection on time.
+func TestSnapshotRestoreReplayIdentical(t *testing.T) {
+	specSchedulers(t, func(t *testing.T, s Scheduler) {
+		const (
+			t1      = 20 * time.Millisecond  // checkpoint
+			t2      = 60 * time.Millisecond  // speculative frontier
+			tInject = 25 * time.Millisecond  // late arrival, inside the window
+			tEnd    = 100 * time.Millisecond // horizon
+		)
+		inject := func(l *Loop, m *specModel) func() {
+			return func() {
+				l.Metrics().Counter("model/injected").Inc()
+				line := fmt.Sprintf("inject@%v", l.Now())
+				l.Quarantine(func() { m.out = append(m.out, line) })
+				m.schedule(2 * time.Millisecond)
+			}
+		}
+
+		// Reference: no speculation, injection armed before its time.
+		refLoop := NewLoopScheduler(7, s)
+		ref := newSpecModel(refLoop)
+		refLoop.RunUntil(t1)
+		refLoop.AtHead(tInject, inject(refLoop, ref))
+		refLoop.RunUntil(tEnd)
+		want := modelState(refLoop, ref)
+
+		// Speculative: checkpoint at t1, run to t2, then the late
+		// message forces a rollback; replay with the injection in place.
+		l := NewLoopScheduler(7, s)
+		m := newSpecModel(l)
+		l.RunUntil(t1)
+		l.Snapshot()
+		l.RunUntil(t2)
+		if l.Now() != t2 {
+			t.Fatalf("speculative clock %v, want %v", l.Now(), t2)
+		}
+		preOut := len(m.out)
+		l.RestoreTo(0)
+		if l.Now() != t1 {
+			t.Fatalf("restored clock %v, want %v", l.Now(), t1)
+		}
+		if len(m.out) != preOut {
+			t.Fatal("rollback leaked quarantined trace lines")
+		}
+		l.AtHead(tInject, inject(l, m))
+		l.RunUntil(tEnd)
+		got := modelState(l, m)
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rolled-back run diverged from reference\n got: %v\nwant: %v", tail(got), tail(want))
+		}
+		if got2 := l.Metrics().Snapshot().Counter("model/injected"); got2 != 1 {
+			t.Fatalf("injection fired %d times", got2)
+		}
+	})
+}
+
+func tail(s []string) []string {
+	if len(s) > 12 {
+		return s[len(s)-12:]
+	}
+	return s
+}
+
+// TestSnapshotNestedRestoreAndCommit stacks checkpoints, rolls back to
+// an intermediate one, and commits the rest — quarantined effects must
+// surface exactly once, in order, and the final state must match a
+// straight-line run.
+func TestSnapshotNestedRestoreAndCommit(t *testing.T) {
+	specSchedulers(t, func(t *testing.T, s Scheduler) {
+		times := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+		const tEnd = 80 * time.Millisecond
+
+		refLoop := NewLoopScheduler(11, s)
+		ref := newSpecModel(refLoop)
+		refLoop.RunUntil(tEnd)
+		want := modelState(refLoop, ref)
+
+		l := NewLoopScheduler(11, s)
+		m := newSpecModel(l)
+		for _, tc := range times {
+			l.RunUntil(tc)
+			l.Snapshot()
+		}
+		l.RunUntil(50 * time.Millisecond)
+		if d := l.SpecDepth(); d != 3 {
+			t.Fatalf("depth %d, want 3", d)
+		}
+		// Nothing may have committed yet: the trace holds only lines
+		// from before the first checkpoint.
+		committed := len(m.out)
+		l.RestoreTo(1) // back to the 20 ms checkpoint; 10 ms segment survives
+		if l.Now() != times[1] || l.SpecDepth() != 1 {
+			t.Fatalf("after RestoreTo(1): now=%v depth=%d", l.Now(), l.SpecDepth())
+		}
+		if len(m.out) != committed {
+			t.Fatal("rollback leaked quarantined lines")
+		}
+		l.RunUntil(tEnd)
+		l.CommitOldest() // the surviving [10ms, 20ms) segment
+		if l.SpecDepth() != 0 {
+			t.Fatalf("depth %d after final commit", l.SpecDepth())
+		}
+		got := modelState(l, m)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("nested rollback diverged\n got: %v\nwant: %v", tail(got), tail(want))
+		}
+	})
+}
+
+// TestSnapshotTimerHandles: a pre-checkpoint timer cancelled during
+// speculation must be pending again after rollback, and cancellable.
+func TestSnapshotTimerHandles(t *testing.T) {
+	specSchedulers(t, func(t *testing.T, s Scheduler) {
+		l := NewLoopScheduler(3, s)
+		fired := 0
+		tm := l.At(50*time.Millisecond, func() { fired++ })
+		l.RunUntil(10 * time.Millisecond)
+		l.Snapshot()
+		tm.Cancel()
+		if tm.Pending() {
+			t.Fatal("cancelled timer still pending")
+		}
+		l.RunUntil(60 * time.Millisecond) // would have fired if not cancelled
+		if fired != 0 {
+			t.Fatal("cancelled timer fired speculatively")
+		}
+		l.RestoreTo(0)
+		if !tm.Pending() {
+			t.Fatal("rollback did not reinstate the cancelled timer")
+		}
+		l.RunUntil(60 * time.Millisecond)
+		if fired != 1 {
+			t.Fatalf("reinstated timer fired %d times, want 1", fired)
+		}
+
+		// And the dual: a timer that FIRED speculatively must be armed
+		// again after rollback, and a fresh Cancel must stick.
+		fired = 0
+		tm2 := l.At(100*time.Millisecond, func() { fired++ })
+		l.Snapshot()
+		l.RunUntil(120 * time.Millisecond)
+		if fired != 1 || tm2.Pending() {
+			t.Fatalf("speculative fire: fired=%d pending=%v", fired, tm2.Pending())
+		}
+		l.RestoreTo(0)
+		if !tm2.Pending() {
+			t.Fatal("rollback did not re-arm the fired timer")
+		}
+		tm2.Cancel()
+		l.RunUntil(150 * time.Millisecond)
+		if fired != 1 {
+			t.Fatalf("timer fired %d times total, want the 1 rolled-back firing", fired)
+		}
+	})
+}
+
+// TestSnapshotUndoLog: RecordUndo reverts in-place mutations on
+// rollback, newest first.
+func TestSnapshotUndoLog(t *testing.T) {
+	l := NewLoop(1)
+	type blob struct{ a, b int }
+	v := blob{1, 2}
+	l.RunUntil(time.Millisecond)
+	l.Snapshot()
+	if !l.Speculating() {
+		t.Fatal("not speculating after Snapshot")
+	}
+	saved := v
+	l.RecordUndo(func() { v = saved })
+	v = blob{9, 9}
+	l.Snapshot()
+	saved2 := v
+	l.RecordUndo(func() { v = saved2 })
+	v = blob{7, 7}
+	l.RestoreTo(0)
+	if v != (blob{1, 2}) {
+		t.Fatalf("undo chain restored %+v", v)
+	}
+	// Outside speculation RecordUndo is a no-op and Quarantine runs
+	// immediately.
+	ran := false
+	l.RecordUndo(func() { t.Fatal("undo ran outside speculation") })
+	l.Quarantine(func() { ran = true })
+	if !ran {
+		t.Fatal("Quarantine deferred outside speculation")
+	}
+}
+
+// TestSnapshotOnSnapshotHooks: component capture/restore closures run at
+// the right checkpoints.
+func TestSnapshotOnSnapshotHooks(t *testing.T) {
+	l := NewLoop(2)
+	state := 1
+	l.OnSnapshot(func() func() {
+		saved := state
+		return func() { state = saved }
+	})
+	l.Snapshot()
+	state = 2
+	l.Snapshot()
+	state = 3
+	l.RestoreTo(1)
+	if state != 2 {
+		t.Fatalf("state %d after RestoreTo(1), want 2", state)
+	}
+	state = 5
+	l.RestoreTo(0)
+	if state != 1 {
+		t.Fatalf("state %d after RestoreTo(0), want 1", state)
+	}
+}
+
+// TestSnapshotOpaque: MarkOpaque disables Snapshot.
+func TestSnapshotOpaque(t *testing.T) {
+	l := NewLoop(4)
+	if !l.Snapshottable() {
+		t.Fatal("fresh loop not snapshottable")
+	}
+	l.MarkOpaque("test/widget")
+	l.MarkOpaque("test/other")
+	if l.Snapshottable() || l.OpaqueReason() != "test/widget" {
+		t.Fatalf("opaque=%q", l.OpaqueReason())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot on opaque loop did not panic")
+		}
+	}()
+	l.Snapshot()
+}
+
+// TestSnapshotRNGCursor: streams rewind to their checkpoint cursor,
+// including streams first drawn during speculation (rewound to zero).
+func TestSnapshotRNGCursor(t *testing.T) {
+	l := NewLoop(9)
+	a := l.RNG("a")
+	pre := []int64{a.Int63(), a.Int63()}
+	_ = pre
+	var wantA, wantB []int64
+	l.Snapshot()
+	for i := 0; i < 5; i++ {
+		wantA = append(wantA, a.Int63())
+	}
+	b := l.RNG("b") // born during speculation
+	for i := 0; i < 3; i++ {
+		wantB = append(wantB, b.Int63())
+	}
+	l.RestoreTo(0)
+	for i := 0; i < 5; i++ {
+		if got := a.Int63(); got != wantA[i] {
+			t.Fatalf("stream a draw %d: %d != %d", i, got, wantA[i])
+		}
+	}
+	b2 := l.RNG("b")
+	if b2 != b {
+		t.Fatal("RNG identity changed across rollback")
+	}
+	for i := 0; i < 3; i++ {
+		if got := b2.Int63(); got != wantB[i] {
+			t.Fatalf("stream b draw %d: %d != %d", i, got, wantB[i])
+		}
+	}
+}

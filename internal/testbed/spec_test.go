@@ -239,6 +239,42 @@ func TestSpecDifferentialSingleCell(t *testing.T) {
 	}
 }
 
+// TestSpecShardPolicyRoundTrip: every engine policy name survives the
+// wire format — JSON decode, Validate, Scenario conversion, and the
+// Spec() export — so a saved measurement spec replays under the policy
+// it recorded. Iterating shard.Policies() makes the test self-widening:
+// a new policy that misses any leg of the path fails here.
+func TestSpecShardPolicyRoundTrip(t *testing.T) {
+	for _, p := range shard.Policies() {
+		raw := []byte(`{"cells":2,"shard_policy":"` + p.String() + `"}`)
+		var s Spec
+		if err := json.Unmarshal(raw, &s); err != nil {
+			t.Fatalf("policy %v: unmarshal: %v", p, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("policy %v: validate: %v", p, err)
+		}
+		sc, err := s.Scenario()
+		if err != nil {
+			t.Fatalf("policy %v: scenario: %v", p, err)
+		}
+		if sc.shardPolicy != p {
+			t.Fatalf("policy %v: scenario carries %v", p, sc.shardPolicy)
+		}
+		back, err := sc.Spec()
+		if err != nil {
+			t.Fatalf("policy %v: spec export: %v", p, err)
+		}
+		want := p.String()
+		if p == shard.PolicyGlobal {
+			want = "" // the default is omitted from the wire format
+		}
+		if back.ShardPolicy != want {
+			t.Errorf("policy %v: round-tripped as %q, want %q", p, back.ShardPolicy, want)
+		}
+	}
+}
+
 // TestSpecDifferentialMultiCell: same identity on the shard engine
 // with a non-default placement.
 func TestSpecDifferentialMultiCell(t *testing.T) {
